@@ -1,0 +1,1 @@
+bench/figure1.ml: Buffer Lcl List Printf Relim String Util

@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Benchmark Classify Figure1 Fmt Graph Grid Hashtbl Lcl List Local Printf Relim Staged String Sys Test Time Toolkit Util Volume

@@ -1,0 +1,228 @@
+(* lcl_tool — command line interface to the library.
+
+   Subcommands:
+     show       parse a problem file and pretty-print it
+     classify   classify a degree-2 problem on oriented cycles/paths
+     gap        run the tree gap pipeline (Theorem 3.10) on a problem
+     eliminate  apply k round elimination steps and print the result
+     simulate   run a named algorithm on a generated graph and verify
+     zoo        list the built-in problems
+
+   Problems are given either as a file in the [Lcl.Parse] format or as
+   the name of a zoo problem (see `lcl_tool zoo`). *)
+
+open Cmdliner
+
+let zoo_problems =
+  [
+    ("trivial", Lcl.Zoo.trivial ~delta:3);
+    ("free-choice", Lcl.Zoo.free_choice ~delta:3);
+    ("edge-orientation", Lcl.Zoo.edge_orientation ~delta:3);
+    ("edge-orientation-d2", Lcl.Zoo.edge_orientation ~delta:2);
+    ("echo-input", Lcl.Zoo.echo_input ~delta:2);
+    ("3-coloring", Lcl.Zoo.coloring ~k:3 ~delta:2);
+    ("2-coloring", Lcl.Zoo.coloring ~k:2 ~delta:2);
+    ("4-coloring-d3", Lcl.Zoo.coloring ~k:4 ~delta:3);
+    ("3-edge-coloring", Lcl.Zoo.edge_coloring ~k:3 ~delta:2);
+    ("mis", Lcl.Zoo.mis ~delta:2);
+    ("mis-d3", Lcl.Zoo.mis ~delta:3);
+    ("maximal-matching", Lcl.Zoo.maximal_matching ~delta:2);
+    ("sinkless-orientation", Lcl.Zoo.sinkless_orientation ~delta:3);
+    ("consistent-orientation", Lcl.Zoo.consistent_orientation);
+    ("period-3", Lcl.Zoo.period_pattern ~k:3);
+    ("forbidden-color", Lcl.Zoo.forbidden_color_coloring);
+    ("weak-2-coloring", Lcl.Zoo.weak_2_coloring ~delta:3 ());
+    ("weak-2-coloring-d2", Lcl.Zoo.weak_2_coloring ~delta:2 ());
+  ]
+
+let load_problem spec =
+  match List.assoc_opt spec zoo_problems with
+  | Some p -> Ok p
+  | None -> (
+    match In_channel.with_open_text spec In_channel.input_all with
+    | text -> (
+      try Ok (Lcl.Parse.of_string text) with
+      | Lcl.Parse.Parse_error m -> Error (Printf.sprintf "parse error: %s" m))
+    | exception Sys_error m -> Error m)
+
+let problem_arg =
+  let doc = "Problem: a zoo name (see the zoo subcommand) or a file path." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"PROBLEM" ~doc)
+
+let with_problem f spec =
+  match load_problem spec with
+  | Ok p -> f p
+  | Error m ->
+    Fmt.epr "error: %s@." m;
+    exit 1
+
+(* -- show -------------------------------------------------------------- *)
+
+let show_cmd =
+  let run = with_problem (fun p -> Fmt.pr "%a@." Lcl.Problem.pp p) in
+  Cmd.v (Cmd.info "show" ~doc:"Parse and pretty-print a problem")
+    Term.(const run $ problem_arg)
+
+(* -- zoo --------------------------------------------------------------- *)
+
+let zoo_cmd =
+  let run () =
+    List.iter
+      (fun (name, p) ->
+        Fmt.pr "%-24s delta=%d  |out|=%d@." name (Lcl.Problem.delta p)
+          (Lcl.Alphabet.size (Lcl.Problem.sigma_out p)))
+      zoo_problems
+  in
+  Cmd.v (Cmd.info "zoo" ~doc:"List built-in problems") Term.(const run $ const ())
+
+(* -- classify ---------------------------------------------------------- *)
+
+let classify_cmd =
+  let run =
+    with_problem (fun p ->
+        if Lcl.Problem.delta p <> 2 then begin
+          Fmt.epr "classify handles degree-2 problems (cycles/paths)@.";
+          exit 1
+        end;
+        Fmt.pr "on oriented cycles: %a@." Classify.Cycle_path.pp_verdict
+          (Classify.Cycle_path.classify_cycle p);
+        Fmt.pr "on oriented paths:  %a@." Classify.Cycle_path.pp_verdict
+          (Classify.Cycle_path.classify_path p))
+  in
+  Cmd.v
+    (Cmd.info "classify"
+       ~doc:"Classify an input-free degree-2 problem on oriented cycles/paths")
+    Term.(const run $ problem_arg)
+
+(* -- gap ---------------------------------------------------------------- *)
+
+let iterations_arg =
+  Arg.(value & opt int 4 & info [ "iterations" ] ~doc:"Max f-iterations.")
+
+let labels_arg =
+  Arg.(value & opt int 400 & info [ "max-labels" ] ~doc:"Label budget.")
+
+let gap_cmd =
+  let run iters labels =
+    with_problem (fun p ->
+        let r = Relim.Pipeline.run ~max_iterations:iters ~max_labels:labels p in
+        List.iter
+          (fun (e : Relim.Pipeline.trace_entry) ->
+            Fmt.pr "f^%d: %4d labels, 0-round solvable: %b@." e.iteration
+              e.labels e.zero_round)
+          r.Relim.Pipeline.trace;
+        Fmt.pr "verdict: %a@." Relim.Pipeline.pp_verdict r.Relim.Pipeline.verdict;
+        match r.Relim.Pipeline.verdict with
+        | Relim.Pipeline.Constant { algo; _ } ->
+          let v = Classify.Tree_gap.validate ~problem:p algo in
+          Fmt.pr "validation on random forests: %s@."
+            (if v.Classify.Tree_gap.all_valid then "all valid" else "FAILURES")
+        | _ -> ())
+  in
+  Cmd.v
+    (Cmd.info "gap" ~doc:"Run the Theorem 3.10 gap pipeline on a problem")
+    Term.(const run $ iterations_arg $ labels_arg $ problem_arg)
+
+(* -- eliminate ---------------------------------------------------------- *)
+
+let steps_arg =
+  Arg.(value & opt int 1 & info [ "steps" ] ~doc:"Number of f = R~(R(.)) steps.")
+
+let eliminate_cmd =
+  let run steps =
+    with_problem (fun p ->
+        let rec go k p =
+          if k = 0 then p
+          else begin
+            let s = Relim.Eliminate.speedup_step p in
+            let q = s.Relim.Eliminate.after.Relim.Eliminate.problem in
+            Fmt.pr "-- after step %d: %d labels --@."
+              (steps - k + 1)
+              (Lcl.Alphabet.size (Lcl.Problem.sigma_out q));
+            go (k - 1) q
+          end
+        in
+        let q = go steps p in
+        Fmt.pr "%a@." Lcl.Problem.pp q)
+  in
+  Cmd.v
+    (Cmd.info "eliminate" ~doc:"Apply round elimination steps and print")
+    Term.(const run $ steps_arg $ problem_arg)
+
+(* -- simulate ----------------------------------------------------------- *)
+
+let n_arg = Arg.(value & opt int 64 & info [ "n" ] ~doc:"Graph size.")
+
+let algo_arg =
+  let doc = "Algorithm: cv-coloring, mis, matching, luby." in
+  Arg.(value & opt string "cv-coloring" & info [ "algo" ] ~doc)
+
+let simulate_cmd =
+  let run n algo_name () =
+    let g = Graph.Builder.oriented_cycle n in
+    let algo, problem =
+      match algo_name with
+      | "cv-coloring" ->
+        (Local.Cole_vishkin.three_coloring, Lcl.Zoo.coloring ~k:3 ~delta:2)
+      | "mis" -> (Local.Mis.algorithm, Lcl.Zoo.mis ~delta:2)
+      | "matching" ->
+        (Local.Matching.algorithm, Lcl.Zoo.maximal_matching ~delta:2)
+      | "luby" -> (Local.Luby.algorithm, Lcl.Zoo.mis ~delta:2)
+      | other ->
+        Fmt.epr "unknown algorithm %s@." other;
+        exit 1
+    in
+    let o = Local.Runner.run ~problem algo g in
+    Fmt.pr "%s on oriented C_%d: radius %d, violations %d@." algo_name n
+      o.Local.Runner.radius_used
+      (List.length o.Local.Runner.violations)
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run a baseline algorithm on an oriented cycle")
+    Term.(const run $ n_arg $ algo_arg $ const ())
+
+(* -- volume ------------------------------------------------------------ *)
+
+let volume_algo_arg =
+  let doc = "Probe algorithm: cv-coloring, walker, const." in
+  Arg.(value & opt string "cv-coloring" & info [ "algo" ] ~doc)
+
+let volume_cmd =
+  let run n algo_name () =
+    let algo, problem, g =
+      match algo_name with
+      | "cv-coloring" ->
+        ( Volume.Algorithms.cv_coloring,
+          Lcl.Zoo_oriented.coloring ~k:3,
+          Lcl.Zoo_oriented.mark_orientation_inputs
+            (Graph.Builder.oriented_cycle n) )
+      | "walker" ->
+        ( Volume.Algorithms.two_coloring_walker,
+          Lcl.Zoo_oriented.coloring ~k:2,
+          Lcl.Zoo_oriented.mark_orientation_inputs
+            (Graph.Builder.oriented_cycle (2 * ((n + 1) / 2))) )
+      | "const" ->
+        ( Volume.Algorithms.constant_choice ~name:"const" 0,
+          Lcl.Zoo.free_choice ~delta:2,
+          Graph.Builder.cycle n )
+      | other ->
+        Fmt.epr "unknown probe algorithm %s@." other;
+        exit 1
+    in
+    let o = Volume.Probe.run ~problem algo g in
+    Fmt.pr "%s on C_%d: max probes %d, total %d, violations %d@." algo_name
+      (Graph.n g) o.Volume.Probe.max_probes o.Volume.Probe.total_probes
+      (List.length o.Volume.Probe.violations)
+  in
+  Cmd.v
+    (Cmd.info "volume" ~doc:"Run a VOLUME (probe) algorithm on a cycle")
+    Term.(const run $ n_arg $ volume_algo_arg $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "lcl_tool" ~version:"1.0"
+       ~doc:"LCL landscape toolkit (PODC 2022 reproduction)")
+    [ show_cmd; zoo_cmd; classify_cmd; gap_cmd; eliminate_cmd; simulate_cmd;
+      volume_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/general_lcl.ml: Array Fmt Graph Lcl List String

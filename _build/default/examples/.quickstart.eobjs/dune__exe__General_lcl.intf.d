@@ -1,0 +1,1 @@
+examples/general_lcl.mli:

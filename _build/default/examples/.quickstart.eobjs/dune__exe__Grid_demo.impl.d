@@ -1,0 +1,1 @@
+examples/grid_demo.ml: Fmt Grid List Local Printf Util

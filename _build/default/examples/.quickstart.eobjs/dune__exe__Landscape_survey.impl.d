@@ -1,0 +1,1 @@
+examples/landscape_survey.ml: Classify Fmt Lcl List Relim Util

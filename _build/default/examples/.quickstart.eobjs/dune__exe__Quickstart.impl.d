@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Fmt Graph Lcl List Local Relim String Util

@@ -1,0 +1,1 @@
+examples/tree_speedup.ml: Classify Fmt Lcl List Printf Relim

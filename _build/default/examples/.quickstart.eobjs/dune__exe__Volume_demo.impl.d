@@ -1,0 +1,1 @@
+examples/volume_demo.ml: Fmt Graph Lcl List Local Util Volume

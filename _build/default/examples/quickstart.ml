@@ -1,0 +1,43 @@
+(* Quickstart: define an LCL problem, run a classic LOCAL algorithm on
+   a simulated network, verify the output, and apply one round
+   elimination step.
+
+     dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. Define a problem — here from the textual format (3-coloring of
+     paths/cycles, i.e. max degree 2). *)
+  let problem =
+    Lcl.Parse.of_string
+      {|problem quickstart-3-coloring delta 2
+        out: red green blue
+        node 1: red | green | blue
+        node 2: red red | green green | blue blue
+        edge: red green | red blue | green blue|}
+  in
+  Fmt.pr "=== the problem ===@.%a@." Lcl.Problem.pp problem;
+
+  (* 2. Simulate Cole–Vishkin 3-coloring on an oriented 100-cycle. *)
+  let g = Graph.Builder.oriented_cycle 100 in
+  let outcome =
+    Local.Runner.run ~seed:2022 ~problem Local.Cole_vishkin.three_coloring g
+  in
+  Fmt.pr "=== Cole-Vishkin on C_100 ===@.";
+  Fmt.pr "radius used: %d (log* flavour: log*(100)=%d)@."
+    outcome.Local.Runner.radius_used (Util.Logstar.log_star 100);
+  Fmt.pr "violations: %d@." (List.length outcome.Local.Runner.violations);
+  let sample =
+    List.init 10 (fun v ->
+        Lcl.Alphabet.name (Lcl.Problem.sigma_out problem)
+          outcome.Local.Runner.labeling.(v).(0))
+  in
+  Fmt.pr "first ten colors: %s@.@." (String.concat " " sample);
+
+  (* 3. One step of round elimination (Definition 3.1). *)
+  let image = Relim.Eliminate.r problem in
+  Fmt.pr "=== R(problem) ===@.%a@." Lcl.Problem.pp image.Relim.Eliminate.problem;
+
+  (* 4. Ask the gap pipeline for a verdict. *)
+  let result = Relim.Pipeline.run ~max_iterations:2 ~max_labels:150 problem in
+  Fmt.pr "=== gap pipeline verdict ===@.%a@." Relim.Pipeline.pp_verdict
+    result.Relim.Pipeline.verdict

@@ -1,0 +1,84 @@
+(* The VOLUME model (Section 4): probe complexities of the three
+   classes on oriented cycles, plus Theorem 1.3's punchline on the
+   shortcut graph — small LOCAL radius does not buy small volume.
+
+     dune exec examples/volume_demo.exe *)
+
+let sizes = [ 16; 64; 256; 1024 ]
+
+let () =
+  Fmt.pr "== probe complexity on oriented cycles ==@.";
+  let rows =
+    List.map
+      (fun n ->
+        let g =
+          Lcl.Zoo_oriented.mark_orientation_inputs
+            (Graph.Builder.oriented_cycle n)
+        in
+        let const =
+          (* unannotated cycle: free-choice is input-free *)
+          Volume.Probe.run
+            ~problem:(Lcl.Zoo.free_choice ~delta:2)
+            (Volume.Algorithms.constant_choice ~name:"const" 0)
+            (Graph.Builder.cycle n)
+        in
+        let cv =
+          Volume.Probe.run
+            ~problem:(Lcl.Zoo_oriented.coloring ~k:3)
+            Volume.Algorithms.cv_coloring g
+        in
+        let walker =
+          Volume.Probe.run
+            ~problem:(Lcl.Zoo_oriented.coloring ~k:2)
+            Volume.Algorithms.two_coloring_walker g
+        in
+        [
+          string_of_int n;
+          string_of_int (Util.Logstar.log_star n);
+          string_of_int const.Volume.Probe.max_probes;
+          string_of_int cv.Volume.Probe.max_probes;
+          string_of_int walker.Volume.Probe.max_probes;
+        ])
+      sizes
+  in
+  print_endline
+    (Util.Pretty.table
+       ~header:
+         [ "n"; "log* n"; "free-choice"; "3-coloring"; "2-coloring" ]
+       rows);
+
+  Fmt.pr "@.== radius vs volume on the shortcut graph (Theorem 1.3) ==@.";
+  let rows =
+    List.map
+      (fun n_path ->
+        let g, _ = Graph.Builder.shortcut_path n_path in
+        let g = Lcl.Zoo_oriented.mark_shortcut_inputs g ~n_path in
+        let p = Lcl.Zoo_oriented.path_coloring in
+        let local_run =
+          Local.Runner.run ~problem:p Local.Shortcut.path_coloring g
+        in
+        let volume_run =
+          Volume.Probe.run ~problem:p Volume.Algorithms.shortcut_path_coloring g
+        in
+        [
+          string_of_int (Graph.n g);
+          string_of_int local_run.Local.Runner.radius_used;
+          string_of_int volume_run.Volume.Probe.max_probes;
+          string_of_int (List.length local_run.Local.Runner.violations);
+          string_of_int (List.length volume_run.Volume.Probe.violations);
+        ])
+      [ 32; 128; 512 ]
+  in
+  print_endline
+    (Util.Pretty.table
+       ~header:
+         [ "n"; "LOCAL radius"; "VOLUME probes"; "radius viol."; "probe viol." ]
+       rows);
+  Fmt.pr
+    "@.The radius is governed by log log* n (flat at feasible n) while@.";
+  Fmt.pr
+    "the probe count stays pinned to log* n: shortcuts cannot reduce the@.";
+  Fmt.pr
+    "number of nodes an algorithm must see — which is why the VOLUME@.";
+  Fmt.pr
+    "landscape has no classes between O(1) and Theta(log* n) (Thm 1.3).@."

@@ -1,0 +1,1 @@
+lib/classify/classify.ml: Automaton Cycle_path Tree_gap

@@ -1,0 +1,1 @@
+lib/classify/automaton.ml: Array Fun Lcl List Queue Stdlib Util

@@ -1,0 +1,1 @@
+lib/classify/automaton.mli: Lcl

@@ -1,0 +1,1 @@
+lib/classify/cycle_path.ml: Array Automaton Fmt Fun Lcl List

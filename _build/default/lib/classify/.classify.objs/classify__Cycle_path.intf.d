@@ -1,0 +1,1 @@
+lib/classify/cycle_path.mli: Format Lcl

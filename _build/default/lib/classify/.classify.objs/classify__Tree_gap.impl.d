@@ -1,0 +1,1 @@
+lib/classify/tree_gap.ml: Graph Lcl List Local Relim Util

@@ -1,0 +1,1 @@
+lib/classify/tree_gap.mli: Lcl Relim

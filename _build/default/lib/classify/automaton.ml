@@ -1,0 +1,188 @@
+(* The "diagram" automaton of a degree-<=2 LCL on consistently oriented
+   paths and cycles (the automata-theoretic lens of Chang–Studený–
+   Suomela, recalled in the paper's Section 1.4 as the decidable base
+   case of the landscape).
+
+   Walking a path in successor direction, write r_v for the label of
+   the half-edge leaving node v forward. Node v+1 constrains its two
+   half-edge labels {l, r} by N², the edge (v, v+1) constrains
+   {r_v, l} by E; composing,
+
+     r  →  r'   iff   ∃ l :  {r, l} ∈ E  and  {l, r'} ∈ N².
+
+   Solutions on an n-cycle are exactly the closed walks of length n;
+   solutions on a path additionally anchor at degree-1 endpoints
+   (start: {r} ∈ N¹; accept: ∃ l with {r, l} ∈ E and {l} ∈ N¹). *)
+
+type t = {
+  states : int;                  (* = |Σ_out| *)
+  edge : bool array array;       (* edge.(r).(r') = transition r → r' *)
+  start : bool array;            (* path start states *)
+  accept : bool array;           (* path accept states *)
+}
+
+(** Build the automaton of an input-free LCL with delta = 2. *)
+let of_problem p =
+  if Lcl.Problem.delta p < 2 then
+    invalid_arg "Automaton.of_problem: delta must be >= 2";
+  let k = Lcl.Alphabet.size (Lcl.Problem.sigma_out p) in
+  let edge =
+    Array.init k (fun r ->
+        Array.init k (fun r' ->
+            List.exists
+              (fun l ->
+                Lcl.Problem.edge_ok p r l
+                && Lcl.Problem.node_ok p (Util.Multiset.of_list [ l; r' ]))
+              (List.init k Fun.id)))
+  in
+  let start =
+    Array.init k (fun r ->
+        Lcl.Problem.node_ok p (Util.Multiset.of_list [ r ]))
+  in
+  let accept =
+    Array.init k (fun r ->
+        List.exists
+          (fun l ->
+            Lcl.Problem.edge_ok p r l
+            && Lcl.Problem.node_ok p (Util.Multiset.of_list [ l ]))
+          (List.init k Fun.id))
+  in
+  { states = k; edge; start; accept }
+
+(* -- reachability ---------------------------------------------------- *)
+
+let forward_closure t from =
+  let seen = Array.copy from in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for r = 0 to t.states - 1 do
+      if seen.(r) then
+        for r' = 0 to t.states - 1 do
+          if t.edge.(r).(r') && not seen.(r') then begin
+            seen.(r') <- true;
+            changed := true
+          end
+        done
+    done
+  done;
+  seen
+
+let backward_closure t target =
+  let seen = Array.copy target in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for r = 0 to t.states - 1 do
+      if not seen.(r) then
+        for r' = 0 to t.states - 1 do
+          if t.edge.(r).(r') && seen.(r') then begin
+            seen.(r) <- true;
+            changed := true
+          end
+        done
+    done
+  done;
+  seen
+
+let self_loops t =
+  List.filter (fun r -> t.edge.(r).(r)) (List.init t.states Fun.id)
+
+(* -- strongly connected components and periods ----------------------- *)
+
+(** Tarjan-free SCC via double reachability (fine for small automata):
+    scc.(r) = representative of r's component. *)
+let scc t =
+  let rep = Array.make t.states (-1) in
+  for r = 0 to t.states - 1 do
+    if rep.(r) = -1 then begin
+      let fwd =
+        forward_closure t (Array.init t.states (fun i -> i = r))
+      in
+      let bwd =
+        backward_closure t (Array.init t.states (fun i -> i = r))
+      in
+      for s = 0 to t.states - 1 do
+        if fwd.(s) && bwd.(s) && rep.(s) = -1 then rep.(s) <- r
+      done
+    end
+  done;
+  rep
+
+(** Period (gcd of cycle lengths) of the SCC of state [r]; [None] when
+    the component contains no cycle at all. A period of 1 makes the
+    state *flexible*: it admits closed walks of every sufficiently
+    large length — the engine of Θ(log* n) upper bounds. *)
+let period t r =
+  let rep = scc t in
+  let members = List.filter (fun s -> rep.(s) = rep.(r)) (List.init t.states Fun.id) in
+  let has_internal_edge =
+    List.exists
+      (fun a -> List.exists (fun b -> t.edge.(a).(b)) members)
+      members
+  in
+  if not has_internal_edge then None
+  else begin
+    (* BFS layering from r inside the SCC; gcd of level(u)+1-level(v)
+       over internal edges u→v *)
+    let level = Array.make t.states (-1) in
+    level.(r) <- 0;
+    let queue = Queue.create () in
+    Queue.add r queue;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      List.iter
+        (fun v ->
+          if t.edge.(u).(v) && level.(v) = -1 then begin
+            level.(v) <- level.(u) + 1;
+            Queue.add v queue
+          end)
+        members
+    done;
+    let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
+    let g = ref 0 in
+    List.iter
+      (fun u ->
+        List.iter
+          (fun v ->
+            if t.edge.(u).(v) && level.(u) >= 0 && level.(v) >= 0 then
+              g := gcd !g (Stdlib.abs (level.(u) + 1 - level.(v))))
+          members)
+      members;
+    Some !g
+  end
+
+(** States with closed walks of every sufficiently large length. *)
+let flexible_states t =
+  List.filter
+    (fun r -> match period t r with Some 1 -> true | _ -> false)
+    (List.init t.states Fun.id)
+
+(** Does any closed walk (of positive length) exist? *)
+let has_cycle t =
+  List.exists (fun r -> period t r <> None) (List.init t.states Fun.id)
+
+(** Is there a closed walk of length exactly [n]? (boolean matrix
+    power, O(n·|Σ|³) — used by tests on small n.) *)
+let closed_walk_exists t n =
+  if n < 1 then false
+  else begin
+    let mul a b =
+      Array.init t.states (fun i ->
+          Array.init t.states (fun j ->
+              let ok = ref false in
+              for l = 0 to t.states - 1 do
+                if a.(i).(l) && b.(l).(j) then ok := true
+              done;
+              !ok))
+    in
+    let rec power m k =
+      if k = 1 then m
+      else
+        let half = power m (k / 2) in
+        let sq = mul half half in
+        if k mod 2 = 0 then sq else mul sq m
+    in
+    let m = power t.edge n in
+    List.exists (fun r -> m.(r).(r)) (List.init t.states Fun.id)
+  end

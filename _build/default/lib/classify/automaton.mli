@@ -1,0 +1,40 @@
+(** The "diagram" automaton of a degree-≤2 LCL on oriented paths and
+    cycles: states are output labels; [r → r'] iff some label [l] has
+    [{r, l}] allowed on an edge and [{l, r'}] allowed around a node.
+    Solutions on an n-cycle are exactly the closed walks of length n;
+    path solutions additionally anchor at degree-1 endpoint
+    configurations. *)
+
+type t = {
+  states : int;
+  edge : bool array array;  (** the transition relation *)
+  start : bool array;       (** path start states ({r} ∈ N¹) *)
+  accept : bool array;      (** path accept states *)
+}
+
+(** Build from an input-free problem with delta >= 2.
+    @raise Invalid_argument otherwise. *)
+val of_problem : Lcl.Problem.t -> t
+
+val forward_closure : t -> bool array -> bool array
+val backward_closure : t -> bool array -> bool array
+
+(** States with a length-1 closed walk. *)
+val self_loops : t -> int list
+
+(** SCC representative per state (double-reachability; automata here
+    are small). *)
+val scc : t -> int array
+
+(** gcd of cycle lengths through the state's SCC; [None] when that
+    component has no cycle. Period 1 = *flexible*: closed walks of
+    every sufficiently large length. *)
+val period : t -> int -> int option
+
+val flexible_states : t -> int list
+
+(** Any closed walk of positive length? *)
+val has_cycle : t -> bool
+
+(** Closed walk of length exactly [n]? (boolean matrix power) *)
+val closed_walk_exists : t -> int -> bool

@@ -1,0 +1,7 @@
+(* Facade of the [classify] library: landscape classification — the
+   decidable path/cycle case (Section 1.4) and the tree gap pipeline
+   (Section 3) with simulator validation. *)
+
+module Automaton = Automaton
+module Cycle_path = Cycle_path
+module Tree_gap = Tree_gap

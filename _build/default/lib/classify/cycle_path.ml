@@ -1,0 +1,64 @@
+(* Classification of input-free LCLs on consistently oriented cycles
+   and paths into the three classes of the known landscape
+   O(1) / Θ(log* n) / Θ(n) (Section 1.4 of the paper: on paths and
+   cycles the classification is decidable in polynomial time [41, 17,
+   21, 22]; this module implements the automata-theoretic criteria).
+
+   Criteria on the diagram automaton (see [Automaton]):
+
+   - a *self-loop* state gives a position-independent repeatable
+     configuration → O(1) (on cycles: 0 rounds);
+   - otherwise a *flexible* state (aperiodic component) supports
+     anchoring at a Θ(log* n)-round ruling set and filling the gaps
+     with closed walks of prescribed lengths → Θ(log* n); the absence
+     of a self-loop simultaneously forces symmetry breaking, i.e. the
+     matching Ω(log* n) lower bound (Linial);
+   - otherwise any closed walk certifies solvability only of lengths in
+     fixed residue classes → the problem is global, Θ(n);
+   - with no closed walk at all, large instances are unsolvable.
+
+   On paths the witnessing state must in addition be reachable from a
+   start state and co-reachable from an accept state. *)
+
+type verdict =
+  | Const                (* O(1) *)
+  | Log_star             (* Θ(log* n) *)
+  | Global               (* Θ(n), solvable for infinitely many n *)
+  | Unsolvable           (* no solutions on large instances *)
+
+let pp_verdict ppf = function
+  | Const -> Fmt.string ppf "O(1)"
+  | Log_star -> Fmt.string ppf "Theta(log* n)"
+  | Global -> Fmt.string ppf "Theta(n)"
+  | Unsolvable -> Fmt.string ppf "unsolvable"
+
+let input_free p =
+  Lcl.Alphabet.size (Lcl.Problem.sigma_in p) = 1
+
+(** Classify on oriented cycles. *)
+let classify_cycle p =
+  if not (input_free p) then
+    invalid_arg "Cycle_path.classify_cycle: input-free LCLs only";
+  let a = Automaton.of_problem p in
+  if Automaton.self_loops a <> [] then Const
+  else if Automaton.flexible_states a <> [] then Log_star
+  else if Automaton.has_cycle a then Global
+  else Unsolvable
+
+(** Classify on oriented paths. *)
+let classify_path p =
+  if not (input_free p) then
+    invalid_arg "Cycle_path.classify_path: input-free LCLs only";
+  let a = Automaton.of_problem p in
+  let reach = Automaton.forward_closure a a.Automaton.start in
+  let coreach = Automaton.backward_closure a a.Automaton.accept in
+  let usable r = reach.(r) && coreach.(r) in
+  if List.exists usable (Automaton.self_loops a) then Const
+  else if List.exists usable (Automaton.flexible_states a) then Log_star
+  else begin
+    (* a usable cycle makes arbitrarily long instances solvable *)
+    let rep_has_cycle r = Automaton.period a r <> None in
+    if List.exists (fun r -> usable r && rep_has_cycle r) (List.init a.Automaton.states Fun.id)
+    then Global
+    else Unsolvable
+  end

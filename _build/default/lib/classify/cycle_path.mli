@@ -1,0 +1,20 @@
+(** Decidable classification of input-free LCLs on consistently
+    oriented cycles and paths into the known three-class landscape
+    (Section 1.4 of the paper; the automata-theoretic criteria of the
+    Chang–Studený–Suomela line of work). *)
+
+type verdict =
+  | Const       (** O(1) — a repeatable configuration exists *)
+  | Log_star    (** Θ(log* n) — flexible but symmetry-breaking *)
+  | Global      (** Θ(n) — solvable only in fixed residue classes *)
+  | Unsolvable  (** no solutions on large instances *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+(** Classify on oriented cycles.
+    @raise Invalid_argument on problems with inputs (classification
+    with inputs is PSPACE-hard; see the paper's Section 1.4). *)
+val classify_cycle : Lcl.Problem.t -> verdict
+
+(** Classify on oriented paths (endpoint-anchored criteria). *)
+val classify_path : Lcl.Problem.t -> verdict

@@ -1,0 +1,56 @@
+(* The paper's headline classification step on trees/forests: decide
+   O(1) versus Ω(log* n) via the round elimination gap pipeline
+   (Theorem 3.10), and — when the verdict is O(1) — *validate* the
+   constructed constant-round algorithm on random forests with the
+   LOCAL simulator, closing the loop between proof and execution. *)
+
+type validation = {
+  sizes : int list;
+  all_valid : bool;
+  failures : (int * int) list; (* (n, violation count) for failing sizes *)
+}
+
+(** Run the Lemma 3.9-lifted algorithm on random forests of the given
+    sizes and verify every output with [Lcl.Verify]. *)
+let validate ?(seed = 42) ?(sizes = [ 8; 20; 50; 120 ]) ~problem
+    (algo : Relim.Lift.algo) =
+  let rng = Util.Prng.create ~seed in
+  let wrapped =
+    {
+      Local.Algorithm.name = "lifted-" ^ Lcl.Problem.name problem;
+      radius = (fun ~n:_ -> algo.Relim.Lift.radius);
+      run = algo.Relim.Lift.run;
+    }
+  in
+  let failures = ref [] in
+  List.iter
+    (fun n ->
+      let trees = max 1 (n / 10) in
+      let g =
+        Graph.Builder.random_forest rng ~delta:(Lcl.Problem.delta problem)
+          ~trees n
+      in
+      let o = Local.Runner.run ~seed:(Util.Prng.bits rng) ~problem wrapped g in
+      match o.Local.Runner.violations with
+      | [] -> ()
+      | v -> failures := (n, List.length v) :: !failures)
+    sizes;
+  { sizes; all_valid = !failures = []; failures = List.rev !failures }
+
+type outcome = {
+  problem : string;
+  verdict : Relim.Pipeline.verdict;
+  validation : validation option;
+}
+
+(** Classify and, for O(1) verdicts, validate. *)
+let run ?max_iterations ?max_labels ?seed ?sizes p =
+  let result = Relim.Pipeline.run ?max_iterations ?max_labels p in
+  let validation =
+    match result.Relim.Pipeline.verdict with
+    | Relim.Pipeline.Constant { algo; _ } ->
+      Some (validate ?seed ?sizes ~problem:p algo)
+    | _ -> None
+  in
+  { problem = Lcl.Problem.name p; verdict = result.Relim.Pipeline.verdict;
+    validation }

@@ -1,0 +1,26 @@
+(** Tree-gap classification (Theorem 3.10) with simulator validation:
+    run the round-elimination pipeline and, when it produces a
+    constant-round algorithm, execute it on random forests and verify
+    every output. *)
+
+type validation = {
+  sizes : int list;
+  all_valid : bool;
+  failures : (int * int) list;  (** (n, violation count) *)
+}
+
+(** Run a Lemma 3.9-lifted algorithm on random forests of the given
+    sizes (default [8; 20; 50; 120]) and verify with [Lcl.Verify]. *)
+val validate :
+  ?seed:int -> ?sizes:int list -> problem:Lcl.Problem.t -> Relim.Lift.algo ->
+  validation
+
+type outcome = {
+  problem : string;
+  verdict : Relim.Pipeline.verdict;
+  validation : validation option;  (** present for O(1) verdicts *)
+}
+
+val run :
+  ?max_iterations:int -> ?max_labels:int -> ?seed:int -> ?sizes:int list ->
+  Lcl.Problem.t -> outcome

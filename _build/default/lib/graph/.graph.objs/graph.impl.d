@@ -1,0 +1,1 @@
+lib/graph/graph.ml: Ball Base Builder Check Ids

@@ -1,0 +1,1 @@
+lib/graph/ball.ml: Array Base Hashtbl List Queue

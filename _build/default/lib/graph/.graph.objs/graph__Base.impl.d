@@ -1,0 +1,1 @@
+lib/graph/base.ml: Array Fmt Hashtbl List Printf Queue

@@ -1,0 +1,1 @@
+lib/graph/ids.ml: Array Hashtbl Util

@@ -1,0 +1,187 @@
+(* Radius-T views (Def. 2.1). A T-round LOCAL algorithm is a function
+   of the T-hop neighborhood of a node: all nodes within distance T,
+   all edges with an endpoint within distance T-1, and all half-edges
+   (with their inputs) whose node is within distance T. The extracted
+   ball is a standalone value — a LOCAL algorithm in this library never
+   receives the host graph, which enforces locality structurally.
+
+   Ball nodes are indexed 0..size-1 in BFS-from-center order, visiting
+   neighbors in port order; this ordering depends only on the topology
+   and ports, never on identifiers, which matters for order-invariance
+   (Def. 2.7). *)
+
+type t = {
+  size : int;
+  radius : int;
+  center : int;                        (* always 0 by construction *)
+  dist : int array;                    (* distance from center *)
+  degree : int array;                  (* true degree in the host graph *)
+  adj : (int * int) option array array;
+      (* adj.(v).(p) = Some (u, q) if the edge at port p of v is part
+         of the view; None for half-edges whose edge is invisible *)
+  input : int array array;             (* inputs on all ports *)
+  edge_tag : int array array;          (* tags on all ports *)
+  id : int array;                      (* identifier per ball node *)
+  rand : int64 array;                  (* per-node randomness seed *)
+  n_declared : int;                    (* the "number of nodes" input *)
+}
+
+(** [extract g ~ids ~rand ~n_declared v ~radius] builds the radius-T
+    view of node [v] in host graph [g]. [ids.(u)] / [rand.(u)] supply
+    the identifier and random seed of host node [u]; [n_declared] is
+    the value of n given to all nodes (Def. 2.1 gives the exact n; the
+    Lemma 3.3 construction deliberately lies about it). *)
+let extract g ~ids ~rand ~n_declared v ~radius =
+  if radius < 0 then invalid_arg "Ball.extract: negative radius";
+  let host_index = Hashtbl.create 64 in
+  let order = ref [] and count = ref 0 in
+  let dist_tbl = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  Hashtbl.add host_index v 0;
+  Hashtbl.add dist_tbl v 0;
+  order := [ v ];
+  count := 1;
+  Queue.add v queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    let du = Hashtbl.find dist_tbl u in
+    if du < radius then
+      for p = 0 to Base.degree g u - 1 do
+        let w = Base.neighbor g u p in
+        if not (Hashtbl.mem host_index w) then begin
+          Hashtbl.add host_index w !count;
+          Hashtbl.add dist_tbl w (du + 1);
+          order := w :: !order;
+          incr count;
+          Queue.add w queue
+        end
+      done
+  done;
+  let hosts = Array.of_list (List.rev !order) in
+  let size = Array.length hosts in
+  let dist = Array.map (fun h -> Hashtbl.find dist_tbl h) hosts in
+  let degree = Array.map (fun h -> Base.degree g h) hosts in
+  let visible u p =
+    (* an edge is in the view iff one endpoint is within radius-1 *)
+    let h = hosts.(u) in
+    let w = Base.neighbor g h p in
+    match Hashtbl.find_opt dist_tbl w with
+    | None -> false
+    | Some dw -> dist.(u) <= radius - 1 || dw <= radius - 1
+  in
+  let adj =
+    Array.init size (fun u ->
+        Array.init degree.(u) (fun p ->
+            if radius > 0 && visible u p then
+              let h = hosts.(u) in
+              let w = Base.neighbor g h p in
+              let q = Base.neighbor_port g h p in
+              Some (Hashtbl.find host_index w, q)
+            else None))
+  in
+  let input =
+    Array.init size (fun u ->
+        Array.init degree.(u) (fun p -> Base.input g hosts.(u) p))
+  in
+  let edge_tag =
+    Array.init size (fun u ->
+        Array.init degree.(u) (fun p -> Base.edge_tag g hosts.(u) p))
+  in
+  let id = Array.map (fun h -> ids.(h)) hosts in
+  let rand = Array.map (fun h -> rand.(h)) hosts in
+  ( { size; radius; center = 0; dist; degree; adj; input; edge_tag;
+      id; rand; n_declared },
+    hosts )
+
+(** [sub ball ~center ~radius] re-extracts a smaller view from an
+    existing one: the radius-[radius] ball around ball node [center].
+    Correct whenever [ball.radius >= radius + dist(ball.center,
+    center)] — then every edge the smaller view must contain is visible
+    in [ball] (raises [Invalid_argument] otherwise). Used by the
+    Lemma 3.9 lifting, where a (T+1)-round algorithm simulates a
+    T-round algorithm at each neighbor of its center.
+
+    [sub_with_map] additionally returns, for each node of the smaller
+    view, its index in [ball] (callers carrying per-node data alongside
+    a view need it, e.g. the Lemma 2.6 encoder). *)
+let sub_with_map ball ~center ~radius =
+  if radius + ball.dist.(center) > ball.radius then
+    invalid_arg "Ball.sub: outer ball too small";
+  let index = Hashtbl.create 32 in
+  let order = ref [ center ] and count = ref 1 in
+  let dist_tbl = Hashtbl.create 32 in
+  let queue = Queue.create () in
+  Hashtbl.add index center 0;
+  Hashtbl.add dist_tbl center 0;
+  Queue.add center queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    let du = Hashtbl.find dist_tbl u in
+    if du < radius then
+      Array.iter
+        (function
+          | None -> ()
+          | Some (w, _) ->
+            if not (Hashtbl.mem index w) then begin
+              Hashtbl.add index w !count;
+              Hashtbl.add dist_tbl w (du + 1);
+              order := w :: !order;
+              incr count;
+              Queue.add w queue
+            end)
+        ball.adj.(u)
+  done;
+  let members = Array.of_list (List.rev !order) in
+  let size = Array.length members in
+  let dist = Array.map (fun m -> Hashtbl.find dist_tbl m) members in
+  let degree = Array.map (fun m -> ball.degree.(m)) members in
+  let adj =
+    Array.init size (fun u ->
+        let m = members.(u) in
+        Array.init degree.(u) (fun p ->
+            match ball.adj.(m).(p) with
+            | None -> None
+            | Some (w, q) -> (
+              match Hashtbl.find_opt index w with
+              | None -> None
+              | Some w' ->
+                if radius > 0 && (dist.(u) <= radius - 1
+                   || Hashtbl.find dist_tbl w <= radius - 1)
+                then Some (w', q)
+                else None)))
+  in
+  ( {
+      size;
+      radius;
+      center = 0;
+      dist;
+      degree;
+      adj;
+      input = Array.map (fun m -> Array.copy ball.input.(m)) members;
+      edge_tag = Array.map (fun m -> Array.copy ball.edge_tag.(m)) members;
+      id = Array.map (fun m -> ball.id.(m)) members;
+      rand = Array.map (fun m -> ball.rand.(m)) members;
+      n_declared = ball.n_declared;
+    },
+    members )
+
+let sub ball ~center ~radius = fst (sub_with_map ball ~center ~radius)
+
+(** [order_type ball] replaces identifiers by their rank within the
+    ball (0 = smallest). Two balls with equal [order_type]-normalized
+    views are indistinguishable to an order-invariant algorithm
+    (Def. 2.7). *)
+let order_type ball =
+  let sorted = Array.copy ball.id in
+  Array.sort compare sorted;
+  let rank = Hashtbl.create ball.size in
+  Array.iteri (fun r v -> if not (Hashtbl.mem rank v) then Hashtbl.add rank v r) sorted;
+  { ball with id = Array.map (fun v -> Hashtbl.find rank v) ball.id }
+
+(** Structural equality of views after erasing randomness. Used to
+    test order-invariance: erase ids via [order_type] first. *)
+let equal_deterministic a b =
+  a.size = b.size && a.radius = b.radius && a.dist = b.dist
+  && a.degree = b.degree && a.adj = b.adj && a.input = b.input
+  && a.edge_tag = b.edge_tag && a.id = b.id
+  && a.n_declared = b.n_declared

@@ -1,0 +1,48 @@
+(** Radius-T views (Definition 2.1): all nodes within distance T of the
+    center, all edges with an endpoint within T-1, and the half-edge
+    data (degree, inputs, tags) of every included node. Algorithms in
+    this library receive only extracted views — locality is enforced
+    structurally.
+
+    View nodes are indexed 0..size-1 in BFS-from-center order visiting
+    neighbors in port order, which depends on topology and ports only
+    (never identifiers) — the property order-invariance arguments
+    need. *)
+
+type t = {
+  size : int;
+  radius : int;
+  center : int;                          (** always 0 by construction *)
+  dist : int array;                      (** distance from the center *)
+  degree : int array;                    (** true degrees in the host *)
+  adj : (int * int) option array array;
+      (** [adj.(v).(p) = Some (u, q)] if the edge at port p of v is in
+          the view (arriving at u's port q); [None] if invisible *)
+  input : int array array;               (** inputs on all ports *)
+  edge_tag : int array array;            (** tags on all ports *)
+  id : int array;                        (** identifier per view node *)
+  rand : int64 array;                    (** per-node randomness seed *)
+  n_declared : int;                      (** the "number of nodes" input *)
+}
+
+(** Extract the radius-T view of host node [v]; also returns the
+    view-index → host-node mapping (used by runners only — never shown
+    to algorithms). *)
+val extract :
+  Base.t -> ids:int array -> rand:int64 array -> n_declared:int -> int ->
+  radius:int -> t * int array
+
+(** Re-extract a smaller view around view node [center]; sound whenever
+    [ball.radius >= radius + dist(center)] (raises [Invalid_argument]
+    otherwise). The second component maps new indices to old. *)
+val sub_with_map : t -> center:int -> radius:int -> t * int array
+
+val sub : t -> center:int -> radius:int -> t
+
+(** Replace identifiers by their ranks: two views equal after
+    [order_type] are indistinguishable to an order-invariant algorithm
+    (Def. 2.7). *)
+val order_type : t -> t
+
+(** Structural equality ignoring randomness. *)
+val equal_deterministic : t -> t -> bool

@@ -1,0 +1,190 @@
+(* The graph substrate of the LOCAL / VOLUME models (Section 2 of the
+   paper): finite simple graphs of maximum degree at most [delta], with
+   a *port numbering* at every node (Def. 2.1 requires one) and
+   *half-edge* input labels (Def. 2.2 assigns inputs to half-edges).
+
+   Representation: adjacency arrays indexed by port. For node [v] and
+   port [p] (0-based internally), [adj.(v).(p) = (u, q)] means the
+   p-th edge at [v] leads to [u] and arrives there on [u]'s port [q].
+   A half-edge (v, e) is identified with the pair (v, p). *)
+
+type half_edge = { node : int; port : int }
+
+type t = {
+  n : int;                       (* number of nodes *)
+  delta : int;                   (* maximum degree bound *)
+  adj : (int * int) array array; (* adj.(v).(p) = (neighbor, their port) *)
+  input : int array array;       (* input label per half-edge, -1 = none *)
+  edge_tag : int array array;    (* free per-half-edge tag (grids use it
+                                    for dimension/orientation); -1 = none *)
+}
+
+let n t = t.n
+let delta t = t.delta
+let degree t v = Array.length t.adj.(v)
+let neighbor t v p = fst t.adj.(v).(p)
+let neighbor_port t v p = snd t.adj.(v).(p)
+let input t v p = t.input.(v).(p)
+let edge_tag t v p = t.edge_tag.(v).(p)
+
+let set_input t v p label = t.input.(v).(p) <- label
+let set_edge_tag t v p tag = t.edge_tag.(v).(p) <- tag
+
+(** [set_all_inputs t label] assigns the same input label to every
+    half-edge (convenient for input-free LCLs run on an input-labeled
+    pipeline). *)
+let set_all_inputs t label =
+  Array.iter (fun row -> Array.fill row 0 (Array.length row) label) t.input
+
+(** Build a graph from an edge list over nodes [0..n-1]. Ports are
+    assigned in the order edges are listed. Rejects self-loops,
+    duplicate edges and degree overflow beyond [delta]. *)
+let of_edges ~n ~delta edges =
+  if n < 0 then invalid_arg "Graph.of_edges: negative n";
+  let deg = Array.make n 0 in
+  let seen = Hashtbl.create (2 * List.length edges + 1) in
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "Graph.of_edges: node out of range";
+      if u = v then invalid_arg "Graph.of_edges: self-loop";
+      let key = (min u v, max u v) in
+      if Hashtbl.mem seen key then invalid_arg "Graph.of_edges: duplicate edge";
+      Hashtbl.add seen key ();
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    edges;
+  Array.iteri
+    (fun v d ->
+      if d > delta then
+        invalid_arg
+          (Printf.sprintf "Graph.of_edges: node %d has degree %d > delta %d" v
+             d delta))
+    deg;
+  let adj = Array.init n (fun v -> Array.make deg.(v) (-1, -1)) in
+  let next = Array.make n 0 in
+  List.iter
+    (fun (u, v) ->
+      let pu = next.(u) and pv = next.(v) in
+      adj.(u).(pu) <- (v, pv);
+      adj.(v).(pv) <- (u, pu);
+      next.(u) <- pu + 1;
+      next.(v) <- pv + 1)
+    edges;
+  {
+    n;
+    delta;
+    adj;
+    input = Array.init n (fun v -> Array.make deg.(v) (-1));
+    edge_tag = Array.init n (fun v -> Array.make deg.(v) (-1));
+  }
+
+(** Edge list of the graph, each edge once, endpoints ordered. *)
+let edges t =
+  let out = ref [] in
+  for v = 0 to t.n - 1 do
+    Array.iter (fun (u, _) -> if v < u then out := (v, u) :: !out) t.adj.(v)
+  done;
+  List.rev !out
+
+let num_edges t = List.length (edges t)
+
+(** Half-edges incident to [v], i.e. H[v] in the paper's notation. *)
+let half_edges_of_node t v =
+  List.init (degree t v) (fun p -> { node = v; port = p })
+
+(** Every half-edge of the graph (H(G)). *)
+let half_edges t =
+  List.concat (List.init t.n (fun v -> half_edges_of_node t v))
+
+(** The half-edge at the other end of the edge through [(v, p)]. *)
+let opposite t { node = v; port = p } =
+  let u, q = t.adj.(v).(p) in
+  { node = u; port = q }
+
+(** BFS distances from [source]; unreachable nodes get [-1]. *)
+let bfs_distances t source =
+  let dist = Array.make t.n (-1) in
+  let queue = Queue.create () in
+  dist.(source) <- 0;
+  Queue.add source queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    Array.iter
+      (fun (u, _) ->
+        if dist.(u) = -1 then begin
+          dist.(u) <- dist.(v) + 1;
+          Queue.add u queue
+        end)
+      t.adj.(v)
+  done;
+  dist
+
+(** Connected component containing [v] (sorted node list). *)
+let component t v =
+  let dist = bfs_distances t v in
+  let out = ref [] in
+  for u = t.n - 1 downto 0 do
+    if dist.(u) >= 0 then out := u :: !out
+  done;
+  !out
+
+(** All connected components, each a sorted node list. *)
+let components t =
+  let seen = Array.make t.n false in
+  let out = ref [] in
+  for v = 0 to t.n - 1 do
+    if not seen.(v) then begin
+      let comp = component t v in
+      List.iter (fun u -> seen.(u) <- true) comp;
+      out := comp :: !out
+    end
+  done;
+  List.rev !out
+
+(** [is_forest t] — no cycles (checked by edge count per component). *)
+let is_forest t =
+  List.for_all
+    (fun comp ->
+      let nodes = List.length comp in
+      let edge_endpoints =
+        List.fold_left (fun acc v -> acc + degree t v) 0 comp
+      in
+      edge_endpoints = 2 * (nodes - 1))
+    (components t)
+
+(** [is_tree t] — connected and acyclic. *)
+let is_tree t = is_forest t && List.length (components t) <= 1
+
+(** Girth (length of shortest cycle); [None] for forests. Intended for
+    the small graphs used in tests — O(n·m) BFS per node. *)
+let girth t =
+  let best = ref max_int in
+  for s = 0 to t.n - 1 do
+    (* BFS from s tracking parent port to detect non-tree edges. *)
+    let dist = Array.make t.n (-1) in
+    let parent = Array.make t.n (-1) in
+    let queue = Queue.create () in
+    dist.(s) <- 0;
+    Queue.add s queue;
+    let continue = ref true in
+    while !continue && not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      Array.iter
+        (fun (u, _) ->
+          if dist.(u) = -1 then begin
+            dist.(u) <- dist.(v) + 1;
+            parent.(u) <- v;
+            Queue.add u queue
+          end
+          else if parent.(v) <> u && parent.(u) <> v then
+            (* cycle through s (or shorter elsewhere) *)
+            best := min !best (dist.(u) + dist.(v) + 1))
+        t.adj.(v);
+      if !best <= 2 * dist.(v) then continue := false
+    done
+  done;
+  if !best = max_int then None else Some !best
+
+let pp ppf t =
+  Fmt.pf ppf "graph(n=%d, m=%d, delta<=%d)" t.n (num_edges t) t.delta

@@ -1,0 +1,179 @@
+(* Synthetic graph families. The paper's theorems quantify over classes
+   of constant-degree graphs — trees/forests (Section 3), general
+   graphs (Section 4), oriented grids (Section 5) — and its discussion
+   of [11] uses a "path plus shortcut structure" construction. These
+   builders produce representative members of each class. *)
+
+let path n =
+  if n < 1 then invalid_arg "Builder.path: n >= 1 required";
+  Base.of_edges ~n ~delta:2 (List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
+
+let cycle n =
+  if n < 3 then invalid_arg "Builder.cycle: n >= 3 required";
+  let edges = List.init n (fun i -> (i, (i + 1) mod n)) in
+  Base.of_edges ~n ~delta:2 edges
+
+(* Tag values for consistently oriented paths/cycles: on the half-edge
+   pointing at a node's successor the tag is [succ_tag], on the one
+   pointing back it is [pred_tag]. *)
+let succ_tag = 1
+let pred_tag = 0
+
+let orient_along g order =
+  (* order: for consecutive pairs (u, v) in the list, u -> v *)
+  List.iter
+    (fun (u, v) ->
+      let rec find p =
+        if Base.neighbor g u p = v then p else find (p + 1)
+      in
+      let p = find 0 in
+      Base.set_edge_tag g u p succ_tag;
+      Base.set_edge_tag g v (Base.neighbor_port g u p) pred_tag)
+    order;
+  g
+
+(** A path 0-1-…-(n-1) whose edges carry consistent direction tags
+    (every node knows its successor port) — the substrate for
+    Cole–Vishkin style algorithms. *)
+let oriented_path n =
+  orient_along (path n) (List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
+
+(** A directed cycle with consistent direction tags. *)
+let oriented_cycle n =
+  orient_along (cycle n) (List.init n (fun i -> (i, (i + 1) mod n)))
+
+let star n =
+  if n < 1 then invalid_arg "Builder.star: n >= 1 required";
+  Base.of_edges ~n ~delta:(max 1 (n - 1))
+    (List.init (n - 1) (fun i -> (0, i + 1)))
+
+(** Complete rooted tree where every internal node has [arity]
+    children, grown breadth-first to exactly [n] nodes. Maximum degree
+    is [arity + 1]. *)
+let complete_tree ~arity n =
+  if n < 1 then invalid_arg "Builder.complete_tree: n >= 1 required";
+  if arity < 1 then invalid_arg "Builder.complete_tree: arity >= 1 required";
+  let edges = ref [] in
+  for v = 1 to n - 1 do
+    edges := (((v - 1) / arity), v) :: !edges
+  done;
+  Base.of_edges ~n ~delta:(arity + 1) (List.rev !edges)
+
+(** Caterpillar: a spine path of [spine] nodes, each with [legs] leaf
+    children. Total n = spine * (legs + 1). *)
+let caterpillar ~spine ~legs =
+  if spine < 1 || legs < 0 then invalid_arg "Builder.caterpillar";
+  let n = spine * (legs + 1) in
+  let edges = ref [] in
+  for i = 0 to spine - 2 do
+    edges := (i, i + 1) :: !edges
+  done;
+  for i = 0 to spine - 1 do
+    for l = 0 to legs - 1 do
+      edges := (i, spine + (i * legs) + l) :: !edges
+    done
+  done;
+  Base.of_edges ~n ~delta:(legs + 2) (List.rev !edges)
+
+(** Uniform random labelled tree on [n] nodes via a Prüfer-like
+    attachment capped at degree [delta] (attach node i to a uniformly
+    random earlier node that still has spare degree). *)
+let random_tree rng ~delta n =
+  if n < 1 then invalid_arg "Builder.random_tree: n >= 1 required";
+  if delta < 2 && n > 2 then invalid_arg "Builder.random_tree: delta too small";
+  let deg = Array.make n 0 in
+  let edges = ref [] in
+  for v = 1 to n - 1 do
+    (* rejection-sample an earlier node with spare capacity; one always
+       exists because the most recently attached node has degree 1 and
+       delta >= 2 (for n > 2), so the loop terminates. *)
+    let rec pick () =
+      let u = Util.Prng.int rng v in
+      if deg.(u) < delta then u else pick ()
+    in
+    let u = pick () in
+    deg.(u) <- deg.(u) + 1;
+    deg.(v) <- deg.(v) + 1;
+    edges := (u, v) :: !edges
+  done;
+  Base.of_edges ~n ~delta (List.rev !edges)
+
+(** Random forest: [trees] independent random trees (each with at least
+    2 nodes, so no node is isolated) whose sizes sum to [n]. *)
+let random_forest rng ~delta ~trees n =
+  if trees < 1 || n < 2 * trees then invalid_arg "Builder.random_forest";
+  let sizes = Array.make trees 2 in
+  for _ = 1 to n - (2 * trees) do
+    let i = Util.Prng.int rng trees in
+    sizes.(i) <- sizes.(i) + 1
+  done;
+  let edges = ref [] in
+  let offset = ref 0 in
+  Array.iter
+    (fun size ->
+      let sub = random_tree rng ~delta size in
+      List.iter
+        (fun (u, v) -> edges := (u + !offset, v + !offset) :: !edges)
+        (Base.edges sub);
+      offset := !offset + size)
+    sizes;
+  Base.of_edges ~n ~delta (List.rev !edges)
+
+(** The shortcut construction behind the "dense region" of complexities
+    between Θ(log log* n) and Θ(log* n) on general graphs ([11], as
+    recalled in the paper's introduction): a path [0..n-1] plus a
+    balanced binary shortcut hierarchy whose internal nodes let a
+    t-hop ball in the full graph contain an exp(t)-hop ball of the
+    path. Returns the graph and the predicate "is a path node". *)
+let shortcut_path n =
+  if n < 4 then invalid_arg "Builder.shortcut_path: n >= 4 required";
+  let edges = ref (List.init (n - 1) (fun i -> (i, i + 1))) in
+  (* A balanced binary hub tree over disjoint halves of the path: the
+     hop distance in the full graph between path positions i and j is
+     O(log |i - j|), so a radius-t ball in G contains a path segment of
+     length 2^Ω(t) around each node — the exponential shortcutting that
+     turns a Θ(log* n)-locality path problem into Θ(log log* n). *)
+  let next_id = ref n in
+  let rec build lo hi =
+    (* representative node for the inclusive range [lo, hi] *)
+    if lo = hi then lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      let left = build lo mid and right = build (mid + 1) hi in
+      let hub = !next_id in
+      incr next_id;
+      edges := (hub, left) :: (hub, right) :: !edges;
+      hub
+    end
+  in
+  ignore (build 0 (n - 1));
+  let total = !next_id in
+  let g = Base.of_edges ~n:total ~delta:3 (List.rev !edges) in
+  (g, fun v -> v < n)
+
+(** Subdivided clique: K_[base] with every edge subdivided into a path
+    of [subdivisions] internal nodes. Degrees stay at most [base-1] and
+    the girth grows to 3(subdivisions+1) — a deterministic high-girth
+    family. The paper remarks (Section 1.1) that the tree gap transfers
+    to graphs of girth ω(log* n); these graphs exercise that remark:
+    they are far from trees globally but tree-like within any
+    o(girth)-radius view. *)
+let subdivided_clique ~base ~subdivisions =
+  if base < 3 then invalid_arg "Builder.subdivided_clique: base >= 3";
+  if subdivisions < 0 then invalid_arg "Builder.subdivided_clique";
+  let next = ref base in
+  let edges = ref [] in
+  for u = 0 to base - 1 do
+    for v = u + 1 to base - 1 do
+      if subdivisions = 0 then edges := (u, v) :: !edges
+      else begin
+        let chain = Array.init subdivisions (fun _ -> let id = !next in incr next; id) in
+        edges := (u, chain.(0)) :: !edges;
+        for i = 0 to subdivisions - 2 do
+          edges := (chain.(i), chain.(i + 1)) :: !edges
+        done;
+        edges := (chain.(subdivisions - 1), v) :: !edges
+      end
+    done
+  done;
+  Base.of_edges ~n:!next ~delta:(max 2 (base - 1)) (List.rev !edges)

@@ -1,0 +1,50 @@
+(** Synthetic graph families covering the classes the paper's theorems
+    quantify over: paths/cycles (oriented and not), trees and forests
+    (Section 3), the shortcut construction of the general-graph "dense
+    region" (Section 1, [11]), and a deterministic high-girth family
+    for the Section 1.1 transfer remark. *)
+
+(** Path 0-1-…-(n-1). @raise Invalid_argument if [n < 1]. *)
+val path : int -> Base.t
+
+(** Cycle on n >= 3 nodes. *)
+val cycle : int -> Base.t
+
+(** Orientation tag values used by [oriented_path]/[oriented_cycle]:
+    the half-edge pointing at the successor carries [succ_tag]. *)
+val succ_tag : int
+
+val pred_tag : int
+
+(** Path with consistent direction tags (every node knows its successor
+    port) — the substrate for Cole–Vishkin style algorithms. *)
+val oriented_path : int -> Base.t
+
+val oriented_cycle : int -> Base.t
+
+(** Star with center 0. *)
+val star : int -> Base.t
+
+(** Complete [arity]-ary rooted tree grown breadth-first to exactly [n]
+    nodes; max degree arity+1. *)
+val complete_tree : arity:int -> int -> Base.t
+
+(** Spine path with [legs] leaves per spine node. *)
+val caterpillar : spine:int -> legs:int -> Base.t
+
+(** Random labelled tree with degrees capped at [delta] (>= 2). *)
+val random_tree : Util.Prng.t -> delta:int -> int -> Base.t
+
+(** [trees] random trees (each >= 2 nodes, no isolated node) totalling
+    [n] nodes. @raise Invalid_argument if [n < 2*trees]. *)
+val random_forest : Util.Prng.t -> delta:int -> trees:int -> int -> Base.t
+
+(** Path 0..n-1 plus a balanced binary hub tree bringing positions i, j
+    within O(log |i-j|) hops — the shortcutting that compresses the
+    Θ(log* n) path locality to Θ(log log* n). Returns the graph (max
+    degree 3) and the "is a path node" predicate. *)
+val shortcut_path : int -> Base.t * (int -> bool)
+
+(** K_[base] with each edge subdivided by [subdivisions] internal
+    nodes: degrees <= base-1, girth 3(subdivisions+1). *)
+val subdivided_clique : base:int -> subdivisions:int -> Base.t

@@ -1,0 +1,10 @@
+(* Facade of the [graph] library: the graph type itself ([Base],
+   included below) plus the submodules for building, viewing and
+   checking graphs. Users write [Graph.of_edges], [Graph.Builder.path],
+   [Graph.Ball.extract], etc. *)
+
+include Base
+module Builder = Builder
+module Ball = Ball
+module Ids = Ids
+module Check = Check

@@ -1,0 +1,47 @@
+(* Identifier assignments (Def. 2.1: globally unique positive integers
+   from a polynomial range). Different assignment strategies matter:
+   random assignments for average behaviour, adversarial orders for
+   stress-testing order-invariance, and sequential 1..n for the LCA
+   model (Section 2.2). *)
+
+(** Unique random IDs from [1, n^range_exp], default cubic range. *)
+let random rng ?(range_exp = 3) n =
+  let bound =
+    let rec pow acc k = if k = 0 then acc else pow (acc * n) (k - 1) in
+    max n (pow 1 range_exp)
+  in
+  let raw = Util.Prng.sample_distinct rng ~bound ~count:n in
+  Array.map (fun v -> v + 1) raw
+
+(** Sequential IDs 1..n (the LCA model's assumption). *)
+let sequential n = Array.init n (fun i -> i + 1)
+
+(** IDs realizing a given order: node [v] gets rank [order.(v)] among
+    fresh random values — same order type as [order], fresh magnitudes.
+    Used to check order-invariance: outputs must not change. *)
+let with_order rng ?(range_exp = 3) (order : int array) =
+  let n = Array.length order in
+  let fresh = random rng ~range_exp n in
+  Array.sort compare fresh;
+  Array.map (fun r -> fresh.(r)) order
+
+(** The order type (rank array) of an ID assignment. *)
+let order_of ids =
+  let n = Array.length ids in
+  let sorted = Array.mapi (fun i v -> (v, i)) ids in
+  Array.sort compare sorted;
+  let rank = Array.make n 0 in
+  Array.iteri (fun r (_, i) -> rank.(i) <- r) sorted;
+  rank
+
+(** Check global uniqueness. *)
+let all_distinct ids =
+  let tbl = Hashtbl.create (Array.length ids) in
+  Array.for_all
+    (fun v ->
+      if Hashtbl.mem tbl v then false
+      else begin
+        Hashtbl.add tbl v ();
+        true
+      end)
+    ids

@@ -1,0 +1,17 @@
+(** Identifier assignments (Def. 2.1: unique positive integers from a
+    polynomial range). *)
+
+(** Unique random IDs from [1, n^range_exp] (default cubic). *)
+val random : Util.Prng.t -> ?range_exp:int -> int -> int array
+
+(** Sequential IDs 1..n — the LCA model's assumption (Sec. 2.2). *)
+val sequential : int -> int array
+
+(** Fresh random magnitudes realizing the given rank array — used to
+    test order-invariance (Def. 2.7): same order type, new values. *)
+val with_order : Util.Prng.t -> ?range_exp:int -> int array -> int array
+
+(** The rank array (order type) of an assignment. *)
+val order_of : int array -> int array
+
+val all_distinct : int array -> bool

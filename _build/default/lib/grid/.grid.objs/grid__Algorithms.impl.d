@@ -1,0 +1,1 @@
+lib/grid/algorithms.ml: Array Graph List Local Printf Torus Util

@@ -1,0 +1,1 @@
+lib/grid/algorithms.mli: Local

@@ -1,0 +1,1 @@
+lib/grid/problems.ml: Array Fun Graph Lcl List Printf Torus Util

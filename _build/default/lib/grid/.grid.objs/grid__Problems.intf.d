@@ -1,0 +1,1 @@
+lib/grid/problems.mli: Lcl Torus

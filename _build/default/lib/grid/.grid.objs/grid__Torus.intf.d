@@ -1,0 +1,1 @@
+lib/grid/torus.mli: Graph

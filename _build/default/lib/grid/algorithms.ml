@@ -1,0 +1,156 @@
+(* PROD-LOCAL algorithms on oriented tori (Section 5), one per class of
+   Corollary 1.5:
+
+   - [dimension_echo]    — O(1): read the tag, output the dimension;
+   - [torus_coloring]    — Θ(log* n): Cole–Vishkin independently in
+     each dimension on the per-dimension identifier digits (Def. 5.2),
+     combining d colors in {0,1,2} into one of 3^d;
+   - [dim0_two_coloring] — Θ(n^{1/d}): walk the whole dimension-0
+     cycle and anchor the 2-coloring phase at its minimum digit.
+
+   All three run on the plain LOCAL simulator with the packed
+   identifiers of [Torus.prod_ids] (Proposition 5.3's embedding of
+   PROD-LOCAL into LOCAL with a polynomial identifier range). *)
+
+(* CV iterations needed for per-dimension digits below [base]: the
+   digit fits in log2(base) bits. *)
+let cv_iterations_for_base base =
+  let b0 = Util.Logstar.log2_ceil (max 4 base) + 1 in
+  let rec go k b =
+    if b <= 3 then k else go (k + 1) (Util.Logstar.log2_ceil b + 1)
+  in
+  go 0 b0 + 1
+
+(** O(1): output the dimension of each half-edge (matches
+    [Problems.dimension_echo] after [Problems.mark_tag_inputs]). *)
+let dimension_echo : Local.Algorithm.t =
+  Local.Algorithm.constant ~name:"grid-dimension-echo" ~radius:0 (fun ball ->
+      Array.map (fun tag -> tag / 2) ball.Graph.Ball.edge_tag.(0))
+
+type coloring_state = {
+  degree : int;
+  colors : int array;            (* current CV color per dimension *)
+  succ_ports : int option array; (* port of the dim-i successor *)
+  pred_ports : int option array;
+  iters : int;
+}
+
+(** Θ(log* n): 3^d-coloring of the torus (matches
+    [Problems.torus_coloring]). [base] must be the packed-identifier
+    base returned by [Torus.prod_ids]. *)
+let torus_coloring ~d ~base : Local.Algorithm.t =
+  let iters = cv_iterations_for_base base in
+  let spec : coloring_state Local.Algorithm.Iterative.spec =
+    {
+      name = Printf.sprintf "grid-cv-%dd-coloring" d;
+      rounds = (fun ~n:_ -> iters + 3);
+      init =
+        (fun ~n:_ ~id ~rand:_ ~degree ~inputs:_ ~tags ->
+          let succ_ports = Array.make d None and pred_ports = Array.make d None in
+          Array.iteri
+            (fun p tag ->
+              if tag >= 0 then
+                if tag mod 2 = 0 then succ_ports.(tag / 2) <- Some p
+                else pred_ports.(tag / 2) <- Some p)
+            tags;
+          {
+            degree;
+            colors = Array.init d (fun i -> Torus.unpack ~base ~dim:i id);
+            succ_ports;
+            pred_ports;
+            iters;
+          });
+      step =
+        (fun ~round st neighbors ->
+          let colors = Array.copy st.colors in
+          for dim = 0 to d - 1 do
+            if round <= st.iters then begin
+              let succ_color =
+                match st.succ_ports.(dim) with
+                | Some p -> (
+                  match neighbors.(p) with
+                  | Some s -> s.colors.(dim)
+                  | None -> st.colors.(dim) lxor 1)
+                | None -> st.colors.(dim) lxor 1
+              in
+              colors.(dim) <-
+                Local.Cole_vishkin.cv_step ~own:st.colors.(dim) ~succ:succ_color
+            end
+            else begin
+              let retired = 5 - (round - st.iters - 1) in
+              if st.colors.(dim) = retired then begin
+                let nb =
+                  List.filter_map
+                    (fun port ->
+                      match port with
+                      | Some p -> (
+                        match neighbors.(p) with
+                        | Some s -> Some s.colors.(dim)
+                        | None -> None)
+                      | None -> None)
+                    [ st.succ_ports.(dim); st.pred_ports.(dim) ]
+                in
+                colors.(dim) <-
+                  Local.Cole_vishkin.reduce_color ~own:st.colors.(dim) nb
+              end
+            end
+          done;
+          { st with colors });
+      output =
+        (fun st ->
+          let combined =
+            Array.fold_right (fun c acc -> (acc * 3) + c) st.colors 0
+          in
+          Array.make st.degree combined);
+    }
+  in
+  Local.Algorithm.Iterative.compile spec
+
+(** Θ(n^{1/d}): 2-color every dimension-0 cycle by scanning it whole
+    inside a radius-s₀ ball (matches [Problems.dim0_two_coloring]).
+    [side] is the dimension-0 side length (= n^{1/d} on cubic tori). *)
+let dim0_two_coloring ~base ~side : Local.Algorithm.t =
+  let filler = 2 in
+  let run (ball : Graph.Ball.t) =
+    let open Graph.Ball in
+    let succ_port u =
+      let rec go p =
+        if p >= ball.degree.(u) then None
+        else if ball.edge_tag.(u).(p) = Torus.succ_tag 0 then Some p
+        else go (p + 1)
+      in
+      go 0
+    in
+    (* walk the dim-0 cycle from the center, collecting digit-0 ids *)
+    let digits = ref [ Torus.unpack ~base ~dim:0 ball.id.(0) ] in
+    let u = ref 0 and steps = ref 0 in
+    let finished = ref false in
+    while not !finished do
+      incr steps;
+      if !steps > side then invalid_arg "dim0_two_coloring: ball too small";
+      match succ_port !u with
+      | None -> invalid_arg "dim0_two_coloring: missing orientation"
+      | Some p -> (
+        match ball.adj.(!u).(p) with
+        | None -> invalid_arg "dim0_two_coloring: ball too small"
+        | Some (w, _) ->
+          if w = 0 then finished := true
+          else begin
+            digits := Torus.unpack ~base ~dim:0 ball.id.(w) :: !digits;
+            u := w
+          end)
+    done;
+    let chain = Array.of_list (List.rev !digits) in
+    (* position of the cycle minimum ahead of the center *)
+    let min_index = ref 0 in
+    Array.iteri (fun i x -> if x < chain.(!min_index) then min_index := i) chain;
+    let color = !min_index mod 2 in
+    Array.init ball.degree.(0) (fun p ->
+        let tag = ball.edge_tag.(0).(p) in
+        if tag / 2 = 0 then color else filler)
+  in
+  {
+    Local.Algorithm.name = "grid-dim0-2-coloring";
+    radius = (fun ~n:_ -> side);
+    run;
+  }

@@ -1,0 +1,15 @@
+(** PROD-LOCAL algorithms on oriented tori, one per Corollary 1.5
+    class, all running on the plain LOCAL simulator with the packed
+    identifiers of [Torus.prod_ids] (Prop. 5.3). *)
+
+(** O(1): read the tag, output the dimension. *)
+val dimension_echo : Local.Algorithm.t
+
+(** Θ(log* n): Cole–Vishkin per dimension on the identifier digits,
+    combined into one of 3^d colors. [base] must match
+    [Torus.prod_ids]. *)
+val torus_coloring : d:int -> base:int -> Local.Algorithm.t
+
+(** Θ(n^{1/d}): scan the whole dimension-0 cycle ([side] hops) and
+    anchor the 2-coloring phase at its minimum digit. *)
+val dim0_two_coloring : base:int -> side:int -> Local.Algorithm.t

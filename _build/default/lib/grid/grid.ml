@@ -1,0 +1,6 @@
+(* Facade of the [grid] library: oriented d-dimensional toroidal grids
+   and the PROD-LOCAL model of Section 5. *)
+
+module Torus = Torus
+module Problems = Problems
+module Algorithms = Algorithms

@@ -1,0 +1,113 @@
+(* LCL problems specific to oriented grids, populating the three
+   classes of Corollary 1.5: O(1), Θ(log* n) and Θ(n^{1/d}).
+
+   Structural annotations (dimension + orientation of each edge) are
+   exposed to the problems through half-edge *inputs*, one input letter
+   per tag value of [Torus]. *)
+
+let ms = Util.Multiset.of_list
+
+(** Input alphabet for a d-dimensional torus: letter 2i is the
+    successor side of a dimension-i edge, letter 2i+1 the predecessor
+    side — matching [Torus.succ_tag]/[pred_tag]. *)
+let tag_alphabet ~d =
+  Lcl.Alphabet.of_names
+    (List.concat
+       (List.init d (fun i ->
+            [ Printf.sprintf "d%d+" i; Printf.sprintf "d%d-" i ])))
+
+(** Copy the torus tags into half-edge inputs. *)
+let mark_tag_inputs t =
+  let g = Torus.graph t in
+  for v = 0 to Graph.n g - 1 do
+    for p = 0 to Graph.degree g v - 1 do
+      Graph.set_input g v p (Graph.edge_tag g v p)
+    done
+  done;
+  t
+
+(** O(1) class: echo the dimension of each half-edge's edge — 0 rounds
+    given the tags. *)
+let dimension_echo ~d =
+  let sigma_in = tag_alphabet ~d in
+  let sigma_out =
+    Lcl.Alphabet.of_names (List.init d (Printf.sprintf "dim%d"))
+  in
+  let delta = 2 * d in
+  let univ = List.init d Fun.id in
+  let node_cfg =
+    Array.init delta (fun dm1 -> Util.Multiset.enumerate ~univ ~k:(dm1 + 1))
+  in
+  let edge_cfg =
+    List.concat
+      (List.init d (fun a ->
+           List.filter_map
+             (fun b -> if a <= b then Some (ms [ a; b ]) else None)
+             univ))
+  in
+  let g =
+    Array.init (2 * d) (fun tag -> Util.Bitset.singleton (tag / 2))
+  in
+  Lcl.Problem.make
+    ~name:(Printf.sprintf "dimension-echo-%dd" d)
+    ~delta ~sigma_in ~sigma_out ~node_cfg ~edge_cfg ~g
+
+(** Θ(log* n) class: proper vertex coloring of the torus with 3^d
+    colors (one Cole–Vishkin color per dimension). *)
+let torus_coloring ~d =
+  let k =
+    let rec pow acc i = if i = 0 then acc else pow (acc * 3) (i - 1) in
+    pow 1 d
+  in
+  let sigma_in = tag_alphabet ~d in
+  let sigma_out =
+    Lcl.Alphabet.of_names (List.init k (Printf.sprintf "c%d"))
+  in
+  let delta = 2 * d in
+  let node_cfg =
+    Array.init delta (fun dm1 ->
+        List.init k (fun c -> ms (List.init (dm1 + 2 - 1) (fun _ -> c))))
+  in
+  let edge_cfg =
+    List.concat
+      (List.init k (fun a ->
+           List.filter_map
+             (fun b -> if a < b then Some (ms [ a; b ]) else None)
+             (List.init k Fun.id)))
+  in
+  let g = Array.make (2 * d) (Util.Bitset.full k) in
+  Lcl.Problem.make
+    ~name:(Printf.sprintf "torus-%d^d-coloring" k)
+    ~delta ~sigma_in ~sigma_out ~node_cfg ~edge_cfg ~g
+
+(** Θ(n^{1/d}) class: proper 2-coloring of every dimension-0 cycle
+    (solvable iff side 0 is even; agreeing on the phase within a cycle
+    of length s₀ = n^{1/d} forces Ω(s₀) locality). Color labels live on
+    dimension-0 half-edges, the filler F everywhere else. *)
+let dim0_two_coloring ~d =
+  let sigma_in = tag_alphabet ~d in
+  let filler = 2 in
+  let sigma_out = Lcl.Alphabet.of_names [ "c0"; "c1"; "F" ] in
+  let delta = 2 * d in
+  let node_cfg =
+    Array.init delta (fun dm1 ->
+        Util.Multiset.enumerate ~univ:[ 0; 1; 2 ] ~k:(dm1 + 1)
+        |> List.filter (fun cfg ->
+               let colors =
+                 List.filter (fun l -> l < 2) (Util.Multiset.to_list cfg)
+               in
+               match colors with
+               | [] -> true
+               | c :: rest -> List.for_all (fun c' -> c' = c) rest))
+  in
+  let edge_cfg =
+    [ ms [ 0; 1 ]; ms [ filler; filler ]; ms [ 0; filler ]; ms [ 1; filler ] ]
+  in
+  let colors = Util.Bitset.of_list [ 0; 1 ] in
+  let g =
+    Array.init (2 * d) (fun tag ->
+        if tag / 2 = 0 then colors else Util.Bitset.singleton filler)
+  in
+  Lcl.Problem.make
+    ~name:(Printf.sprintf "dim0-2-coloring-%dd" d)
+    ~delta ~sigma_in ~sigma_out ~node_cfg ~edge_cfg ~g

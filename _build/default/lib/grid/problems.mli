@@ -1,0 +1,18 @@
+(** Grid-specific LCL problems, one per class of Corollary 1.5, with
+    the torus tags exposed as half-edge inputs. *)
+
+(** Input alphabet matching [Torus.succ_tag]/[pred_tag] values. *)
+val tag_alphabet : d:int -> Lcl.Alphabet.t
+
+(** Copy the torus tags into the half-edge inputs. *)
+val mark_tag_inputs : Torus.t -> Torus.t
+
+(** O(1): echo each half-edge's dimension. *)
+val dimension_echo : d:int -> Lcl.Problem.t
+
+(** Θ(log* n): proper 3^d-coloring of the torus. *)
+val torus_coloring : d:int -> Lcl.Problem.t
+
+(** Θ(n^{1/d}): proper 2-coloring of every dimension-0 cycle (solvable
+    iff side 0 is even). *)
+val dim0_two_coloring : d:int -> Lcl.Problem.t

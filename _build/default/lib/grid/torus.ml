@@ -1,0 +1,116 @@
+(* Oriented d-dimensional toroidal grids (Section 5). Every edge is
+   labeled with its dimension and consistently oriented within each
+   dimension; we encode both in the half-edge tag:
+
+     tag = 2*dim      on the half-edge pointing at the dim-successor,
+     tag = 2*dim + 1  on the half-edge pointing back.
+
+   Side lengths must be at least 3 so the torus stays a simple graph. *)
+
+type t = {
+  graph : Graph.t;
+  sides : int array;          (* side length per dimension *)
+  coords : int array array;   (* node -> coordinate vector *)
+}
+
+let dimensions t = Array.length t.sides
+let graph t = t.graph
+let coords t v = t.coords.(v)
+
+let succ_tag dim = 2 * dim
+let pred_tag dim = (2 * dim) + 1
+
+let node_of_coords sides cs =
+  let d = Array.length sides in
+  let rec go i acc = if i = d then acc else go (i + 1) ((acc * sides.(i)) + cs.(i)) in
+  go 0 0
+
+let coords_of_node sides v =
+  let d = Array.length sides in
+  let cs = Array.make d 0 in
+  let rec go i v =
+    if i < 0 then ()
+    else begin
+      cs.(i) <- v mod sides.(i);
+      go (i - 1) (v / sides.(i))
+    end
+  in
+  go (d - 1) v;
+  cs
+
+(** Build the torus with the given side lengths. *)
+let make sides =
+  let d = Array.length sides in
+  if d < 1 then invalid_arg "Torus.make: at least one dimension";
+  Array.iter
+    (fun s -> if s < 3 then invalid_arg "Torus.make: sides must be >= 3")
+    sides;
+  let n = Array.fold_left ( * ) 1 sides in
+  let edges = ref [] in
+  for v = 0 to n - 1 do
+    let cs = coords_of_node sides v in
+    for dim = 0 to d - 1 do
+      let cs' = Array.copy cs in
+      cs'.(dim) <- (cs.(dim) + 1) mod sides.(dim);
+      let u = node_of_coords sides cs' in
+      (* list each edge once, from its "predecessor" endpoint *)
+      edges := (v, u) :: !edges
+    done
+  done;
+  let graph = Graph.of_edges ~n ~delta:(2 * d) !edges in
+  (* tag orientation and dimension on every half-edge *)
+  let coords = Array.init n (coords_of_node sides) in
+  for v = 0 to n - 1 do
+    for p = 0 to Graph.degree graph v - 1 do
+      let u = Graph.neighbor graph v p in
+      let cu = coords.(u) and cv = coords.(v) in
+      (* find the dimension where they differ and the direction *)
+      let rec find dim =
+        if dim = d then invalid_arg "Torus.make: bad edge"
+        else if cu.(dim) = (cv.(dim) + 1) mod sides.(dim) && cu.(dim) <> cv.(dim)
+        then (dim, true)
+        else if cv.(dim) = (cu.(dim) + 1) mod sides.(dim) && cu.(dim) <> cv.(dim)
+        then (dim, false)
+        else find (dim + 1)
+      in
+      let dim, forward = find 0 in
+      Graph.set_edge_tag graph v p (if forward then succ_tag dim else pred_tag dim)
+    done
+  done;
+  { graph; sides; coords }
+
+(* -- PROD-LOCAL identifiers (Definition 5.2) ------------------------- *)
+
+(** Per-dimension identifiers packed into one integer. Each coordinate
+    value of dimension i receives a random identifier below
+    [base]; a node's packed identifier is Σ_i id_i · base^i, which a
+    PROD-LOCAL algorithm unpacks with [unpack]. Two nodes share digit i
+    iff they share the i-th coordinate, as Def. 5.2 requires. *)
+type prod_ids = { packed : int array; base : int }
+
+let prod_ids ?(seed = 0x9216) t =
+  let rng = Util.Prng.create ~seed in
+  let d = dimensions t in
+  let base =
+    Array.fold_left (fun acc s -> max acc (8 * s * s * s)) 16 t.sides
+  in
+  (* random distinct ids per coordinate value, per dimension *)
+  let dim_ids =
+    Array.init d (fun i ->
+        let ids = Util.Prng.sample_distinct rng ~bound:(base - 1) ~count:t.sides.(i) in
+        Array.map (fun x -> x + 1) ids)
+  in
+  let packed =
+    Array.init (Graph.n t.graph) (fun v ->
+        let cs = t.coords.(v) in
+        let rec go i acc =
+          if i < 0 then acc else go (i - 1) ((acc * base) + dim_ids.(i).(cs.(i)))
+        in
+        go (d - 1) 0)
+  in
+  { packed; base }
+
+(** [unpack ~base ~dim id] — the dimension-[dim] identifier digit. *)
+let unpack ~base ~dim id =
+  let rec go i v = if i = 0 then v mod base else go (i - 1) (v / base) in
+  go dim id

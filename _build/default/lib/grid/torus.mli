@@ -1,0 +1,36 @@
+(** Oriented d-dimensional toroidal grids (Section 5): every edge
+    carries its dimension and a consistent orientation in the half-edge
+    tags; [prod_ids] packs the d per-dimension identifiers of the
+    PROD-LOCAL model (Def. 5.2) into single integers, Prop. 5.3's
+    embedding into plain LOCAL. *)
+
+type t
+
+val dimensions : t -> int
+val graph : t -> Graph.t
+
+(** Coordinate vector of a node. *)
+val coords : t -> int -> int array
+
+(** Tag on the half-edge pointing at the dimension-[dim] successor. *)
+val succ_tag : int -> int
+
+val pred_tag : int -> int
+
+val node_of_coords : int array -> int array -> int
+val coords_of_node : int array -> int -> int array
+
+(** Build the torus; all side lengths must be >= 3 (simple graph). *)
+val make : int array -> t
+
+type prod_ids = {
+  packed : int array;  (** per node: Σ_i id_i · base^i *)
+  base : int;
+}
+
+(** Per-dimension identifiers: nodes share digit i iff they share
+    coordinate i, as Def. 5.2 requires. *)
+val prod_ids : ?seed:int -> t -> prod_ids
+
+(** Extract the dimension-[dim] identifier digit. *)
+val unpack : base:int -> dim:int -> int -> int

@@ -1,0 +1,1 @@
+lib/lcl/lcl.ml: Alphabet General Parse Problem Verify Zoo Zoo_oriented

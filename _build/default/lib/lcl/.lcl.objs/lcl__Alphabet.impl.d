@@ -1,0 +1,1 @@
+lib/lcl/alphabet.ml: Array Fmt Fun Hashtbl List Printf String Util

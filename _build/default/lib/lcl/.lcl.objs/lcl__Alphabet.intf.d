@@ -1,0 +1,1 @@
+lib/lcl/alphabet.mli: Format Util

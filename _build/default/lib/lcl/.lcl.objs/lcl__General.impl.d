@@ -1,0 +1,1 @@
+lib/lcl/general.ml: Alphabet Array Fun Graph List Problem Util

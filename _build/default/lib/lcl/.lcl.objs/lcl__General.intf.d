@@ -1,0 +1,1 @@
+lib/lcl/general.mli: Alphabet Graph Problem

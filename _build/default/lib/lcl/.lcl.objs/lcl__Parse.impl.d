@@ -1,0 +1,1 @@
+lib/lcl/parse.ml: Alphabet Array Buffer List Printf Problem String Util

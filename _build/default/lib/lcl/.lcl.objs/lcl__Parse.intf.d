@@ -1,0 +1,1 @@
+lib/lcl/parse.mli: Problem

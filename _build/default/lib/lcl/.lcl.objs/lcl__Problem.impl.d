@@ -1,0 +1,1 @@
+lib/lcl/problem.ml: Alphabet Array Fmt Fun Hashtbl List Option Util

@@ -1,0 +1,1 @@
+lib/lcl/verify.ml: Alphabet Array Fmt Graph Hashtbl List Printf Problem Util

@@ -1,0 +1,1 @@
+lib/lcl/verify.mli: Format Graph Hashtbl Problem

@@ -1,0 +1,1 @@
+lib/lcl/zoo.ml: Alphabet Array Fmt Fun List Printf Problem Util

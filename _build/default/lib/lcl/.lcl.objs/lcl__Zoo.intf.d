@@ -1,0 +1,1 @@
+lib/lcl/zoo.mli: Format Problem

@@ -1,0 +1,1 @@
+lib/lcl/zoo_oriented.ml: Alphabet Array Fun Graph List Printf Problem Util

@@ -1,0 +1,54 @@
+(* Finite label alphabets. Labels are interned: internally they are
+   dense integers 0..size-1 (cheap to store in configurations and
+   bitsets), externally they carry the names used in problem
+   descriptions ("A", "M", "{A,B}" …). *)
+
+type t = { names : string array; index : (string, int) Hashtbl.t }
+
+let of_names names =
+  let names = Array.of_list names in
+  let index = Hashtbl.create (Array.length names) in
+  Array.iteri
+    (fun i name ->
+      if Hashtbl.mem index name then
+        invalid_arg (Printf.sprintf "Alphabet.of_names: duplicate %S" name);
+      Hashtbl.add index name i)
+    names;
+  { names; index }
+
+let size t = Array.length t.names
+
+let name t i =
+  if i < 0 || i >= size t then invalid_arg "Alphabet.name: out of range";
+  t.names.(i)
+
+let find_opt t name = Hashtbl.find_opt t.index name
+
+let find t n =
+  match find_opt t n with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Alphabet.find: unknown label %S" n)
+
+let mem t n = Hashtbl.mem t.index n
+
+(** All label indices, ascending. *)
+let all t = List.init (size t) Fun.id
+
+let equal a b = a.names = b.names
+
+let pp ppf t =
+  Fmt.pf ppf "[%a]" Fmt.(array ~sep:(any " ") string) t.names
+
+(** Alphabet of all nonempty subsets of [base], in bitset order; the
+    output alphabet of R(Π) (Def. 3.1 sets Σ_out^{R(Π)} = 2^{Σ_out^Π};
+    the empty set can never satisfy any constraint, so we omit it).
+    Returns the alphabet together with the bitset each label denotes. *)
+let powerset base =
+  let n = size base in
+  let subsets = Util.Bitset.subsets_nonempty n in
+  let label_name s =
+    let parts = List.map (name base) (Util.Bitset.to_list s) in
+    "{" ^ String.concat "," parts ^ "}"
+  in
+  let names = List.map label_name subsets in
+  (of_names names, Array.of_list subsets)

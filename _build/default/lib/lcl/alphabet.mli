@@ -1,0 +1,32 @@
+(** Finite label alphabets: interned labels, dense integer indices
+    0..size-1 internally, human-readable names externally. *)
+
+type t
+
+(** Build from distinct names. @raise Invalid_argument on duplicates. *)
+val of_names : string list -> t
+
+val size : t -> int
+
+(** Name of a label index. @raise Invalid_argument when out of range. *)
+val name : t -> int -> string
+
+val find_opt : t -> string -> int option
+
+(** @raise Invalid_argument on unknown names. *)
+val find : t -> string -> int
+
+val mem : t -> string -> bool
+
+(** All label indices, ascending. *)
+val all : t -> int list
+
+(** Equality of the name sequences. *)
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+(** The alphabet of all nonempty subsets of [base] (bitset order),
+    named "{a,b,…}", together with the denoted sets — the output
+    alphabet of R(Π) in Definition 3.1. *)
+val powerset : t -> t * Util.Bitset.t array

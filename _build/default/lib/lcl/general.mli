@@ -1,0 +1,59 @@
+(** General LCL problems (Definition 2.2) — correctness judged on the
+    radius-r labeled view around every node — and the executable
+    Lemma 2.6 reduction to node-edge-checkable form.
+
+    The paper's Π' materializes an astronomically large alphabet of
+    labeled pointed r-balls; here those labels stay *implicit*: a
+    [code] is a structured value and the Π'-constraints are executable
+    predicates, which is all the lemma's two directions need. *)
+
+type view = {
+  ball : Graph.Ball.t;        (** topology and inputs; ids irrelevant *)
+  outputs : int array array;  (** output label per ball node per port *)
+}
+
+type t = {
+  name : string;
+  delta : int;
+  radius : int;
+  sigma_in : Alphabet.t;
+  sigma_out : Alphabet.t;
+  accepts : view -> bool;     (** the membership predicate of P *)
+}
+
+(** Identity-free canonical description of a labeled pointed r-ball —
+    an (implicit) output label of Π'. *)
+type code
+
+(** Every node-edge-checkable problem as a radius-1 general LCL. *)
+val of_node_edge : Problem.t -> t
+
+(** Nodes whose radius-r view is rejected. *)
+val violations : t -> Graph.t -> int array array -> int list
+
+val is_valid : t -> Graph.t -> int array array -> bool
+
+module Lemma26 : sig
+  (** The r-round direction: the Π'-code of half-edge (v, p). *)
+  val encode : t -> Graph.t -> int array array -> int -> int -> code
+
+  (** The 0-round direction: the Σ_out label at the marked half-edge. *)
+  val decode : code -> int
+
+  (** g_Π', E_Π', N_Π' of the lemma, as executable checks. *)
+  val g_ok : t -> Graph.t -> int -> int -> code -> bool
+
+  val edge_ok : t -> code -> code -> bool
+  val node_ok : t -> code array -> bool
+
+  (** Encode a whole solution (one code per half-edge). *)
+  val encode_all : t -> Graph.t -> int array array -> code array array
+
+  (** All Π'-constraint violations of a code labeling. *)
+  val virtual_violations :
+    t -> Graph.t -> code array array ->
+    [ `Node of int | `Edge of int * int | `G of int * int ] list
+
+  (** Decode a whole code labeling back to Σ_out. *)
+  val decode_all : code array array -> int array array
+end

@@ -1,0 +1,10 @@
+(* Facade of the [lcl] library: the LCL problem formalism of Section 2
+   of the paper. *)
+
+module Alphabet = Alphabet
+module Problem = Problem
+module Verify = Verify
+module Zoo = Zoo
+module Parse = Parse
+module Zoo_oriented = Zoo_oriented
+module General = General

@@ -1,0 +1,146 @@
+(* Textual format for node-edge-checkable LCLs, in the spirit of the
+   Round Eliminator's input language. Example (3-coloring on paths):
+
+     problem 3-coloring delta 2
+     out: c0 c1 c2
+     node 1: c0 | c1 | c2
+     node 2: c0 c0 | c1 c1 | c2 c2
+     edge: c0 c1 | c0 c2 | c1 c2
+
+   Optional lines for problems with inputs:
+
+     in: any no0
+     g any: c0 c1 c2
+     g no0: c1 c2
+
+   [to_string] and [of_string] round-trip. *)
+
+let split_words s =
+  String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+
+let split_alternatives s =
+  String.split_on_char '|' s |> List.map String.trim
+  |> List.filter (fun w -> w <> "")
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+
+let of_string text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && not (String.length l > 0 && l.[0] = '#'))
+  in
+  let name = ref "unnamed" and delta = ref 0 in
+  let out_names = ref [] and in_names = ref [] in
+  let node_lines = ref [] and edge_line = ref None and g_lines = ref [] in
+  List.iter
+    (fun line ->
+      match String.index_opt line ':' with
+      | None -> (
+        match split_words line with
+        | [ "problem"; n; "delta"; d ] -> (
+          name := n;
+          match int_of_string_opt d with
+          | Some d when d >= 1 -> delta := d
+          | _ -> fail "bad delta %S" d)
+        | _ -> fail "unrecognized line %S" line)
+      | Some i ->
+        let key = String.trim (String.sub line 0 i) in
+        let rest =
+          String.trim (String.sub line (i + 1) (String.length line - i - 1))
+        in
+        (match split_words key with
+        | [ "out" ] -> out_names := split_words rest
+        | [ "in" ] -> in_names := split_words rest
+        | [ "node"; d ] -> (
+          match int_of_string_opt d with
+          | Some d when d >= 1 ->
+            node_lines := (d, split_alternatives rest) :: !node_lines
+          | _ -> fail "bad node degree %S" d)
+        | [ "edge" ] -> edge_line := Some (split_alternatives rest)
+        | [ "g"; inp ] -> g_lines := (inp, split_words rest) :: !g_lines
+        | _ -> fail "unrecognized key %S" key))
+    lines;
+  if !delta = 0 then fail "missing 'problem <name> delta <d>' header";
+  if !out_names = [] then fail "missing 'out:' alphabet";
+  let sigma_out = Alphabet.of_names !out_names in
+  let sigma_in =
+    if !in_names = [] then Problem.input_free_alphabet
+    else Alphabet.of_names !in_names
+  in
+  let parse_cfg s =
+    Util.Multiset.of_list (List.map (Alphabet.find sigma_out) (split_words s))
+  in
+  let node_cfg = Array.make !delta [] in
+  List.iter
+    (fun (d, alts) ->
+      if d > !delta then fail "node degree %d exceeds delta" d;
+      node_cfg.(d - 1) <- node_cfg.(d - 1) @ List.map parse_cfg alts)
+    (List.rev !node_lines);
+  let edge_cfg =
+    match !edge_line with
+    | None -> fail "missing 'edge:' constraint"
+    | Some alts -> List.map parse_cfg alts
+  in
+  let g =
+    if !in_names = [] then [| Util.Bitset.full (Alphabet.size sigma_out) |]
+    else begin
+      let g = Array.make (Alphabet.size sigma_in) Util.Bitset.empty in
+      let mentioned = Array.make (Alphabet.size sigma_in) false in
+      List.iter
+        (fun (inp, outs) ->
+          let i = Alphabet.find sigma_in inp in
+          mentioned.(i) <- true;
+          g.(i) <-
+            Util.Bitset.of_list (List.map (Alphabet.find sigma_out) outs))
+        !g_lines;
+      Array.iteri
+        (fun i seen ->
+          if not seen then fail "missing g line for input %s" (Alphabet.name sigma_in i))
+        mentioned;
+      g
+    end
+  in
+  Problem.make ~name:!name ~delta:!delta ~sigma_in ~sigma_out ~node_cfg
+    ~edge_cfg ~g
+
+let to_string p =
+  let buf = Buffer.create 256 in
+  let out l = Alphabet.name (Problem.sigma_out p) l in
+  let cfg_str c =
+    Util.Multiset.to_list c |> List.map out |> String.concat " "
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "problem %s delta %d\n" (Problem.name p) (Problem.delta p));
+  let sigma_in = Problem.sigma_in p in
+  if not (Alphabet.equal sigma_in Problem.input_free_alphabet) then
+    Buffer.add_string buf
+      (Printf.sprintf "in: %s\n"
+         (String.concat " " (List.map (Alphabet.name sigma_in) (Alphabet.all sigma_in))));
+  Buffer.add_string buf
+    (Printf.sprintf "out: %s\n"
+       (String.concat " "
+          (List.map out (Alphabet.all (Problem.sigma_out p)))));
+  for d = 1 to Problem.delta p do
+    match Problem.node_configs p ~degree:d with
+    | [] -> ()
+    | configs ->
+      Buffer.add_string buf
+        (Printf.sprintf "node %d: %s\n" d
+           (String.concat " | " (List.map cfg_str configs)))
+  done;
+  Buffer.add_string buf
+    (Printf.sprintf "edge: %s\n"
+       (String.concat " | " (List.map cfg_str (Problem.edge_configs p))));
+  if not (Alphabet.equal sigma_in Problem.input_free_alphabet) then
+    List.iter
+      (fun i ->
+        Buffer.add_string buf
+          (Printf.sprintf "g %s: %s\n"
+             (Alphabet.name sigma_in i)
+             (String.concat " "
+                (List.map out (Util.Bitset.to_list (Problem.g_set p i))))))
+      (Alphabet.all sigma_in);
+  Buffer.contents buf

@@ -1,0 +1,20 @@
+(** Textual format for node-edge-checkable LCLs, in the spirit of the
+    Round Eliminator's language:
+
+    {v
+    problem 3-coloring delta 2
+    out: red green blue
+    node 1: red | green | blue
+    node 2: red red | green green | blue blue
+    edge: red green | red blue | green blue
+    v}
+
+    Problems with inputs add [in:] and one [g <input>:] line per input
+    letter. [to_string] and [of_string] round-trip structurally. *)
+
+exception Parse_error of string
+
+(** @raise Parse_error on malformed input. *)
+val of_string : string -> Problem.t
+
+val to_string : Problem.t -> string

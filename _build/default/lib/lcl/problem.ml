@@ -1,0 +1,215 @@
+(* Node-edge-checkable LCL problems (Definition 2.3):
+   Π = (Σ_in, Σ_out, N, E, g) where
+   - N^i is a set of cardinality-i multisets of output labels allowed
+     around a degree-i node,
+   - E is a set of cardinality-2 multisets allowed on an edge,
+   - g maps each input label to the set of output labels allowed on a
+     half-edge carrying that input.
+
+   Labels are alphabet indices; configurations are canonical sorted
+   arrays ([Util.Multiset]). Input-free problems use the 1-letter input
+   alphabet ["_"] with g("_") = Σ_out. *)
+
+type t = {
+  name : string;
+  delta : int;                         (* max degree the problem covers *)
+  sigma_in : Alphabet.t;
+  sigma_out : Alphabet.t;
+  node_cfg : Util.Multiset.t list array; (* node_cfg.(d-1): degree-d configs *)
+  edge_cfg : Util.Multiset.t list;
+  g : Util.Bitset.t array;             (* g.(input) = allowed outputs *)
+  (* derived membership tables *)
+  node_tbl : (Util.Multiset.t, unit) Hashtbl.t array;
+  edge_tbl : (Util.Multiset.t, unit) Hashtbl.t;
+}
+
+let table_of_list configs =
+  let tbl = Hashtbl.create (2 * List.length configs + 1) in
+  List.iter (fun c -> Hashtbl.replace tbl c ()) configs;
+  tbl
+
+let make ~name ~delta ~sigma_in ~sigma_out ~node_cfg ~edge_cfg ~g =
+  if delta < 1 then invalid_arg "Problem.make: delta >= 1 required";
+  if Array.length node_cfg <> delta then
+    invalid_arg "Problem.make: node_cfg must have one entry per degree 1..delta";
+  if Array.length g <> Alphabet.size sigma_in then
+    invalid_arg "Problem.make: g must cover sigma_in";
+  let check_labels c =
+    Array.iter
+      (fun l ->
+        if l < 0 || l >= Alphabet.size sigma_out then
+          invalid_arg "Problem.make: configuration label out of range")
+      c
+  in
+  Array.iteri
+    (fun i configs ->
+      List.iter
+        (fun c ->
+          if Util.Multiset.size c <> i + 1 then
+            invalid_arg "Problem.make: node configuration of wrong size";
+          check_labels c)
+        configs)
+    node_cfg;
+  List.iter
+    (fun c ->
+      if Util.Multiset.size c <> 2 then
+        invalid_arg "Problem.make: edge configuration must have size 2";
+      check_labels c)
+    edge_cfg;
+  let node_cfg = Array.map (List.sort_uniq Util.Multiset.compare) node_cfg in
+  let edge_cfg = List.sort_uniq Util.Multiset.compare edge_cfg in
+  {
+    name;
+    delta;
+    sigma_in;
+    sigma_out;
+    node_cfg;
+    edge_cfg;
+    g;
+    node_tbl = Array.map table_of_list node_cfg;
+    edge_tbl = table_of_list edge_cfg;
+  }
+
+(* --- accessors and membership --- *)
+
+let input_free_alphabet = Alphabet.of_names [ "_" ]
+
+(** Convenience constructor for LCLs whose correctness ignores inputs:
+    the 1-letter input alphabet with g mapping to all outputs. *)
+let make_input_free ~name ~delta ~sigma_out ~node_cfg ~edge_cfg =
+  let g = [| Util.Bitset.full (Alphabet.size sigma_out) |] in
+  make ~name ~delta ~sigma_in:input_free_alphabet ~sigma_out ~node_cfg
+    ~edge_cfg ~g
+
+let name t = t.name
+let delta t = t.delta
+let sigma_in t = t.sigma_in
+let sigma_out t = t.sigma_out
+let node_configs t ~degree = t.node_cfg.(degree - 1)
+let edge_configs t = t.edge_cfg
+
+(** Is this multiset an allowed configuration around a node of its
+    size? *)
+let node_ok t config =
+  let d = Util.Multiset.size config in
+  d >= 1 && d <= t.delta && Hashtbl.mem t.node_tbl.(d - 1) config
+
+(** Is {a, b} an allowed edge configuration? *)
+let edge_ok t a b = Hashtbl.mem t.edge_tbl (Util.Multiset.of_list [ a; b ])
+
+(** Does g allow output [out] under input [inp]? *)
+let g_allows t ~inp ~out = Util.Bitset.mem out t.g.(inp)
+
+let g_set t inp = t.g.(inp)
+
+(* --- statistics / housekeeping --- *)
+
+let num_node_configs t =
+  Array.fold_left (fun acc l -> acc + List.length l) 0 t.node_cfg
+
+let num_edge_configs t = List.length t.edge_cfg
+
+(** Output labels that occur in at least one node configuration and at
+    least one edge configuration and are allowed by g for at least one
+    input — all others can never appear in a correct solution. *)
+let usable_labels t =
+  let in_node = Array.make (Alphabet.size t.sigma_out) false in
+  Array.iter
+    (List.iter (fun c -> Array.iter (fun l -> in_node.(l) <- true) c))
+    t.node_cfg;
+  let in_edge = Array.make (Alphabet.size t.sigma_out) false in
+  List.iter (fun c -> Array.iter (fun l -> in_edge.(l) <- true) c) t.edge_cfg;
+  let in_g = Array.make (Alphabet.size t.sigma_out) false in
+  Array.iter
+    (fun s -> Util.Bitset.iter (fun l -> in_g.(l) <- true) s)
+    t.g;
+  List.filter
+    (fun l -> in_node.(l) && in_edge.(l) && in_g.(l))
+    (Alphabet.all t.sigma_out)
+
+(** Restrict the problem to a sublist of output labels: drops every
+    configuration mentioning a removed label and renames the survivors
+    to a dense alphabet. Iterating [restrict (usable_labels t)] to a
+    fixed point prunes labels that cannot participate in any solution,
+    which keeps round elimination iterations small. *)
+let restrict t keep =
+  let keep = List.sort_uniq compare keep in
+  let new_index = Hashtbl.create 16 in
+  List.iteri (fun i l -> Hashtbl.add new_index l i) keep;
+  let rename l = Hashtbl.find_opt new_index l in
+  let rename_cfg c =
+    let opts = Array.map rename c in
+    if Array.exists (fun o -> o = None) opts then None
+    else Some (Util.Multiset.of_array (Array.map Option.get opts))
+  in
+  let sigma_out =
+    Alphabet.of_names (List.map (Alphabet.name t.sigma_out) keep)
+  in
+  let node_cfg =
+    Array.map (List.filter_map rename_cfg) t.node_cfg
+  in
+  let edge_cfg = List.filter_map rename_cfg t.edge_cfg in
+  let g =
+    Array.map
+      (fun s ->
+        Util.Bitset.fold
+          (fun l acc ->
+            match rename l with
+            | Some l' -> Util.Bitset.add l' acc
+            | None -> acc)
+          s Util.Bitset.empty)
+      t.g
+  in
+  make ~name:t.name ~delta:t.delta ~sigma_in:t.sigma_in ~sigma_out ~node_cfg
+    ~edge_cfg ~g
+
+(** Iteratively remove unusable labels until stable; also return the
+    map from surviving label indices to the original ones (identity
+    when nothing was pruned). Callers producing *algorithms* for the
+    pruned problem must translate outputs back through the map. *)
+let prune_with_map t =
+  let rec go t mapping =
+    let keep = usable_labels t in
+    if List.length keep = Alphabet.size t.sigma_out then (t, mapping)
+    else
+      let mapping' = Array.of_list (List.map (fun l -> mapping.(l)) keep) in
+      go (restrict t keep) mapping'
+  in
+  go t (Array.init (Alphabet.size t.sigma_out) Fun.id)
+
+(** Iteratively remove unusable labels until stable. *)
+let prune t = fst (prune_with_map t)
+
+(** Structural equality after sorting (same alphabets, same configs). *)
+let equal_structure a b =
+  a.delta = b.delta
+  && Alphabet.size a.sigma_in = Alphabet.size b.sigma_in
+  && Alphabet.size a.sigma_out = Alphabet.size b.sigma_out
+  && a.node_cfg = b.node_cfg && a.edge_cfg = b.edge_cfg && a.g = b.g
+
+let pp_config alphabet ppf c =
+  Fmt.pf ppf "%a"
+    Fmt.(array ~sep:(any " ") (using (Alphabet.name alphabet) string))
+    c
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>problem %s (delta=%d)@,in: %a@,out: %a@," t.name t.delta
+    Alphabet.pp t.sigma_in Alphabet.pp t.sigma_out;
+  Array.iteri
+    (fun i configs ->
+      if configs <> [] then
+        Fmt.pf ppf "node[deg %d]: %a@," (i + 1)
+          Fmt.(list ~sep:(any " | ") (pp_config t.sigma_out))
+          configs)
+    t.node_cfg;
+  Fmt.pf ppf "edge: %a@,"
+    Fmt.(list ~sep:(any " | ") (pp_config t.sigma_out))
+    t.edge_cfg;
+  Array.iteri
+    (fun i s ->
+      Fmt.pf ppf "g(%s) = %a@,"
+        (Alphabet.name t.sigma_in i)
+        (Util.Bitset.pp Fmt.(using (Alphabet.name t.sigma_out) string))
+        s)
+    t.g;
+  Fmt.pf ppf "@]"

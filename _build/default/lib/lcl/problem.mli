@@ -1,0 +1,102 @@
+(** Node-edge-checkable LCL problems (Definition 2.3 of the paper).
+
+    A problem [Π = (Σ_in, Σ_out, N, E, g)] constrains a half-edge
+    labeling: the multiset of output labels around each degree-i node
+    must lie in [N^i], the pair across each edge in [E], and each
+    half-edge's output in [g] of its input. Labels are indices into the
+    problem's alphabets; configurations are canonical multisets
+    ([Util.Multiset.t]). *)
+
+type t
+
+(** {1 Construction} *)
+
+(** [make ~name ~delta ~sigma_in ~sigma_out ~node_cfg ~edge_cfg ~g]
+    builds a problem covering degrees 1..[delta]. [node_cfg.(d-1)]
+    lists the allowed degree-d configurations; [edge_cfg] the allowed
+    edge pairs; [g.(i)] the outputs allowed under input [i].
+    Configurations are deduplicated and canonicalized.
+    @raise Invalid_argument on arity or range errors. *)
+val make :
+  name:string ->
+  delta:int ->
+  sigma_in:Alphabet.t ->
+  sigma_out:Alphabet.t ->
+  node_cfg:Util.Multiset.t list array ->
+  edge_cfg:Util.Multiset.t list ->
+  g:Util.Bitset.t array ->
+  t
+
+(** The canonical one-letter input alphabet (["_"]) used by input-free
+    problems. *)
+val input_free_alphabet : Alphabet.t
+
+(** [make_input_free] is [make] over [input_free_alphabet] with [g]
+    mapping the letter to the whole output alphabet. *)
+val make_input_free :
+  name:string ->
+  delta:int ->
+  sigma_out:Alphabet.t ->
+  node_cfg:Util.Multiset.t list array ->
+  edge_cfg:Util.Multiset.t list ->
+  t
+
+(** {1 Accessors} *)
+
+val name : t -> string
+val delta : t -> int
+val sigma_in : t -> Alphabet.t
+val sigma_out : t -> Alphabet.t
+
+(** Allowed configurations around a node of the given degree
+    (canonical order, deduplicated). *)
+val node_configs : t -> degree:int -> Util.Multiset.t list
+
+(** Allowed edge configurations (size-2 multisets). *)
+val edge_configs : t -> Util.Multiset.t list
+
+(** {1 Membership} *)
+
+(** Is this multiset an allowed node configuration (for its size)? *)
+val node_ok : t -> Util.Multiset.t -> bool
+
+(** Is [{a, b}] an allowed edge configuration? *)
+val edge_ok : t -> int -> int -> bool
+
+(** Does [g] allow output [out] on a half-edge with input [inp]? *)
+val g_allows : t -> inp:int -> out:int -> bool
+
+(** The whole set [g(inp)]. *)
+val g_set : t -> int -> Util.Bitset.t
+
+(** {1 Housekeeping} *)
+
+val num_node_configs : t -> int
+val num_edge_configs : t -> int
+
+(** Output labels that could appear in some solution: present in at
+    least one node configuration, one edge configuration, and one
+    [g]-image. *)
+val usable_labels : t -> int list
+
+(** [restrict t keep] drops every output label outside [keep] (and
+    every configuration mentioning one), renaming survivors densely. *)
+val restrict : t -> int list -> t
+
+(** Iterate [restrict]/[usable_labels] to a fixed point. Keeps round
+    elimination iterations small. *)
+val prune : t -> t
+
+(** [prune] plus the map from surviving label indices back to the
+    original ones — needed to translate an algorithm for the pruned
+    problem into one for the original. *)
+val prune_with_map : t -> t * int array
+
+(** Structural equality: same degree bound, alphabet sizes,
+    configuration sets and [g] (label names ignored). *)
+val equal_structure : t -> t -> bool
+
+(** {1 Printing} *)
+
+val pp_config : Alphabet.t -> Format.formatter -> Util.Multiset.t -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,63 @@
+(** A zoo of concrete LCL problems in node-edge-checkable form
+    (Definition 2.3) — the landmarks of the complexity landscape the
+    paper charts. *)
+
+(** {1 O(1)-class problems} *)
+
+(** One label everywhere — 0 rounds. *)
+val trivial : delta:int -> Problem.t
+
+(** Two interchangeable labels, any mixture — O(1) with a choice. *)
+val free_choice : delta:int -> Problem.t
+
+(** Orient every edge, no node constraint: not 0-round solvable but
+    1-round solvable (toward the larger identifier) — the star witness
+    of the Lemma 3.9 lifting. *)
+val edge_orientation : delta:int -> Problem.t
+
+(** Copy each half-edge's input to its output — 0 rounds, nontrivial g. *)
+val echo_input : delta:int -> Problem.t
+
+(** {1 Θ(log* n)-class problems} *)
+
+(** Proper vertex k-coloring (k = 2 is global). *)
+val coloring : k:int -> delta:int -> Problem.t
+
+(** Proper edge k-coloring. *)
+val edge_coloring : k:int -> delta:int -> Problem.t
+
+(** Maximal independent set (labels I / P / N; P points at an I). *)
+val mis : delta:int -> Problem.t
+
+(** Maximal matching (labels M / O / U; no U-U edge). *)
+val maximal_matching : delta:int -> Problem.t
+
+(** Weak 2-coloring with a starred witness port; Naor–Stockmeyer's
+    problem (see the implementation note on the pipeline's budget). *)
+val weak_2_coloring : ?constrain_even:bool -> delta:int -> unit -> Problem.t
+
+(** 3-coloring whose inputs forbid one color per half-edge — an LCL
+    *with inputs* (the paper's technical extension). *)
+val forbidden_color_coloring : Problem.t
+
+(** {1 LLL / global problems} *)
+
+(** Sinkless orientation (no degree->=3 sink) — the classic round
+    elimination fixed point; randomized Θ(log log n) on trees. *)
+val sinkless_orientation : delta:int -> Problem.t
+
+(** Globally consistent orientation of a path/cycle — Θ(n) without the
+    orientation given. *)
+val consistent_orientation : Problem.t
+
+(** Cyclic color pattern mod k: k = 3 degenerates to 3-coloring
+    (unordered edges), k = 4 is bipartite and global. *)
+val period_pattern : k:int -> Problem.t
+
+(** {1 Curated lists} *)
+
+type known_class = Const | Log_star | Global | Lll
+
+val tree_zoo : delta:int -> (Problem.t * known_class) list
+val cycle_zoo : (Problem.t * known_class) list
+val pp_class : Format.formatter -> known_class -> unit

@@ -1,0 +1,112 @@
+(* Oriented / structured-input variants of zoo problems. The VOLUME
+   model (Def. 2.8) exposes only identifiers, degrees and half-edge
+   *inputs* to probes, so structural annotations (orientation marks,
+   path membership in the shortcut construction) must travel as input
+   labels — exactly the paper's convention that inputs live on
+   half-edges. *)
+
+let ms = Util.Multiset.of_list
+
+(* input alphabet for consistently oriented paths/cycles *)
+let pred_input = 0
+let succ_input = 1
+
+let orientation_alphabet = Alphabet.of_names [ "pred"; "succ" ]
+
+(** Copy the orientation edge tags of [g] (set by
+    [Graph.Builder.oriented_path]/[oriented_cycle]) into the half-edge
+    input labels, so probe-based algorithms can navigate. *)
+let mark_orientation_inputs g =
+  for v = 0 to Graph.n g - 1 do
+    for p = 0 to Graph.degree g v - 1 do
+      let tag = Graph.edge_tag g v p in
+      if tag >= 0 then Graph.set_input g v p tag
+    done
+  done;
+  g
+
+(** Proper vertex k-coloring with orientation inputs (same constraints
+    as [Zoo.coloring]; g ignores the inputs). *)
+let coloring ~k =
+  let sigma_out = Alphabet.of_names (List.init k (Printf.sprintf "c%d")) in
+  let node_cfg =
+    [|
+      List.init k (fun c -> ms [ c ]);
+      List.init k (fun c -> ms [ c; c ]);
+    |]
+  in
+  let edge_cfg =
+    List.concat
+      (List.init k (fun a ->
+           List.filter_map
+             (fun b -> if a < b then Some (ms [ a; b ]) else None)
+             (List.init k Fun.id)))
+  in
+  let g = Array.make 2 (Util.Bitset.full k) in
+  Problem.make
+    ~name:(Printf.sprintf "%d-coloring-oriented" k)
+    ~delta:2 ~sigma_in:orientation_alphabet ~sigma_out ~node_cfg ~edge_cfg ~g
+
+(* ------------------------------------------------------------------ *)
+(* 3-coloring of a marked path inside a larger graph — the workload of
+   the shortcutting construction ([11], recalled in the paper's
+   introduction, experiment E3/E7). Inputs: Ps / Pp on the two
+   half-edges of every path edge (successor / predecessor side), T on
+   every other half-edge. Outputs: a color on path half-edges, the
+   filler F elsewhere; path edges must be properly colored and the two
+   path half-edges of a node must agree. *)
+
+let path_succ = 0
+let path_pred = 1
+let tree_input = 2
+
+let path_alphabet = Alphabet.of_names [ "Ps"; "Pp"; "T" ]
+
+let path_coloring =
+  let k = 3 in
+  let filler = k in
+  let sigma_out =
+    Alphabet.of_names (List.init k (Printf.sprintf "c%d") @ [ "F" ])
+  in
+  (* node configs: any multiset over colors+filler in which all color
+     labels are equal (a node has one color, fillers are free) *)
+  let node_cfg =
+    Array.init 4 (fun dm1 ->
+        let d = dm1 + 1 in
+        Util.Multiset.enumerate ~univ:(List.init (k + 1) Fun.id) ~k:d
+        |> List.filter (fun cfg ->
+               let colors =
+                 List.filter (fun l -> l < k) (Util.Multiset.to_list cfg)
+               in
+               match colors with
+               | [] -> true
+               | c :: rest -> List.for_all (fun c' -> c' = c) rest))
+  in
+  let edge_cfg =
+    (* distinctly colored path edges; filler pairs; mixed pairs are
+       harmless because g pins colors to path half-edges *)
+    List.concat
+      (List.init k (fun a ->
+           List.filter_map
+             (fun b -> if a < b then Some (ms [ a; b ]) else None)
+             (List.init k Fun.id)))
+    @ [ ms [ filler; filler ] ]
+    @ List.init k (fun c -> ms [ c; filler ])
+  in
+  let colors = Util.Bitset.full k in
+  let g = [| colors; colors; Util.Bitset.singleton filler |] in
+  Problem.make ~name:"path-coloring" ~delta:4 ~sigma_in:path_alphabet
+    ~sigma_out ~node_cfg ~edge_cfg ~g
+
+(** Annotate a [Graph.Builder.shortcut_path] graph (path nodes are
+    [0..n_path-1], consecutive) with the [path_alphabet] inputs. *)
+let mark_shortcut_inputs g ~n_path =
+  for v = 0 to Graph.n g - 1 do
+    for p = 0 to Graph.degree g v - 1 do
+      let u = Graph.neighbor g v p in
+      if v < n_path && u < n_path && abs (u - v) = 1 then
+        Graph.set_input g v p (if u = v + 1 then path_succ else path_pred)
+      else Graph.set_input g v p tree_input
+    done
+  done;
+  g

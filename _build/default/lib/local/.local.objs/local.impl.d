@@ -1,0 +1,1 @@
+lib/local/local.ml: Algorithm Cole_vishkin Forest Luby Matching Mis Order_invariant Rand_coloring Runner Shortcut Sync

@@ -1,0 +1,1 @@
+lib/local/algorithm.ml: Array Graph Int64 Util

@@ -1,0 +1,1 @@
+lib/local/algorithm.mli: Graph

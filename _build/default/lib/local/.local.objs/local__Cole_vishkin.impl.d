@@ -1,0 +1,1 @@
+lib/local/cole_vishkin.ml: Algorithm Array Graph List Option Util

@@ -1,0 +1,1 @@
+lib/local/forest.ml: Algorithm Array Fun Graph Lcl List Printf Queue

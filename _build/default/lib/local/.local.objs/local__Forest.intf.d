@@ -1,0 +1,1 @@
+lib/local/forest.mli: Algorithm Lcl

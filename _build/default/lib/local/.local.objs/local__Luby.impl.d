@@ -1,0 +1,1 @@
+lib/local/luby.ml: Algorithm Array Fun Int64 Util

@@ -1,0 +1,1 @@
+lib/local/luby.mli: Algorithm

@@ -1,0 +1,1 @@
+lib/local/matching.ml: Algorithm Array Cole_vishkin List Option

@@ -1,0 +1,1 @@
+lib/local/mis.ml: Algorithm Array Cole_vishkin Option

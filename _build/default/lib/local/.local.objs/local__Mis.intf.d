@@ -1,0 +1,1 @@
+lib/local/mis.mli: Algorithm

@@ -1,0 +1,1 @@
+lib/local/order_invariant.ml: Algorithm Array Graph Printf Util

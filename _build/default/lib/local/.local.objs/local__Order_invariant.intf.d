@@ -1,0 +1,1 @@
+lib/local/order_invariant.mli: Algorithm Graph

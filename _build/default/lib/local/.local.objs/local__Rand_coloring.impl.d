@@ -1,0 +1,1 @@
+lib/local/rand_coloring.ml: Algorithm Array Fun Int64 List Printf Util

@@ -1,0 +1,1 @@
+lib/local/rand_coloring.mli: Algorithm

@@ -1,0 +1,1 @@
+lib/local/runner.ml: Algorithm Array Graph Hashtbl Lcl List Option Printf Util

@@ -1,0 +1,1 @@
+lib/local/runner.mli: Algorithm Graph Lcl

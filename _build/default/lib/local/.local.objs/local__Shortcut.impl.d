@@ -1,0 +1,1 @@
+lib/local/shortcut.ml: Algorithm Array Cole_vishkin Graph Lcl List Util

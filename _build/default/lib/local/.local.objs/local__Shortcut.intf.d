@@ -1,0 +1,1 @@
+lib/local/shortcut.mli: Algorithm

@@ -1,0 +1,1 @@
+lib/local/sync.ml: Algorithm Array Bytes Graph Lcl Marshal Option Util

@@ -1,0 +1,1 @@
+lib/local/sync.mli: Algorithm Graph Lcl

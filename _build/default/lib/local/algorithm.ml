@@ -1,0 +1,96 @@
+(* LOCAL algorithms (Def. 2.1). A T-round algorithm is a function from
+   the radius-T view of a node to the outputs on its half-edges; the
+   radius may depend on the declared number of nodes (that is the whole
+   point of sublinear-locality algorithms). Algorithms never see the
+   host graph — only an extracted [Graph.Ball.t].
+
+   The [Iterative] sub-module converts classic round-by-round
+   message-passing algorithms (states evolving along edges, e.g.
+   Cole–Vishkin) into ball functions by simulating every ball node for
+   as many rounds as its distance budget allows: the state of a node at
+   distance d from the center is valid for the first T - d rounds,
+   which is exactly what the center needs. *)
+
+type t = {
+  name : string;
+  radius : n:int -> int;
+  run : Graph.Ball.t -> int array; (* output label per center port *)
+}
+
+(** A constant-radius algorithm. *)
+let constant ~name ~radius run = { name; radius = (fun ~n:_ -> radius); run }
+
+module Iterative = struct
+  type 'state spec = {
+    name : string;
+    rounds : n:int -> int;
+    (* initial state from purely local data (tags are the per-port
+       edge tags, e.g. orientation marks on directed cycles) *)
+    init :
+      n:int -> id:int -> rand:int64 -> degree:int -> inputs:int array ->
+      tags:int array -> 'state;
+    (* one synchronous round: the node sees, per port, the neighbor's
+       current state (None if that edge's endpoint is outside the
+       simulated region — never consulted for states the center
+       depends on) *)
+    step : round:int -> 'state -> 'state option array -> 'state;
+    (* final outputs per port *)
+    output : 'state -> int array;
+  }
+
+  (** Compile an iterative spec into a ball algorithm. *)
+  let compile (spec : 'state spec) : t =
+    let run (ball : Graph.Ball.t) =
+      let open Graph.Ball in
+      let t = ball.radius in
+      let state =
+        Array.init ball.size (fun u ->
+            spec.init ~n:ball.n_declared ~id:ball.id.(u)
+              ~rand:ball.rand.(u) ~degree:ball.degree.(u)
+              ~inputs:ball.input.(u) ~tags:ball.edge_tag.(u))
+      in
+      for r = 1 to t do
+        (* only nodes whose state remains valid this round are stepped *)
+        let next = Array.copy state in
+        for u = 0 to ball.size - 1 do
+          if ball.dist.(u) <= t - r then begin
+            let neighbor_states =
+              Array.map
+                (function
+                  | Some (w, _) -> Some state.(w)
+                  | None -> None)
+                ball.adj.(u)
+            in
+            next.(u) <- spec.step ~round:r state.(u) neighbor_states
+          end
+        done;
+        Array.blit next 0 state 0 ball.size
+      done;
+      spec.output state.(ball.center)
+    in
+    { name = spec.name; radius = spec.rounds; run }
+end
+
+(** Lift a deterministic algorithm into one that derives its identifier
+    from the node's random bits (the standard randomized-from-
+    deterministic conversion used in the proof of Theorem 3.10: fresh
+    ~4 log n random bits collide with probability at most 1/n). *)
+let with_random_ids (a : t) =
+  {
+    a with
+    name = a.name ^ "+rand-ids";
+    run =
+      (fun ball ->
+        let ball =
+          {
+            ball with
+            Graph.Ball.id =
+              Array.map
+                (fun seed ->
+                  let rng = Util.Prng.create ~seed:(Int64.to_int seed) in
+                  Util.Prng.bits rng)
+                ball.Graph.Ball.rand;
+          }
+        in
+        a.run ball);
+  }

@@ -1,0 +1,40 @@
+(** LOCAL algorithms (Definition 2.1): functions of the radius-T view
+    of a node — never of the host graph — whose radius may depend on
+    the declared number of nodes. *)
+
+type t = {
+  name : string;
+  radius : n:int -> int;
+  run : Graph.Ball.t -> int array;  (** output label per center port *)
+}
+
+(** A constant-radius algorithm. *)
+val constant : name:string -> radius:int -> (Graph.Ball.t -> int array) -> t
+
+(** Classic round-by-round message-passing algorithms, compiled to ball
+    functions by simulating every ball node for as many rounds as its
+    distance budget allows (the state of a node at distance d stays
+    valid for the first T - d rounds — exactly what the center needs). *)
+module Iterative : sig
+  type 'state spec = {
+    name : string;
+    rounds : n:int -> int;
+    init :
+      n:int -> id:int -> rand:int64 -> degree:int -> inputs:int array ->
+      tags:int array -> 'state;
+        (** initial state from purely local data; [tags] are the
+            per-port edge tags (e.g. orientation marks) *)
+    step : round:int -> 'state -> 'state option array -> 'state;
+        (** one synchronous round; per port the neighbor's current
+            state, [None] outside the simulated region (never consulted
+            for states the center depends on) *)
+    output : 'state -> int array;  (** final outputs per port *)
+  }
+
+  val compile : 'state spec -> t
+end
+
+(** Derive identifiers from each node's random bits (the randomized-
+    from-deterministic conversion used in Theorem 3.10's proof: ~4log n
+    fresh bits collide with probability at most 1/n). *)
+val with_random_ids : t -> t

@@ -1,0 +1,142 @@
+(* Cole–Vishkin iterated color reduction on consistently oriented
+   paths and cycles — the canonical Θ(log* n) upper bound (and the
+   yardstick the paper's gap theorems are calibrated against). Starting
+   from identifiers (colors below n^3), one CV step maps a b-bit color
+   to a (⌈log₂ b⌉+1)-bit color that still differs along every oriented
+   edge; after ~log* n synchronized steps at most six colors remain,
+   and three final color-class sweeps reduce six to three.
+
+   Works on [Graph.Builder.oriented_path] / [oriented_cycle] (edge tags
+   mark each node's successor port). Degree-1 path endpoints without a
+   successor use the fictitious successor color c xor 1, which
+   preserves the CV invariant with respect to their predecessor. *)
+
+(** One CV step: the position i of the lowest bit where [own] and
+    [succ] differ, encoded as 2i + own's bit there. Proper along every
+    oriented edge stays proper. *)
+let cv_step ~own ~succ =
+  let diff = own lxor succ in
+  if diff = 0 then invalid_arg "Cole_vishkin.cv_step: equal colors";
+  let rec lowest i d = if d land 1 = 1 then i else lowest (i + 1) (d lsr 1) in
+  let i = lowest 0 diff in
+  (2 * i) + ((own lsr i) land 1)
+
+(** Number of synchronized CV steps that provably bring colors into
+    {0,…,5} when starting below n^3: iterate b ← ⌈log₂ b⌉ + 1 on the
+    bit length until b <= 3 (colors < 8), plus one step into < 6.
+    Θ(log* n), and the concrete value printed by the benches. *)
+let cv_iterations n =
+  let b0 = (3 * Util.Logstar.log2_ceil (max 2 n)) + 2 in
+  let rec go k b =
+    if b <= 3 then k else go (k + 1) (Util.Logstar.log2_ceil b + 1)
+  in
+  go 0 b0 + 1
+
+(** Total rounds of the full 3-coloring algorithm. *)
+let rounds ~n = cv_iterations n + 3
+
+type state = {
+  color : int;
+  degree : int;
+  succ_port : int option; (* port carrying the successor tag *)
+  cv_rounds : int;        (* phase boundary, from the declared n *)
+}
+
+let successor_port tags =
+  let rec go p =
+    if p >= Array.length tags then None
+    else if tags.(p) = Graph.Builder.succ_tag then Some p
+    else go (p + 1)
+  in
+  go 0
+
+(* Reduction sweeps: rounds K+1, K+2, K+3 retire classes 5, 4, 3. A
+   retiring node picks the smallest color of {0,1,2} unused by its
+   neighbors; same-class nodes are never adjacent (the coloring remains
+   proper), so sweeps cannot collide. *)
+let reduce_color ~own neighbor_colors =
+  let used = Array.make 3 false in
+  List.iter (fun c -> if c < 3 then used.(c) <- true) neighbor_colors;
+  let rec first c = if not used.(c) then c else first (c + 1) in
+  ignore own;
+  first 0
+
+let spec : state Algorithm.Iterative.spec =
+  {
+    name = "cole-vishkin-3-coloring";
+    rounds;
+    init =
+      (fun ~n ~id ~rand:_ ~degree ~inputs:_ ~tags ->
+        {
+          color = id;
+          degree;
+          succ_port = successor_port tags;
+          cv_rounds = cv_iterations n;
+        });
+    step =
+      (fun ~round st neighbors ->
+        if round <= st.cv_rounds then begin
+          let succ_color =
+            match st.succ_port with
+            | Some p -> (
+              match neighbors.(p) with
+              | Some s -> s.color
+              | None -> st.color lxor 1 (* simulation boundary: unused *))
+            | None -> st.color lxor 1 (* path endpoint *)
+          in
+          { st with color = cv_step ~own:st.color ~succ:succ_color }
+        end
+        else begin
+          let retired = 5 - (round - st.cv_rounds - 1) in
+          if st.color = retired then begin
+            let neighbor_colors =
+              Array.to_list neighbors
+              |> List.filter_map (Option.map (fun s -> s.color))
+            in
+            { st with color = reduce_color ~own:st.color neighbor_colors }
+          end
+          else st
+        end);
+    output = (fun st -> Array.make st.degree st.color);
+  }
+
+(** 3-coloring of oriented paths/cycles as an [Algorithm.t]; outputs
+    the node's color (0, 1 or 2) on every port, matching the label
+    encoding of [Lcl.Zoo.coloring ~k:3 ~delta:2]. *)
+let three_coloring : Algorithm.t = Algorithm.Iterative.compile spec
+
+(* -- offline replay -------------------------------------------------- *)
+
+(** The final color at index [center] of a successor-ordered identifier
+    chain [ids], after [iters] CV steps and the three reduction sweeps
+    — the exact computation of [three_coloring], replayed on explicitly
+    gathered data. Missing successors (chain/path ends) use the
+    fictitious color c xor 1, as in the distributed version. Shared by
+    the VOLUME algorithms and the shortcut-graph experiment, both of
+    which collect the chain by other means than radius-T views. *)
+let chain_color ~iters ids center =
+  let len = Array.length ids in
+  let colors = Array.copy ids in
+  for _ = 1 to iters do
+    let next = Array.copy colors in
+    for i = 0 to len - 1 do
+      let succ = if i + 1 < len then colors.(i + 1) else colors.(i) lxor 1 in
+      next.(i) <- cv_step ~own:colors.(i) ~succ
+    done;
+    Array.blit next 0 colors 0 len
+  done;
+  for round = 1 to 3 do
+    let retired = 5 - (round - 1) in
+    let next = Array.copy colors in
+    for i = 0 to len - 1 do
+      if colors.(i) = retired then begin
+        let nb =
+          (if i > 0 then [ colors.(i - 1) ] else [])
+          @ if i + 1 < len then [ colors.(i + 1) ] else []
+        in
+        next.(i) <- reduce_color ~own:colors.(i) nb
+      end
+    done;
+    Array.blit next 0 colors 0 len
+  done;
+  colors.(center)

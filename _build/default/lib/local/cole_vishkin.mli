@@ -1,0 +1,43 @@
+(** Cole–Vishkin iterated color reduction on consistently oriented
+    paths and cycles — the canonical Θ(log* n) upper bound. Runs on
+    [Graph.Builder.oriented_path]/[oriented_cycle] (edge tags mark the
+    successor port); path endpoints use the fictitious successor color
+    c xor 1, which preserves the invariant toward their predecessor. *)
+
+(** One CV step: position of the lowest differing bit against the
+    successor, paired with own bit. Keeps oriented chains proper.
+    @raise Invalid_argument on equal colors. *)
+val cv_step : own:int -> succ:int -> int
+
+(** Synchronized CV steps provably reaching colors in {0,…,5} from
+    identifiers below n³ — Θ(log* n). *)
+val cv_iterations : int -> int
+
+(** Total rounds of the full 3-coloring algorithm (CV phase + three
+    color-class reduction sweeps). *)
+val rounds : n:int -> int
+
+type state = {
+  color : int;
+  degree : int;
+  succ_port : int option;
+  cv_rounds : int;
+}
+
+(** Port carrying [Graph.Builder.succ_tag], if any. *)
+val successor_port : int array -> int option
+
+(** Smallest color of {0,1,2} unused by the listed neighbor colors. *)
+val reduce_color : own:int -> int list -> int
+
+(** The iterative spec (for [Sync.run] and composition). *)
+val spec : state Algorithm.Iterative.spec
+
+(** The compiled ball algorithm; outputs the node's color on every
+    port, matching [Lcl.Zoo.coloring ~k:3 ~delta:2]. *)
+val three_coloring : Algorithm.t
+
+(** Offline replay of the full computation on an explicitly gathered
+    successor-ordered id chain; returns the final color at [center].
+    Shared by the VOLUME algorithms and the shortcut experiment. *)
+val chain_color : iters:int -> int array -> int -> int

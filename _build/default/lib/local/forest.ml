@@ -1,0 +1,124 @@
+(* The Lemma 3.3 transfer: an o(log* n) algorithm for trees yields an
+   o(log* n) algorithm for forests. Each node inspects its
+   (2T(n²)+2)-hop view; if the whole component fits in some node's
+   (T(n²)+1)-ball, the component is tiny and every member maps it — in
+   the same arbitrary-but-fixed deterministic fashion, keyed by the
+   members' unique identifiers — to the same canonical solution (the
+   first one found by the verifier's backtracking). Otherwise the node
+   runs the tree algorithm with declared size n²: its view is then
+   indistinguishable from a view inside a large tree, so the tree
+   algorithm's guarantee applies. *)
+
+(* BFS distances inside a ball using only visible edges. *)
+let distances_from (ball : Graph.Ball.t) source =
+  let open Graph.Ball in
+  let dist = Array.make ball.size (-1) in
+  let queue = Queue.create () in
+  dist.(source) <- 0;
+  Queue.add source queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Array.iter
+      (function
+        | Some (w, _) ->
+          if dist.(w) = -1 then begin
+            dist.(w) <- dist.(u) + 1;
+            Queue.add w queue
+          end
+        | None -> ())
+      ball.adj.(u)
+  done;
+  dist
+
+(* Canonical reconstruction of a *complete* component (a ball with no
+   invisible edges): nodes renumbered by increasing identifier, edges
+   listed in sorted order — the same value no matter whose ball it was
+   built from. Returns the graph and the ball-index -> canonical-index
+   map. *)
+let canonical_component (ball : Graph.Ball.t) =
+  let open Graph.Ball in
+  let order = Array.init ball.size Fun.id in
+  Array.sort (fun a b -> compare ball.id.(a) ball.id.(b)) order;
+  let canon = Array.make ball.size 0 in
+  Array.iteri (fun rank u -> canon.(u) <- rank) order;
+  let edges = ref [] in
+  for u = 0 to ball.size - 1 do
+    Array.iter
+      (function
+        | Some (w, _) ->
+          if canon.(u) < canon.(w) then edges := (canon.(u), canon.(w)) :: !edges
+        | None -> ())
+      ball.adj.(u)
+  done;
+  let edges = List.sort compare !edges in
+  let delta = Array.fold_left max 1 ball.degree in
+  let g = Graph.of_edges ~n:ball.size ~delta edges in
+  (* copy inputs, locating ports by neighbor identity *)
+  for u = 0 to ball.size - 1 do
+    Array.iteri
+      (fun p entry ->
+        match entry with
+        | Some (w, _) ->
+          let cu = canon.(u) and cw = canon.(w) in
+          let rec find q = if Graph.neighbor g cu q = cw then q else find (q + 1) in
+          Graph.set_input g cu (find 0) ball.input.(u).(p)
+        | None -> ())
+      ball.adj.(u)
+  done;
+  (g, canon)
+
+(** [for_forests ~problem algo] — the forest algorithm A' of
+    Lemma 3.3 built from a tree algorithm [algo] for [problem]. *)
+let for_forests ~problem (algo : Algorithm.t) : Algorithm.t =
+  let radius ~n =
+    let t = algo.Algorithm.radius ~n:(n * n) in
+    (2 * t) + 2
+  in
+  let run (ball : Graph.Ball.t) =
+    let open Graph.Ball in
+    let n = ball.n_declared in
+    let t = algo.Algorithm.radius ~n:(n * n) in
+    let component_complete =
+      let complete = ref true in
+      for u = 0 to ball.size - 1 do
+        for p = 0 to ball.degree.(u) - 1 do
+          if ball.adj.(u).(p) = None then complete := false
+        done
+      done;
+      !complete
+    in
+    let small_witness =
+      component_complete
+      && List.exists
+           (fun u ->
+             let d = distances_from ball u in
+             Array.for_all (fun x -> x >= 0 && x <= t + 1) d)
+           (List.init ball.size Fun.id)
+    in
+    if small_witness then begin
+      let g, canon = canonical_component ball in
+      match Lcl.Verify.solvable problem g with
+      | None ->
+        invalid_arg
+          (Printf.sprintf "Forest.for_forests: %s unsolvable on a component"
+             (Lcl.Problem.name problem))
+      | Some labeling ->
+        (* translate the canonical node's outputs back to ball ports *)
+        let c = canon.(ball.center) in
+        Array.mapi
+          (fun _p entry ->
+            match entry with
+            | Some (w, _) ->
+              let cw = canon.(w) in
+              let rec find q =
+                if Graph.neighbor g c q = cw then q else find (q + 1)
+              in
+              labeling.(c).(find 0)
+            | None -> assert false (* component is complete *))
+          ball.adj.(ball.center)
+    end
+    else
+      let sub = Graph.Ball.sub ball ~center:ball.center ~radius:t in
+      algo.Algorithm.run { sub with n_declared = n * n }
+  in
+  { Algorithm.name = algo.Algorithm.name ^ "+forests"; radius; run }

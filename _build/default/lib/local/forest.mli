@@ -1,0 +1,7 @@
+(** The Lemma 3.3 transfer: an o(log* n) algorithm for trees becomes an
+    o(log* n) algorithm for forests — tiny components are solved
+    canonically (identical deterministic map at every member, keyed by
+    identifiers), large ones run the tree algorithm with declared size
+    n². *)
+
+val for_forests : problem:Lcl.Problem.t -> Algorithm.t -> Algorithm.t

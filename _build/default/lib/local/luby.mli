@@ -1,0 +1,12 @@
+(** Luby-style randomized MIS on arbitrary bounded-degree graphs:
+    O(log n) logical rounds succeed with probability 1 - 1/poly(n)
+    (Def. 2.5's randomized complexity); undecided leftovers emit an
+    invalid configuration so the verifier counts the failure. Output
+    encoding matches [Lcl.Zoo.mis]. *)
+
+type state
+
+val logical_rounds : n:int -> int
+val rounds : n:int -> int
+val spec : state Algorithm.Iterative.spec
+val algorithm : Algorithm.t

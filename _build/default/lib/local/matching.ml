@@ -1,0 +1,133 @@
+(* Maximal matching on oriented paths/cycles in Θ(log* n) rounds.
+
+   The line graph of an oriented cycle is again an oriented cycle whose
+   i-th node is the edge e_i leaving node i; every node simulates its
+   outgoing edge. Cole–Vishkin 3-colors the edges; then one sweep per
+   color class lets an edge join the matching iff both endpoints are
+   still unmatched (same-color edges never share a node, and earlier
+   classes are visible in the neighbors' states, so sweeps never
+   conflict). One final round propagates the incoming edge's status.
+
+   Output encoding matches [Lcl.Zoo.maximal_matching]: M = 0 on both
+   half-edges of a matched edge, O = 1 on the other ports of a matched
+   node, U = 2 on every port of an unmatched node. *)
+
+type state = {
+  degree : int;
+  succ_port : int option;     (* port of the outgoing edge *)
+  edge_color : int;           (* CV color of the outgoing edge *)
+  cv_rounds : int;
+  out_joined : bool;          (* my outgoing edge is in the matching *)
+  pred_joined : bool;         (* some incoming edge is in the matching *)
+}
+
+let rounds ~n = Cole_vishkin.rounds ~n + 4
+
+let matched st = st.out_joined || st.pred_joined
+
+(* incoming-edge status: did any predecessor's outgoing edge join? *)
+let incoming_joined st neighbors =
+  let got = ref false in
+  Array.iteri
+    (fun p nb ->
+      match nb with
+      | Some s when Some p <> st.succ_port ->
+        (* neighbor on port p points at me iff I am its successor *)
+        if s.out_joined && s.succ_port <> None then begin
+          (* only count it if that edge is the one between us: for
+             degree <= 2 oriented structures the non-successor port is
+             exactly the predecessor *)
+          got := true
+        end
+      | _ -> ())
+    neighbors;
+  !got
+
+let spec : state Algorithm.Iterative.spec =
+  {
+    name = "cv-maximal-matching";
+    rounds;
+    init =
+      (fun ~n ~id ~rand:_ ~degree ~inputs:_ ~tags ->
+        {
+          degree;
+          succ_port = Cole_vishkin.successor_port tags;
+          edge_color = id; (* the outgoing edge inherits its owner's id *)
+          cv_rounds = Cole_vishkin.cv_iterations n;
+          out_joined = false;
+          pred_joined = false;
+        });
+    step =
+      (fun ~round st neighbors ->
+        let succ_state =
+          match st.succ_port with
+          | Some p -> neighbors.(p)
+          | None -> None
+        in
+        if round <= st.cv_rounds then begin
+          (* CV phase on the line cycle: my outgoing edge against the
+             successor's outgoing edge *)
+          match st.succ_port with
+          | None -> st (* no outgoing edge: nothing to color *)
+          | Some _ ->
+            let succ_color =
+              match succ_state with
+              | Some s when s.succ_port <> None -> s.edge_color
+              | _ -> st.edge_color lxor 1
+            in
+            { st with
+              edge_color = Cole_vishkin.cv_step ~own:st.edge_color ~succ:succ_color }
+        end
+        else if round <= st.cv_rounds + 3 then begin
+          (* reduction sweeps on edge colors: retire classes 5, 4, 3 *)
+          let retired = 5 - (round - st.cv_rounds - 1) in
+          if st.succ_port <> None && st.edge_color = retired then begin
+            let nearby =
+              (* colors of the adjacent line-graph nodes: predecessor's
+                 outgoing edge and successor's outgoing edge *)
+              Array.to_list neighbors
+              |> List.filter_map
+                   (Option.map (fun s ->
+                        if s.succ_port = None then [] else [ s.edge_color ]))
+              |> List.concat
+            in
+            { st with edge_color = Cole_vishkin.reduce_color ~own:st.edge_color nearby }
+          end
+          else { st with pred_joined = st.pred_joined || incoming_joined st neighbors }
+        end
+        else begin
+          (* matching sweeps: classes 0, 1, 2, then one sync round *)
+          let st =
+            { st with pred_joined = st.pred_joined || incoming_joined st neighbors }
+          in
+          let active = round - (st.cv_rounds + 3) - 1 in
+          if
+            active <= 2 && st.succ_port <> None
+            && st.edge_color = active && not (matched st)
+          then begin
+            let succ_matched =
+              match succ_state with Some s -> matched s | None -> false
+            in
+            if succ_matched then st else { st with out_joined = true }
+          end
+          else st
+        end);
+    output =
+      (fun st ->
+        let out = Array.make st.degree 2 in
+        if matched st then begin
+          Array.fill out 0 st.degree 1;
+          (match st.succ_port with
+          | Some p when st.out_joined -> out.(p) <- 0
+          | _ -> ());
+          if st.pred_joined then begin
+            (* the predecessor port is the non-successor port *)
+            for p = 0 to st.degree - 1 do
+              if Some p <> st.succ_port then out.(p) <- 0
+            done
+          end
+        end;
+        out);
+  }
+
+let algorithm : Algorithm.t = Algorithm.Iterative.compile spec

@@ -1,0 +1,10 @@
+(** Maximal matching on oriented paths/cycles in Θ(log* n) rounds via
+    Cole–Vishkin on the line cycle (each node simulates its outgoing
+    edge), color-class join sweeps, and a final sync round. Output
+    encoding matches [Lcl.Zoo.maximal_matching]. *)
+
+type state
+
+val rounds : n:int -> int
+val spec : state Algorithm.Iterative.spec
+val algorithm : Algorithm.t

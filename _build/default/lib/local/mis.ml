@@ -1,0 +1,76 @@
+(* Maximal independent set on oriented paths/cycles in Θ(log* n)
+   rounds: Cole–Vishkin 3-coloring followed by three color-class
+   sweeps (class c joins if no neighbor joined yet) and one final round
+   in which dominated nodes locate an MIS neighbor for their pointer.
+
+   Output encoding matches [Lcl.Zoo.mis]: I = 0 on every port of a
+   member, P = 1 on the port of the chosen dominating neighbor,
+   N = 2 elsewhere. *)
+
+type state = {
+  cv : Cole_vishkin.state;
+  in_mis : bool;
+  neighbor_in_mis : bool array; (* learned in the final round *)
+}
+
+let rounds ~n = Cole_vishkin.rounds ~n + 4
+
+let spec : state Algorithm.Iterative.spec =
+  {
+    name = "cv-mis";
+    rounds;
+    init =
+      (fun ~n ~id ~rand ~degree ~inputs ~tags ->
+        {
+          cv = Cole_vishkin.spec.init ~n ~id ~rand ~degree ~inputs ~tags;
+          in_mis = false;
+          neighbor_in_mis = Array.make degree false;
+        });
+    step =
+      (fun ~round st neighbors ->
+        let color_rounds = st.cv.Cole_vishkin.cv_rounds + 3 in
+        if round <= color_rounds then
+          let cv_neighbors =
+            Array.map (Option.map (fun s -> s.cv)) neighbors
+          in
+          { st with cv = Cole_vishkin.spec.step ~round st.cv cv_neighbors }
+        else if round <= color_rounds + 3 then begin
+          (* class sweep: color (round - color_rounds - 1) joins unless
+             a neighbor is already in the MIS *)
+          let active_color = round - color_rounds - 1 in
+          if st.cv.Cole_vishkin.color = active_color && not st.in_mis then
+            let blocked =
+              Array.exists
+                (function Some s -> s.in_mis | None -> false)
+                neighbors
+            in
+            { st with in_mis = not blocked }
+          else st
+        end
+        else
+          (* final round: record which neighbors ended up in the MIS *)
+          {
+            st with
+            neighbor_in_mis =
+              Array.map
+                (function Some s -> s.in_mis | None -> false)
+                neighbors;
+          });
+    output =
+      (fun st ->
+        let d = st.cv.Cole_vishkin.degree in
+        if st.in_mis then Array.make d 0
+        else begin
+          let out = Array.make d 2 in
+          let rec first p =
+            if p >= d then
+              invalid_arg "Mis: dominated node without MIS neighbor"
+            else if st.neighbor_in_mis.(p) then p
+            else first (p + 1)
+          in
+          out.(first 0) <- 1;
+          out
+        end);
+  }
+
+let algorithm : Algorithm.t = Algorithm.Iterative.compile spec

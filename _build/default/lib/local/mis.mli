@@ -1,0 +1,9 @@
+(** Maximal independent set on oriented paths/cycles in Θ(log* n)
+    rounds: Cole–Vishkin 3-coloring, three color-class join sweeps, one
+    pointer round. Output encoding matches [Lcl.Zoo.mis]. *)
+
+type state
+
+val rounds : n:int -> int
+val spec : state Algorithm.Iterative.spec
+val algorithm : Algorithm.t

@@ -1,0 +1,48 @@
+(* Order-invariance (Def. 2.7) and the speedup of order-invariant
+   algorithms (Theorem 2.11, LOCAL side).
+
+   [check] is a property test: run the algorithm under many ID
+   assignments with the same relative order and verify the outputs
+   coincide. [speedup] is Theorem 2.11's construction: fix n₀ and run
+   the algorithm "fooled" into believing the graph has n₀ nodes, giving
+   a constant-radius algorithm; for a correct order-invariant algorithm
+   with radius o(log n) this stays correct on all larger graphs. *)
+
+(** Do two runs with order-isomorphic IDs produce identical outputs?
+    Tests [trials] fresh magnitude re-assignments of a random base
+    order on [g]. *)
+let check ?(trials = 5) ?(seed = 11) (algo : Algorithm.t) g =
+  let n = Graph.n g in
+  let rng = Util.Prng.create ~seed in
+  let base_ids = Graph.Ids.random rng n in
+  let order = Graph.Ids.order_of base_ids in
+  let rand = Array.init n (fun _ -> Util.Prng.next_int64 rng) in
+  let radius = algo.Algorithm.radius ~n in
+  let outputs ids =
+    Array.init n (fun v ->
+        let ball, _ = Graph.Ball.extract g ~ids ~rand ~n_declared:n v ~radius in
+        algo.Algorithm.run ball)
+  in
+  let reference = outputs base_ids in
+  let ok = ref true in
+  for _ = 1 to trials do
+    let ids = Graph.Ids.with_order rng order in
+    if outputs ids <> reference then ok := false
+  done;
+  !ok
+
+(** Theorem 2.11 (LOCAL): the constant-radius algorithm obtained by
+    declaring n₀ nodes regardless of the true size. Sound whenever
+    [algo] is order-invariant, correct, and n₀ is large enough that a
+    radius-T(n₀) ball plus checkability radius cannot see "all of" a
+    larger graph (see the theorem's proof; callers validate on the
+    simulator). *)
+let speedup ~n0 (algo : Algorithm.t) : Algorithm.t =
+  {
+    Algorithm.name = algo.Algorithm.name ^ Printf.sprintf "@n0=%d" n0;
+    radius = (fun ~n -> algo.Algorithm.radius ~n:(min n n0));
+    run =
+      (fun ball ->
+        let declared = min ball.Graph.Ball.n_declared n0 in
+        algo.Algorithm.run { ball with Graph.Ball.n_declared = declared });
+  }

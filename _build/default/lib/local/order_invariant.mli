@@ -1,0 +1,11 @@
+(** Order-invariance (Def. 2.7) and the order-invariant speedup
+    (Theorem 2.11, LOCAL side). *)
+
+(** Property test: do order-isomorphic identifier assignments produce
+    identical outputs on [g]? *)
+val check : ?trials:int -> ?seed:int -> Algorithm.t -> Graph.t -> bool
+
+(** Theorem 2.11's construction: declare min(n, n0) regardless of the
+    true size — constant radius; correct for order-invariant
+    o(log n)-radius algorithms. *)
+val speedup : n0:int -> Algorithm.t -> Algorithm.t

@@ -1,0 +1,81 @@
+(* Johansson-style randomized (Δ+1)-coloring on arbitrary
+   bounded-degree graphs: in each logical round every uncolored node
+   proposes a uniformly random color from its palette (colors not
+   permanently taken by neighbors) and keeps it unless an uncolored
+   neighbor proposed the same color this round. Each attempt succeeds
+   with constant probability at constant degree, so O(log n) logical
+   rounds color everyone with probability 1 - 1/poly(n) — the classic
+   randomized member of the paper's class (B)/(C) boundary discussion,
+   here mainly a second randomized workload (besides Luby's MIS) for
+   the Def. 2.4 local-failure measurements.
+
+   Two simulated rounds per logical round: propose, then commit. *)
+
+type state = {
+  degree : int;
+  delta : int;
+  rand : int64;
+  color : int;    (* committed color, or -1 *)
+  proposal : int; (* this logical round's proposal, or -1 *)
+}
+
+let logical_rounds ~n = (4 * Util.Logstar.log2_ceil (max 2 n)) + 4
+
+let rounds ~n = 2 * logical_rounds ~n
+
+let propose ~rand ~round ~palette_size =
+  let rng = Util.Prng.create ~seed:(Int64.to_int rand + (round * 0x51ED)) in
+  Util.Prng.int rng palette_size
+
+(** The algorithm, parameterized by the degree bound (the palette is
+    {0, …, delta}). *)
+let algorithm ~delta : Algorithm.t =
+  let spec : state Algorithm.Iterative.spec =
+    {
+      name = Printf.sprintf "johansson-%d-coloring" (delta + 1);
+      rounds;
+      init =
+        (fun ~n:_ ~id:_ ~rand ~degree ~inputs:_ ~tags:_ ->
+          { degree; delta; rand; color = -1; proposal = -1 });
+      step =
+        (fun ~round st neighbors ->
+          if st.color >= 0 then st
+          else if round mod 2 = 1 then begin
+            (* propose a color outside the neighbors' committed ones *)
+            let taken =
+              Array.to_list neighbors
+              |> List.filter_map (function
+                   | Some s when s.color >= 0 -> Some s.color
+                   | _ -> None)
+            in
+            let palette =
+              List.filter
+                (fun c -> not (List.mem c taken))
+                (List.init (st.delta + 1) Fun.id)
+            in
+            match palette with
+            | [] -> st (* cannot happen: degree <= delta *)
+            | _ ->
+              let k = propose ~rand:st.rand ~round ~palette_size:(List.length palette) in
+              { st with proposal = List.nth palette k }
+          end
+          else begin
+            (* commit unless an uncolored neighbor proposed the same *)
+            let conflict =
+              Array.exists
+                (function
+                  | Some s -> s.color < 0 && s.proposal = st.proposal
+                  | None -> false)
+                neighbors
+            in
+            if conflict || st.proposal < 0 then { st with proposal = -1 }
+            else { st with color = st.proposal; proposal = -1 }
+          end);
+      output =
+        (fun st ->
+          (* uncolored nodes (low-probability failure) emit color 0,
+             which the verifier will flag on some incident edge *)
+          Array.make st.degree (if st.color >= 0 then st.color else 0));
+    }
+  in
+  Algorithm.Iterative.compile spec

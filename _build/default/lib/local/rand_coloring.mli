@@ -1,0 +1,9 @@
+(** Johansson-style randomized (Δ+1)-coloring on arbitrary
+    bounded-degree graphs: propose-then-commit from the free palette,
+    O(log n) logical rounds whp. *)
+
+val logical_rounds : n:int -> int
+val rounds : n:int -> int
+
+(** The algorithm with palette {0, …, delta}. *)
+val algorithm : delta:int -> Algorithm.t

@@ -1,0 +1,74 @@
+(* Executing LOCAL algorithms on a host graph: assign identifiers and
+   per-node randomness, extract each node's radius-T ball, run the
+   algorithm everywhere, and hand the assembled half-edge labeling to
+   the verifier. *)
+
+type outcome = {
+  labeling : int array array;                (* per node, per port *)
+  violations : Lcl.Verify.violation list;
+  radius_used : int;
+}
+
+type id_mode = [ `Random | `Sequential | `Fixed of int array ]
+
+let assign_ids rng mode n =
+  match mode with
+  | `Random -> Graph.Ids.random rng n
+  | `Sequential -> Graph.Ids.sequential n
+  | `Fixed ids ->
+    if Array.length ids <> n then invalid_arg "Runner: fixed ids size";
+    ids
+
+(** Run [algo] on [g] against [problem]. [n_declared] defaults to the
+    true size (Def. 2.1 gives nodes the exact n; pass a different value
+    to "fool" an algorithm, as the order-invariance speedup does). *)
+let run ?(seed = 0xC0FFEE) ?(ids = `Random) ?n_declared ~problem
+    (algo : Algorithm.t) g =
+  let n = Graph.n g in
+  let n_declared = Option.value n_declared ~default:n in
+  let rng = Util.Prng.create ~seed in
+  let ids = assign_ids rng ids n in
+  let rand = Array.init n (fun _ -> Util.Prng.next_int64 rng) in
+  let radius = algo.Algorithm.radius ~n:n_declared in
+  let labeling =
+    Array.init n (fun v ->
+        let ball, _hosts =
+          Graph.Ball.extract g ~ids ~rand ~n_declared v ~radius
+        in
+        let out = algo.Algorithm.run ball in
+        if Array.length out <> Graph.degree g v then
+          invalid_arg
+            (Printf.sprintf "Runner.run: %s returned %d outputs at degree-%d node"
+               algo.Algorithm.name (Array.length out) (Graph.degree g v));
+        out)
+  in
+  {
+    labeling;
+    violations = Lcl.Verify.violations problem g labeling;
+    radius_used = radius;
+  }
+
+let succeeds ?seed ?ids ?n_declared ~problem algo g =
+  (run ?seed ?ids ?n_declared ~problem algo g).violations = []
+
+(** Empirical *local* failure probability (Def. 2.4): over [trials]
+    independent runs (fresh randomness and IDs), the maximum over
+    nodes and edges of the failure frequency of that node/edge. *)
+let empirical_local_failure ?(trials = 100) ?(seed = 7) ~problem algo g =
+  let n = Graph.n g in
+  let node_fails = Array.make n 0 in
+  let edge_fails = Hashtbl.create 64 in
+  List.iter (fun (u, v) -> Hashtbl.replace edge_fails (u, v) 0) (Graph.edges g);
+  for trial = 0 to trials - 1 do
+    let o = run ~seed:(seed + (trial * 7919)) ~problem algo g in
+    let node_fail, edge_fail = Lcl.Verify.failure_events problem g o.labeling in
+    Array.iteri (fun v f -> if f then node_fails.(v) <- node_fails.(v) + 1) node_fail;
+    Hashtbl.iter
+      (fun e () ->
+        Hashtbl.replace edge_fails e (Hashtbl.find edge_fails e + 1))
+      edge_fail
+  done;
+  let worst = ref 0 in
+  Array.iter (fun c -> worst := max !worst c) node_fails;
+  Hashtbl.iter (fun _ c -> worst := max !worst c) edge_fails;
+  float_of_int !worst /. float_of_int trials

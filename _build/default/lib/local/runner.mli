@@ -1,0 +1,29 @@
+(** Execution of LOCAL algorithms on a host graph: identifier and
+    randomness assignment, per-node view extraction, verification. *)
+
+type outcome = {
+  labeling : int array array;               (** per node, per port *)
+  violations : Lcl.Verify.violation list;
+  radius_used : int;
+}
+
+type id_mode = [ `Random | `Sequential | `Fixed of int array ]
+
+(** Run [algo] on [g] against [problem]. [n_declared] defaults to the
+    true size; pass another value to "fool" an algorithm (as the
+    order-invariance speedups do). [seed] drives both the identifier
+    assignment and the per-node randomness. *)
+val run :
+  ?seed:int -> ?ids:id_mode -> ?n_declared:int -> problem:Lcl.Problem.t ->
+  Algorithm.t -> Graph.t -> outcome
+
+val succeeds :
+  ?seed:int -> ?ids:id_mode -> ?n_declared:int -> problem:Lcl.Problem.t ->
+  Algorithm.t -> Graph.t -> bool
+
+(** Empirical *local* failure probability (Def. 2.4): over [trials]
+    runs with fresh randomness, the maximum per-node/per-edge failure
+    frequency. *)
+val empirical_local_failure :
+  ?trials:int -> ?seed:int -> problem:Lcl.Problem.t -> Algorithm.t ->
+  Graph.t -> float

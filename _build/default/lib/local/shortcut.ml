@@ -1,0 +1,73 @@
+(* The shortcut-graph experiment (the [11] construction recalled in the
+   paper's introduction, experiment E3): 3-coloring a marked path that
+   lives inside a [Graph.Builder.shortcut_path] graph.
+
+   On the bare path the Cole–Vishkin chain forces radius Θ(log* n). The
+   hub tree over the path brings path positions i and j within
+   O(log |i-j|) graph hops, so the *same* chain computation fits into a
+   radius-Θ(log log* n) view — a problem strictly between O(1) and
+   Θ(log* n) in radius, which Theorem 1.1 shows cannot happen on trees
+   and Theorem 1.3 shows cannot happen in probe complexity.
+
+   The problem encoding is [Lcl.Zoo_oriented.path_coloring] on graphs
+   annotated by [Lcl.Zoo_oriented.mark_shortcut_inputs]. *)
+
+let filler = 3
+
+(* hops needed in the shortcut graph to see k path-hops: one up-down
+   traversal of the hub tree, ~2 log2 k + 4 *)
+let radius_for_chain k = (2 * Util.Logstar.log2_ceil (max 2 k)) + 4
+
+let chain_length ~n = Cole_vishkin.cv_iterations n + 3
+
+(** Radius-Θ(log log* n) LOCAL algorithm for the marked-path coloring
+    on shortcut graphs. *)
+let path_coloring : Algorithm.t =
+  let radius ~n = radius_for_chain (chain_length ~n + 3) in
+  let run (ball : Graph.Ball.t) =
+    let open Graph.Ball in
+    let d0 = ball.degree.(0) in
+    let input u p = ball.input.(u).(p) in
+    let port_of u inp =
+      let rec go p =
+        if p >= ball.degree.(u) then None
+        else if input u p = inp then Some p
+        else go (p + 1)
+      in
+      go 0
+    in
+    let on_path u =
+      port_of u Lcl.Zoo_oriented.path_succ <> None
+      || port_of u Lcl.Zoo_oriented.path_pred <> None
+    in
+    if not (on_path 0) then Array.make d0 filler
+    else begin
+      let n = ball.n_declared in
+      let iters = Cole_vishkin.cv_iterations n in
+      (* walk the path inside the view: forward iters+3, backward 3 *)
+      let walk dir limit =
+        let rec go u acc steps =
+          if steps = limit then acc
+          else
+            match port_of u dir with
+            | None -> acc
+            | Some p -> (
+              match ball.adj.(u).(p) with
+              | None -> acc (* view boundary: cannot happen within radius *)
+              | Some (w, _) -> go w (ball.id.(w) :: acc) (steps + 1))
+        in
+        go 0 [] 0
+      in
+      let fwd = List.rev (walk Lcl.Zoo_oriented.path_succ (iters + 3)) in
+      let back = walk Lcl.Zoo_oriented.path_pred 3 in
+      let ids = Array.of_list (back @ (ball.id.(0) :: fwd)) in
+      let center = List.length back in
+      let color = Cole_vishkin.chain_color ~iters ids center in
+      Array.init d0 (fun p ->
+          let i = input 0 p in
+          if i = Lcl.Zoo_oriented.path_succ || i = Lcl.Zoo_oriented.path_pred
+          then color
+          else filler)
+    end
+  in
+  { Algorithm.name = "shortcut-path-coloring"; radius; run }

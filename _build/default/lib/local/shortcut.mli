@@ -1,0 +1,11 @@
+(** The E3 experiment's LOCAL algorithm: 3-coloring the marked path of
+    a [Graph.Builder.shortcut_path] graph within a radius-Θ(log log* n)
+    view (the hub tree brings the needed Cole–Vishkin chain within
+    exponentially fewer hops). Problem encoding:
+    [Lcl.Zoo_oriented.path_coloring] on graphs annotated by
+    [Lcl.Zoo_oriented.mark_shortcut_inputs]. *)
+
+(** Hops needed to see a k-node path chain through the hub tree. *)
+val radius_for_chain : int -> int
+
+val path_coloring : Algorithm.t

@@ -1,0 +1,74 @@
+(* Direct synchronous execution of an [Algorithm.Iterative] spec on the
+   whole graph: one state per node, T rounds of simultaneous updates.
+   Semantically equivalent to compiling the spec to a ball algorithm
+   and running it per node (a property the tests check), but linear in
+   n·T instead of per-node ball extraction — the right tool for large
+   simulations.
+
+   It also measures the maximum marshalled state size over the whole
+   run: a proxy for the message size a CONGEST implementation of the
+   algorithm would need (the paper's Section 1.1 discusses [10]'s
+   result that on trees the LOCAL and CONGEST complexities of LCLs
+   coincide; our Θ(log* n) baselines all keep O(log n)-bit states,
+   making them CONGEST algorithms as-is). *)
+
+type 'state outcome = {
+  outputs : int array array;      (* per node, per port *)
+  final_states : 'state array;
+  rounds_run : int;
+  max_state_bytes : int;          (* marshalled, over all nodes/rounds *)
+}
+
+(** Run [spec] on [g] for its declared number of rounds. [ids] and
+    [rand] default to fresh random assignments from [seed]. *)
+let run ?(seed = 0x5EED) ?ids ?rand ?n_declared
+    (spec : 'state Algorithm.Iterative.spec) g =
+  let n = Graph.n g in
+  let rng = Util.Prng.create ~seed in
+  let ids = match ids with Some i -> i | None -> Graph.Ids.random rng n in
+  let rand =
+    match rand with
+    | Some r -> r
+    | None -> Array.init n (fun _ -> Util.Prng.next_int64 rng)
+  in
+  let n_declared = Option.value n_declared ~default:n in
+  let rounds = spec.Algorithm.Iterative.rounds ~n:n_declared in
+  let state =
+    Array.init n (fun v ->
+        spec.Algorithm.Iterative.init ~n:n_declared ~id:ids.(v) ~rand:rand.(v)
+          ~degree:(Graph.degree g v)
+          ~inputs:(Array.init (Graph.degree g v) (fun p -> Graph.input g v p))
+          ~tags:(Array.init (Graph.degree g v) (fun p -> Graph.edge_tag g v p)))
+  in
+  let max_bytes = ref 0 in
+  let record_sizes () =
+    Array.iter
+      (fun s ->
+        max_bytes :=
+          max !max_bytes (Bytes.length (Marshal.to_bytes s [ Marshal.Closures ])))
+      state
+  in
+  record_sizes ();
+  for round = 1 to rounds do
+    let next =
+      Array.init n (fun v ->
+          let neighbor_states =
+            Array.init (Graph.degree g v) (fun p ->
+                Some state.(Graph.neighbor g v p))
+          in
+          spec.Algorithm.Iterative.step ~round state.(v) neighbor_states)
+    in
+    Array.blit next 0 state 0 n;
+    record_sizes ()
+  done;
+  {
+    outputs = Array.map spec.Algorithm.Iterative.output state;
+    final_states = Array.copy state;
+    rounds_run = rounds;
+    max_state_bytes = !max_bytes;
+  }
+
+(** Run and verify against [problem]. *)
+let run_and_verify ?seed ?ids ?rand ?n_declared ~problem spec g =
+  let o = run ?seed ?ids ?rand ?n_declared spec g in
+  (o, Lcl.Verify.violations problem g o.outputs)

@@ -1,0 +1,26 @@
+(** Direct synchronous execution of an [Algorithm.Iterative] spec on a
+    whole graph — semantically equivalent to compiling to a ball
+    algorithm and running per node (tested), but linear in n·T. Also
+    measures the maximum marshalled state size, a proxy for the message
+    size a CONGEST implementation would need (cf. the paper's
+    Section 1.1 discussion of [10]: on trees, LOCAL = CONGEST for
+    LCLs). *)
+
+type 'state outcome = {
+  outputs : int array array;  (** per node, per port *)
+  final_states : 'state array;
+  rounds_run : int;
+  max_state_bytes : int;      (** marshalled, over all nodes and rounds *)
+}
+
+(** Run [spec] for its declared number of rounds; ids/randomness default
+    to fresh assignments from [seed]. *)
+val run :
+  ?seed:int -> ?ids:int array -> ?rand:int64 array -> ?n_declared:int ->
+  'state Algorithm.Iterative.spec -> Graph.t -> 'state outcome
+
+(** Run and verify the outputs against [problem]. *)
+val run_and_verify :
+  ?seed:int -> ?ids:int array -> ?rand:int64 array -> ?n_declared:int ->
+  problem:Lcl.Problem.t -> 'state Algorithm.Iterative.spec -> Graph.t ->
+  'state outcome * Lcl.Verify.violation list

@@ -1,0 +1,1 @@
+lib/relim/relim.ml: Eliminate Failure Fixpoint Lift Pipeline Zero_round

@@ -1,0 +1,1 @@
+lib/relim/eliminate.ml: Array Fun Hashtbl Lcl List Queue String Util

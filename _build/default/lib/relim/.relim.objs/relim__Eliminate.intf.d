@@ -1,0 +1,1 @@
+lib/relim/eliminate.mli: Lcl Util

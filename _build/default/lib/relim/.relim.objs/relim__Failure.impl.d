@@ -1,0 +1,1 @@
+lib/relim/failure.ml: Float List

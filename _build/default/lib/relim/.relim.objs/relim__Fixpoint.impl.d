@@ -1,0 +1,1 @@
+lib/relim/fixpoint.ml: Array Fun Lcl List Option Util

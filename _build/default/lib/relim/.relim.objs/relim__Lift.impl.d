@@ -1,0 +1,1 @@
+lib/relim/lift.ml: Array Eliminate Graph Lcl List Util Zero_round

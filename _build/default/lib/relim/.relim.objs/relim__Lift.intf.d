@@ -1,0 +1,1 @@
+lib/relim/lift.mli: Eliminate Graph Lcl Zero_round

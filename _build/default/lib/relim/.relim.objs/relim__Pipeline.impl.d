@@ -1,0 +1,1 @@
+lib/relim/pipeline.ml: Array Eliminate Fixpoint Fmt Lcl Lift List Zero_round

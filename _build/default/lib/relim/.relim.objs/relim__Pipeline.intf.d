@@ -1,0 +1,1 @@
+lib/relim/pipeline.mli: Eliminate Format Lcl Lift

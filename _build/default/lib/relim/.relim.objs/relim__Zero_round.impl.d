@@ -1,0 +1,1 @@
+lib/relim/zero_round.ml: Array Fun Hashtbl Lcl List Option Util

@@ -1,0 +1,1 @@
+lib/relim/zero_round.mli: Lcl

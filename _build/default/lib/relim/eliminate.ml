@@ -1,0 +1,460 @@
+(* The round elimination operators R(Π) and R̄(Π) (Definitions 3.1 and
+   3.2). Both map a node-edge-checkable LCL to another one whose output
+   labels are *sets* of the argument's output labels:
+
+   R(Π):  edge constraint = universal lift   ({B₁,B₂} allowed iff every
+          selection b₁∈B₁, b₂∈B₂ has {b₁,b₂} ∈ E_Π),
+          node constraint = existential lift ({A₁…A_i} allowed iff some
+          selection lies in N_Π^i),
+          g_{R(Π)}(ℓ) = nonempty subsets of g_Π(ℓ).
+
+   R̄(Π):  the dual: node constraint universal, edge constraint
+          existential, same g.
+
+   Materialization. The paper treats 2^Σ as the new alphabet; we ground
+   set-labels to fresh atoms so iteration composes. Two modes:
+
+   - [`Full]    — enumerate every nonempty subset of Σ_out. Faithful to
+                  the definitions verbatim; feasible while
+                  C(2^|Σ|+Δ-1, Δ) stays small.
+   - [`Closed]  — enumerate only *closure-closed* sets: for the
+                  universal edge lift, compatible pairs form a Galois
+                  connection B ↦ N(B) = ⋂_{b∈B} nbr(b), and every
+                  compatible pair is dominated by a pair of closed sets
+                  (B ⊆ N(N(B))). Replacing a label by its closure
+                  preserves node configurations (existential lift is
+                  monotone) and edge compatibility, so for *input-free*
+                  problems the closed-set problem is solvable in T
+                  rounds iff the full one is — the standard
+                  "maximization" of the Round Eliminator tool. With
+                  inputs, closures may escape g, so we additionally
+                  keep the g-images and their closures of intersections
+                  (see [closed_universe]).
+
+   Both operators prune unusable labels afterwards and return the
+   semantic set each grounded label denotes. *)
+
+type mode = [ `Full | `Closed ]
+
+(** Raised when materializing the next problem would exceed the label
+    or configuration budget — the doubly-exponential growth the paper
+    points out after Theorem 3.4. The gap pipeline reports it as an
+    inconclusive-but-Ω(log* n)-consistent verdict. *)
+exception Too_large of string
+
+type image = {
+  problem : Lcl.Problem.t;
+  (* [sets.(l)] is the set of argument-problem labels denoted by the
+     grounded label [l] of [problem]. *)
+  sets : Util.Bitset.t array;
+}
+
+(* --- shared helpers ------------------------------------------------ *)
+
+let sigma_size p = Lcl.Alphabet.size (Lcl.Problem.sigma_out p)
+
+(** [nbr p] — for each output label b, the set of labels b' with
+    {b, b'} ∈ E_Π, as a bitset. *)
+let nbr p =
+  let k = sigma_size p in
+  Array.init k (fun b ->
+      List.fold_left
+        (fun acc b' ->
+          if Lcl.Problem.edge_ok p b b' then Util.Bitset.add b' acc else acc)
+        Util.Bitset.empty
+        (List.init k Fun.id))
+
+(** [common_nbrs nbr set] = ⋂_{b ∈ set} nbr.(b). *)
+let common_nbrs nbrs set =
+  Util.Bitset.fold
+    (fun b acc -> Util.Bitset.inter nbrs.(b) acc)
+    set
+    (Util.Bitset.full (Array.length nbrs))
+
+(** Does some selection from the sets of [config] (a multiset of
+    set-labels, given as bitsets) land in a node configuration of [p]?
+    Checked per base configuration via assignment search (degrees are
+    at most Δ, so permutations are cheap). *)
+let exists_selection p (sets : Util.Bitset.t array) =
+  let d = Array.length sets in
+  let matches base =
+    (* can the multiset [base] be assigned bijectively to [sets]
+       with base element ∈ set? backtracking over positions *)
+    let base = Util.Multiset.to_list base in
+    let used = Array.make d false in
+    let rec go = function
+      | [] -> true
+      | b :: rest ->
+        let rec try_pos i =
+          if i >= d then false
+          else if (not used.(i)) && Util.Bitset.mem b sets.(i) then begin
+            used.(i) <- true;
+            if go rest then true
+            else begin
+              used.(i) <- false;
+              try_pos (i + 1)
+            end
+          end
+          else try_pos (i + 1)
+        in
+        try_pos 0
+    in
+    go base
+  in
+  List.exists matches (Lcl.Problem.node_configs p ~degree:d)
+
+(** Does *every* selection from [sets] land in a node configuration of
+    [p]? *)
+let forall_selections p (sets : Util.Bitset.t array) =
+  let d = Array.length sets in
+  let choices = Array.map Util.Bitset.to_list sets in
+  let rec go i acc =
+    if i = d then Lcl.Problem.node_ok p (Util.Multiset.of_list acc)
+    else List.for_all (fun b -> go (i + 1) (b :: acc)) choices.(i)
+  in
+  go 0 []
+
+(** All multisets of size [k] over indices [0 .. m-1] (indices into a
+    label universe), as int lists ascending. *)
+let multisets m k =
+  let rec go k lo =
+    if k = 0 then [ [] ]
+    else
+      List.concat
+        (List.init (m - lo) (fun off ->
+             let x = lo + off in
+             List.map (fun rest -> x :: rest) (go (k - 1) x)))
+  in
+  go k 0
+
+(* --- label universes ----------------------------------------------- *)
+
+let full_universe p =
+  List.map
+    (fun s -> s)
+    (Util.Bitset.subsets_nonempty (sigma_size p))
+
+(** Closure-closed universe: the lattice generated by the neighbor sets
+    under intersection, together with the g-images and their pairwise
+    intersections with lattice members (so that labels representing
+    "everything g allows" survive with inputs), and all singletons (the
+    minimal elements of the existential node lift). *)
+let closed_universe ?(max_labels = 2000) p =
+  let k = sigma_size p in
+  let nbrs = nbr p in
+  let seeds =
+    List.init k (fun b -> nbrs.(b))
+    @ List.map
+        (fun i -> Lcl.Problem.g_set p i)
+        (Lcl.Alphabet.all (Lcl.Problem.sigma_in p))
+    @ List.init k Util.Bitset.singleton
+    @ [ Util.Bitset.full k ]
+  in
+  let tbl = Hashtbl.create 64 in
+  let add s =
+    if not (Util.Bitset.is_empty s) then begin
+      Hashtbl.replace tbl s ();
+      (* the lattice can blow up exponentially: stop immediately *)
+      if Hashtbl.length tbl > max_labels then
+        raise (Too_large "closed universe exceeds label budget")
+    end
+  in
+  (* close under pairwise intersection with a worklist: each new set is
+     intersected against everything once, instead of re-scanning all
+     pairs per pass *)
+  let worklist = Queue.create () in
+  let add_new s =
+    if (not (Util.Bitset.is_empty s)) && not (Hashtbl.mem tbl s) then begin
+      add s;
+      Queue.add s worklist
+    end
+  in
+  List.iter add_new (List.sort_uniq Util.Bitset.compare seeds);
+  while not (Queue.is_empty worklist) do
+    let a = Queue.pop worklist in
+    let snapshot = Hashtbl.fold (fun s () acc -> s :: acc) tbl [] in
+    List.iter (fun b -> add_new (Util.Bitset.inter a b)) snapshot
+  done;
+  Hashtbl.fold (fun s () acc -> s :: acc) tbl [] |> List.sort compare
+
+let universe mode p =
+  match mode with `Full -> full_universe p | `Closed -> closed_universe p
+
+(* --- building the image problem ------------------------------------ *)
+
+let set_label_name p set =
+  let parts =
+    List.map (Lcl.Alphabet.name (Lcl.Problem.sigma_out p)) (Util.Bitset.to_list set)
+  in
+  "{" ^ String.concat "," parts ^ "}"
+
+(** Build the grounded image problem from a label universe and
+    node/edge membership predicates (taking universe *indices*, so the
+    operators can precompute per-label tables), then prune unusable
+    labels while keeping the semantic sets aligned. *)
+let build ?(config_budget = 2_000_000) ~name ~base ~labels ~node_member
+    ~edge_member () =
+  let delta = Lcl.Problem.delta base in
+  let labels = Array.of_list labels in
+  let m = Array.length labels in
+  (* refuse absurd enumerations up front *)
+  let rec binom acc i =
+    if i = delta then acc
+    else binom (acc *. float_of_int (m + i) /. float_of_int (i + 1)) (i + 1)
+  in
+  if binom 1.0 0 > float_of_int config_budget then
+    raise (Too_large "node-configuration enumeration exceeds budget");
+  if float_of_int m *. float_of_int m /. 2. > float_of_int config_budget then
+    raise (Too_large "edge-configuration enumeration exceeds budget");
+  let sigma_out =
+    Lcl.Alphabet.of_names
+      (Array.to_list (Array.map (set_label_name base) labels))
+  in
+  let node_cfg =
+    Array.init delta (fun dm1 ->
+        let d = dm1 + 1 in
+        List.filter_map
+          (fun idxs ->
+            if node_member idxs then Some (Util.Multiset.of_list idxs)
+            else None)
+          (multisets m d))
+  in
+  let edge_cfg =
+    List.concat
+      (List.init m (fun i ->
+           List.filter_map
+             (fun j ->
+               if j < i then None
+               else if edge_member i j then Some (Util.Multiset.of_list [ i; j ])
+               else None)
+             (List.init m Fun.id)))
+  in
+  let sigma_in = Lcl.Problem.sigma_in base in
+  let g =
+    Array.init (Lcl.Alphabet.size sigma_in) (fun inp ->
+        let allowed = Lcl.Problem.g_set base inp in
+        let acc = ref Util.Bitset.empty in
+        Array.iteri
+          (fun i s ->
+            if Util.Bitset.subset s allowed then acc := Util.Bitset.add i !acc)
+          labels;
+        !acc)
+  in
+  let problem =
+    Lcl.Problem.make ~name ~delta ~sigma_in ~sigma_out ~node_cfg ~edge_cfg ~g
+  in
+  (* prune unusable labels, keeping [sets] aligned with the renaming *)
+  let rec prune problem sets =
+    let keep = Lcl.Problem.usable_labels problem in
+    if List.length keep = Lcl.Alphabet.size (Lcl.Problem.sigma_out problem)
+    then { problem; sets }
+    else
+      let problem' = Lcl.Problem.restrict problem keep in
+      let sets' = Array.of_list (List.map (fun l -> sets.(l)) keep) in
+      prune problem' sets'
+  in
+  prune problem labels
+
+(* --- the operators -------------------------------------------------- *)
+
+(* Per-degree node-compatibility tables shared by both operators: for
+   degree 1 the set of labels allowed alone; for degree 2 the relation
+   viewed as neighbor sets (the same Galois trick as for edges), which
+   turns the quadratic-per-pair selection checks into one bitset
+   operation per pair. Degrees >= 3 fall back to the generic selection
+   search with early exit. *)
+
+let node1_set p =
+  List.fold_left
+    (fun acc c -> Util.Bitset.add c.(0) acc)
+    Util.Bitset.empty
+    (Lcl.Problem.node_configs p ~degree:1)
+
+let node2_nbr p =
+  let k = sigma_size p in
+  Array.init k (fun b ->
+      List.fold_left
+        (fun acc b' ->
+          if Lcl.Problem.node_ok p (Util.Multiset.of_list [ b; b' ]) then
+            Util.Bitset.add b' acc
+          else acc)
+        Util.Bitset.empty
+        (List.init k Fun.id))
+
+(* Degree-3 link tables: link.(a).(b) = { c : {a,b,c} is a node
+   configuration }. They extend the degree-2 Galois trick to degree 3:
+   the universal lift of {A1,A2,A3} holds iff
+   A3 ⊆ ⋂_{a∈A1,b∈A2} link(a,b), and the existential lift iff
+   A3 ∩ ⋃_{a∈A1,b∈A2} link(a,b) ≠ ∅. The ⋂/⋃ over (A1,A2) is
+   computed once per pair thanks to the lexicographic order in which
+   [multisets] enumerates configurations (single-entry cache). *)
+
+let node3_link p =
+  let k = sigma_size p in
+  Array.init k (fun a ->
+      Array.init k (fun b ->
+          List.fold_left
+            (fun acc c ->
+              if Lcl.Problem.node_ok p (Util.Multiset.of_list [ a; b; c ]) then
+                Util.Bitset.add c acc
+              else acc)
+            Util.Bitset.empty
+            (List.init k Fun.id)))
+
+let cached_pair_table compute =
+  let cache = ref None in
+  fun i j ->
+    match !cache with
+    | Some (i', j', v) when i' = i && j' = j -> v
+    | _ ->
+      let v = compute i j in
+      cache := Some (i, j, v);
+      v
+
+(* Cost guard for the generic selection checks at degrees >= 4. *)
+let check_generic_cost ~m ~k ~delta =
+  if delta >= 4 then begin
+    let rec binom acc i =
+      if i = delta then acc
+      else binom (acc *. float_of_int (m + i) /. float_of_int (i + 1)) (i + 1)
+    in
+    let cost = binom 1.0 0 *. (float_of_int k ** float_of_int delta) in
+    if cost > 5e7 then
+      raise (Too_large "degree >= 4 selection checks exceed budget")
+  end
+
+(** R(Π) — Definition 3.1. *)
+let r ?(mode = `Full) p =
+  let labels = universe mode p in
+  let arr = Array.of_list labels in
+  let nbrs = nbr p in
+  let common = Array.map (common_nbrs nbrs) arr in
+  let edge_member i j = Util.Bitset.subset arr.(j) common.(i) in
+  let delta = Lcl.Problem.delta p in
+  let n1 = if delta >= 1 then node1_set p else Util.Bitset.empty in
+  let n2_union =
+    if delta >= 2 then begin
+      let n2 = node2_nbr p in
+      Array.map
+        (fun set ->
+          Util.Bitset.fold
+            (fun b acc -> Util.Bitset.union n2.(b) acc)
+            set Util.Bitset.empty)
+        arr
+    end
+    else [||]
+  in
+  let delta_p = Lcl.Problem.delta p in
+  let n3_union =
+    if delta_p >= 3 then begin
+      let link = node3_link p in
+      cached_pair_table (fun i j ->
+          Util.Bitset.fold
+            (fun a acc ->
+              Util.Bitset.fold
+                (fun b acc -> Util.Bitset.union link.(a).(b) acc)
+                arr.(j) acc)
+            arr.(i) Util.Bitset.empty)
+    end
+    else fun _ _ -> Util.Bitset.empty
+  in
+  check_generic_cost ~m:(Array.length arr) ~k:(sigma_size p) ~delta:delta_p;
+  let node_member idxs =
+    match idxs with
+    | [ i ] -> not (Util.Bitset.is_empty (Util.Bitset.inter arr.(i) n1))
+    | [ i; j ] ->
+      not (Util.Bitset.is_empty (Util.Bitset.inter arr.(j) n2_union.(i)))
+    | [ i; j; l ] ->
+      not (Util.Bitset.is_empty (Util.Bitset.inter arr.(l) (n3_union i j)))
+    | idxs ->
+      exists_selection p (Array.of_list (List.map (fun i -> arr.(i)) idxs))
+  in
+  build
+    ~name:("R(" ^ Lcl.Problem.name p ^ ")")
+    ~base:p ~labels ~node_member ~edge_member ()
+
+(** R̄(Π) — Definition 3.2. *)
+let rbar ?(mode = `Full) p =
+  let labels = universe mode p in
+  let arr = Array.of_list labels in
+  let nbrs = nbr p in
+  let union_nbrs =
+    Array.map
+      (fun set ->
+        Util.Bitset.fold
+          (fun b acc -> Util.Bitset.union nbrs.(b) acc)
+          set Util.Bitset.empty)
+      arr
+  in
+  let edge_member i j =
+    not (Util.Bitset.is_empty (Util.Bitset.inter arr.(j) union_nbrs.(i)))
+  in
+  let delta = Lcl.Problem.delta p in
+  let n1 = if delta >= 1 then node1_set p else Util.Bitset.empty in
+  let n2_inter =
+    if delta >= 2 then begin
+      let n2 = node2_nbr p in
+      let k = sigma_size p in
+      Array.map
+        (fun set ->
+          Util.Bitset.fold
+            (fun b acc -> Util.Bitset.inter n2.(b) acc)
+            set (Util.Bitset.full k))
+        arr
+    end
+    else [||]
+  in
+  let delta_p = Lcl.Problem.delta p in
+  let n3_inter =
+    if delta_p >= 3 then begin
+      let link = node3_link p in
+      let k = sigma_size p in
+      cached_pair_table (fun i j ->
+          Util.Bitset.fold
+            (fun a acc ->
+              Util.Bitset.fold
+                (fun b acc -> Util.Bitset.inter link.(a).(b) acc)
+                arr.(j) acc)
+            arr.(i) (Util.Bitset.full k))
+    end
+    else fun _ _ -> Util.Bitset.empty
+  in
+  check_generic_cost ~m:(Array.length arr) ~k:(sigma_size p) ~delta:delta_p;
+  let node_member idxs =
+    match idxs with
+    | [ i ] -> Util.Bitset.subset arr.(i) n1
+    | [ i; j ] -> Util.Bitset.subset arr.(j) n2_inter.(i)
+    | [ i; j; l ] -> Util.Bitset.subset arr.(l) (n3_inter i j)
+    | idxs ->
+      forall_selections p (Array.of_list (List.map (fun i -> arr.(i)) idxs))
+  in
+  build
+    ~name:("R~(" ^ Lcl.Problem.name p ^ ")")
+    ~base:p ~labels ~node_member ~edge_member ()
+
+(** Is full enumeration affordable for this problem? The dominating
+    cost is enumerating degree-Δ multisets over 2^|Σ| labels. *)
+let full_affordable ?(budget = 2_000_000) p =
+  let k = sigma_size p in
+  if k > 20 then false
+  else begin
+    let m = (1 lsl k) - 1 in
+    let delta = Lcl.Problem.delta p in
+    (* C(m + delta - 1, delta) as float to avoid overflow *)
+    let rec binom acc i =
+      if i = delta then acc
+      else binom (acc *. float_of_int (m + i) /. float_of_int (i + 1)) (i + 1)
+    in
+    binom 1.0 0 <= float_of_int budget
+  end
+
+(** One full speedup step f(Π) = R̄(R(Π)), choosing the affordable mode
+    for each half. Returns both images (the middle problem R(Π) is
+    needed by the Lemma 3.9 lifting). *)
+type step = { mid : image; after : image }
+
+let speedup_step ?(budget = 2_000_000) p =
+  let mode_of q = if full_affordable ~budget q then `Full else `Closed in
+  let mid = r ~mode:(mode_of p) p in
+  let after = rbar ~mode:(mode_of mid.problem) mid.problem in
+  { mid; after }

@@ -1,0 +1,49 @@
+(** The round elimination operators R(Π) and R̄(Π) (Definitions 3.1 and
+    3.2), materialized: set-labels over the argument's output alphabet
+    are grounded to fresh atoms so that iteration composes, and
+    unusable labels are pruned. *)
+
+(** Label-universe materialization strategy.
+
+    - [`Full]: every nonempty subset of the output alphabet — verbatim
+      Definitions 3.1/3.2; affordable while the configuration
+      enumeration stays small.
+    - [`Closed]: only sets closed under the Galois connection
+      [B ↦ common-neighbors(B)] of the universal edge lift (plus
+      singletons, the g-images and their intersections) — the standard
+      Round-Eliminator-style maximization, equi-solvable for input-free
+      problems and a documented approximation with inputs. *)
+type mode = [ `Full | `Closed ]
+
+(** Raised when materializing would exceed a label or configuration
+    budget (the doubly-exponential growth noted after Theorem 3.4). *)
+exception Too_large of string
+
+type image = {
+  problem : Lcl.Problem.t;
+  sets : Util.Bitset.t array;
+      (** [sets.(l)]: the set of argument-problem labels denoted by the
+          grounded label [l]. *)
+}
+
+(** R(Π): universal edge lift, existential node lift,
+    [g(ℓ) = nonempty subsets of g_Π(ℓ)]. *)
+val r : ?mode:mode -> Lcl.Problem.t -> image
+
+(** R̄(Π): existential edge lift, universal node lift, same [g]. *)
+val rbar : ?mode:mode -> Lcl.Problem.t -> image
+
+(** Can [`Full] mode afford this problem (configuration enumeration
+    within [budget])? *)
+val full_affordable : ?budget:int -> Lcl.Problem.t -> bool
+
+(** One speedup step [f(Π) = R̄(R(Π))]; [mid] (= R(Π)) is needed by the
+    Lemma 3.9 lifting. Chooses the affordable mode per half. *)
+type step = { mid : image; after : image }
+
+val speedup_step : ?budget:int -> Lcl.Problem.t -> step
+
+(** {1 Lower-level helpers exposed for tests} *)
+
+val closed_universe : ?max_labels:int -> Lcl.Problem.t -> Util.Bitset.t list
+val full_universe : Lcl.Problem.t -> Util.Bitset.t list

@@ -1,0 +1,80 @@
+(* The failure-probability bookkeeping of Theorem 3.4 and the n0
+   computation of Theorem 3.10, evaluated numerically.
+
+   Theorem 3.4: one application of f = Rbar(R(.)) turns a T-round
+   algorithm with local failure probability p into a (T-1)-round
+   algorithm with local failure probability at most S * p^(1/(3D+3)),
+   where S = (10 D (|Sin| + max(|Sout|, |Sout_R|)))^(4 D^(T+1)) and D
+   is the degree bound Delta.
+
+   Theorem 3.10 needs an n0 with
+     (3.2)  T(n0) + 2 <= log_D n0,
+     (3.3)  2 T(n0) + 5 <= log* n0,
+     (3.4)  ((Sstar)^2 (log n0)^(2D))^((3D+3)^T(n0)) < n0,
+   where Sstar = (10 D (|Sin| + log n0))^(4 D^(T(n0)+1)).
+
+   Constraint (3.3) forces n0 to be a power tower of height 2T+5, far
+   beyond floats, so we work in log2-space throughout and report tower
+   heights where a concrete integer is meaningless. *)
+
+(** log₂ S for a concrete problem/step (Theorem 3.4's constant). *)
+let log2_s ~delta ~t ~sigma_in ~sigma_out ~sigma_out_r =
+  let base = 10. *. float_of_int delta
+             *. (float_of_int sigma_in +. float_of_int (max sigma_out sigma_out_r)) in
+  4. *. (float_of_int delta ** float_of_int (t + 1)) *. (Float.log base /. Float.log 2.)
+
+(** log₂ S* when |Σ_out| is replaced by the Theorem 3.10 bound log n₀
+    (inequality (3.5)); [log2_n0] is log₂ n₀. *)
+let log2_s_star ~delta ~t ~sigma_in ~log2_n0 =
+  let base = 10. *. float_of_int delta *. (float_of_int sigma_in +. log2_n0) in
+  4. *. (float_of_int delta ** float_of_int (t + 1)) *. (Float.log base /. Float.log 2.)
+
+(** The recurrence log₂ p ← log₂ S* + (log₂ p)/(3Δ+3), iterated T
+    times from p₀ = 1/n₀. Returns the trace [log₂ p₀; …; log₂ p_T]. *)
+let recurrence_trace ~delta ~t ~sigma_in ~log2_n0 =
+  let ls = log2_s_star ~delta ~t ~sigma_in ~log2_n0 in
+  let k = float_of_int (3 * delta + 3) in
+  let rec go i lp acc =
+    if i = t then List.rev (lp :: acc)
+    else go (i + 1) (ls +. (lp /. k)) (lp :: acc)
+  in
+  go 0 (-.log2_n0) []
+
+(** The Theorem 3.10 success threshold: the final local failure
+    probability must be below 1/(log n₀)^{2Δ} (via inequality (3.5)).
+    Returns its log₂. *)
+let log2_threshold ~delta ~log2_n0 =
+  -2. *. float_of_int delta *. (Float.log log2_n0 /. Float.log 2.)
+
+(** Does [log2_n0] satisfy (3.2) and (3.4) for constant T? ((3.3) is
+    checked separately at tower scale.) *)
+let satisfies_32_34 ~delta ~t ~sigma_in ~log2_n0 =
+  let c32 = float_of_int (t + 2) <= log2_n0 /. (Float.log (float_of_int delta) /. Float.log 2.) in
+  let ls = log2_s_star ~delta ~t ~sigma_in ~log2_n0 in
+  let lhs =
+    (float_of_int (3 * delta + 3) ** float_of_int t)
+    *. ((2. *. ls) +. (2. *. float_of_int delta *. (Float.log log2_n0 /. Float.log 2.)))
+  in
+  let c34 = lhs < log2_n0 in
+  (c32, c34)
+
+(** Tower height forced by (3.3): n₀ must satisfy log* n₀ ≥ 2T+5, so
+    n₀ ≥ tower(2T+5). At that height, (3.2) and (3.4) hold with
+    enormous slack because both compare poly(log log n₀) against
+    log n₀; [minimal_tower_height] reports the height together with a
+    numeric check of (3.2)/(3.4) at the largest float-representable
+    scale (log₂ n₀ = 2^512), which is monotone evidence for the real
+    n₀. *)
+let minimal_tower_height ~delta ~t ~sigma_in =
+  let height = (2 * t) + 5 in
+  let probe = Float.pow 2. 512. in
+  let c32, c34 = satisfies_32_34 ~delta ~t ~sigma_in ~log2_n0:probe in
+  (height, c32 && c34)
+
+(** Whether the recurrence run from p₀ = 1/n₀ stays below the
+    Theorem 3.10 threshold after T steps — the quantitative heart of
+    the speedup proof. *)
+let recurrence_succeeds ~delta ~t ~sigma_in ~log2_n0 =
+  match List.rev (recurrence_trace ~delta ~t ~sigma_in ~log2_n0) with
+  | last :: _ -> last < log2_threshold ~delta ~log2_n0
+  | [] -> false

@@ -1,0 +1,32 @@
+(** Numerical evaluation of the Theorem 3.4 failure-probability bound
+    and the Theorem 3.10 choice of n₀, in log₂-space (constraint (3.3)
+    makes n₀ a power tower, far beyond floats). *)
+
+(** log₂ of Theorem 3.4's constant [S] for concrete alphabet sizes. *)
+val log2_s :
+  delta:int -> t:int -> sigma_in:int -> sigma_out:int -> sigma_out_r:int ->
+  float
+
+(** log₂ of [S*] with the Theorem 3.10 bound |Σ_out| ≤ log n₀. *)
+val log2_s_star : delta:int -> t:int -> sigma_in:int -> log2_n0:float -> float
+
+(** The trace [log₂ p₀; …; log₂ p_T] of the recurrence
+    [p ← S*·p^{1/(3Δ+3)}] from [p₀ = 1/n₀]. *)
+val recurrence_trace :
+  delta:int -> t:int -> sigma_in:int -> log2_n0:float -> float list
+
+(** log₂ of the Theorem 3.10 success threshold [1/(log n₀)^{2Δ}]. *)
+val log2_threshold : delta:int -> log2_n0:float -> float
+
+(** Do constraints (3.2) and (3.4) hold at this [log2_n0]? *)
+val satisfies_32_34 :
+  delta:int -> t:int -> sigma_in:int -> log2_n0:float -> bool * bool
+
+(** The tower height forced by constraint (3.3) — [2T+5] — together
+    with a check of (3.2)/(3.4) at the largest float-representable
+    scale (monotone evidence for the true n₀). *)
+val minimal_tower_height : delta:int -> t:int -> sigma_in:int -> int * bool
+
+(** Does the recurrence stay below the threshold after T steps? *)
+val recurrence_succeeds :
+  delta:int -> t:int -> sigma_in:int -> log2_n0:float -> bool

@@ -1,0 +1,146 @@
+(* Detection of round-elimination fixed points: Π' ≅ Π up to renaming
+   of *output* labels (input labels are preserved by R and R̄, so they
+   must match exactly). Reaching a fixed point of f = R̄(R(·)) that is
+   not 0-round solvable certifies that iterating f will never produce a
+   0-round-solvable problem — the situation of Ω(log* n)-hard problems
+   in the gap pipeline (and, classically, of sinkless orientation).
+
+   The search is signature-guided backtracking with incremental
+   consistency pruning (edge- and pair-node-compatibility must be
+   preserved by every partial renaming) and a step budget; exceeding
+   the budget conservatively reports "not isomorphic", which only makes
+   the pipeline keep iterating — never unsound. *)
+
+let signature p l =
+  let node_part =
+    List.init (Lcl.Problem.delta p) (fun dm1 ->
+        let configs = Lcl.Problem.node_configs p ~degree:(dm1 + 1) in
+        List.map (fun c -> Util.Multiset.count l c) configs
+        |> List.filter (fun c -> c > 0)
+        |> List.sort compare)
+  in
+  let edge_part =
+    List.map (fun c -> Util.Multiset.count l c) (Lcl.Problem.edge_configs p)
+    |> List.filter (fun c -> c > 0)
+    |> List.sort compare
+  in
+  let g_part =
+    List.map
+      (fun i -> Util.Bitset.mem l (Lcl.Problem.g_set p i))
+      (Lcl.Alphabet.all (Lcl.Problem.sigma_in p))
+  in
+  (node_part, edge_part, g_part)
+
+exception Out_of_budget
+
+(** [isomorphism a b] — a permutation [pi] mapping a-labels to b-labels
+    such that renaming turns [a] into [b]; [None] if none exists (or
+    the search budget ran out). *)
+let isomorphism ?(budget = 200_000) a b =
+  let ka = Lcl.Alphabet.size (Lcl.Problem.sigma_out a) in
+  let kb = Lcl.Alphabet.size (Lcl.Problem.sigma_out b) in
+  let same_inputs =
+    Lcl.Alphabet.size (Lcl.Problem.sigma_in a)
+    = Lcl.Alphabet.size (Lcl.Problem.sigma_in b)
+  in
+  let same_counts =
+    Lcl.Problem.num_node_configs a = Lcl.Problem.num_node_configs b
+    && Lcl.Problem.num_edge_configs a = Lcl.Problem.num_edge_configs b
+  in
+  if
+    ka <> kb
+    || Lcl.Problem.delta a <> Lcl.Problem.delta b
+    || (not same_inputs) || not same_counts
+  then None
+  else begin
+    let sig_a = Array.init ka (signature a) in
+    let sig_b = Array.init kb (signature b) in
+    let multiset_of arr = List.sort compare (Array.to_list arr) in
+    if multiset_of sig_a <> multiset_of sig_b then None
+    else begin
+      let candidates l =
+        List.filter (fun l' -> sig_a.(l) = sig_b.(l')) (List.init kb Fun.id)
+      in
+      let pi = Array.make ka (-1) in
+      let used = Array.make kb false in
+      let steps = ref 0 in
+      (* precomputed binary relations, so the incremental consistency
+         check costs O(k) array reads rather than hashtable probes *)
+      let matrix k edge_or_node p =
+        Array.init k (fun x ->
+            Array.init k (fun y ->
+                if edge_or_node then Lcl.Problem.edge_ok p x y
+                else
+                  Lcl.Problem.delta p >= 2
+                  && Lcl.Problem.node_ok p (Util.Multiset.of_list [ x; y ])))
+      in
+      let ea = matrix ka true a and eb = matrix kb true b in
+      let na = matrix ka false a and nb = matrix kb false b in
+      let pair_consistent l l' =
+        let ok = ref true in
+        for l2 = 0 to ka - 1 do
+          if pi.(l2) >= 0 then begin
+            if ea.(l).(l2) <> eb.(l').(pi.(l2)) then ok := false;
+            if na.(l).(l2) <> nb.(l').(pi.(l2)) then ok := false
+          end
+        done;
+        !ok
+      in
+      let renamed_ok () =
+        let rename c = Util.Multiset.map (fun l -> pi.(l)) c in
+        let node_ok =
+          List.for_all
+            (fun dm1 ->
+              let d = dm1 + 1 in
+              List.sort Util.Multiset.compare
+                (List.map rename (Lcl.Problem.node_configs a ~degree:d))
+              = List.sort Util.Multiset.compare
+                  (Lcl.Problem.node_configs b ~degree:d))
+            (List.init (Lcl.Problem.delta a) Fun.id)
+        in
+        let edge_ok =
+          List.sort Util.Multiset.compare
+            (List.map rename (Lcl.Problem.edge_configs a))
+          = List.sort Util.Multiset.compare (Lcl.Problem.edge_configs b)
+        in
+        let g_ok =
+          List.for_all
+            (fun i ->
+              let ga =
+                Util.Bitset.fold
+                  (fun l acc -> Util.Bitset.add pi.(l) acc)
+                  (Lcl.Problem.g_set a i) Util.Bitset.empty
+              in
+              Util.Bitset.equal ga (Lcl.Problem.g_set b i))
+            (Lcl.Alphabet.all (Lcl.Problem.sigma_in a))
+        in
+        node_ok && edge_ok && g_ok
+      in
+      let rec go l =
+        incr steps;
+        if !steps > budget then raise Out_of_budget;
+        if l = ka then renamed_ok ()
+        else
+          List.exists
+            (fun l' ->
+              if used.(l') || not (pair_consistent l l') then false
+              else begin
+                pi.(l) <- l';
+                used.(l') <- true;
+                let ok = go (l + 1) in
+                if not ok then begin
+                  pi.(l) <- -1;
+                  used.(l') <- false
+                end;
+                ok
+              end)
+            (candidates l)
+      in
+      match go 0 with
+      | true -> Some (Array.copy pi)
+      | false -> None
+      | exception Out_of_budget -> None
+    end
+  end
+
+let isomorphic ?budget a b = Option.is_some (isomorphism ?budget a b)

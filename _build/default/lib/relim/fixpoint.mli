@@ -1,0 +1,11 @@
+(** Round-elimination fixed-point detection: isomorphism of problems up
+    to renaming of output labels (inputs must match exactly, as R and
+    R̄ preserve them). A non-0-round-solvable fixed point of
+    [f = R̄(R(·))] certifies Ω(log* n) in the gap pipeline. *)
+
+(** A permutation turning the first problem into the second, found by
+    signature-guided backtracking with incremental pruning; [None] if
+    none exists or the step [budget] ran out (conservative). *)
+val isomorphism : ?budget:int -> Lcl.Problem.t -> Lcl.Problem.t -> int array option
+
+val isomorphic : ?budget:int -> Lcl.Problem.t -> Lcl.Problem.t -> bool

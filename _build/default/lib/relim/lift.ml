@@ -1,0 +1,134 @@
+(* Constructive Lemma 3.9: from a deterministic T-round algorithm for
+   R̄(R(Π)) build a deterministic (T+1)-round algorithm for Π. The
+   lifted node simulates the given algorithm at itself and at each
+   neighbor, then performs the two label-selection steps of the lemma:
+
+   step 1 — per incident edge, pick (L_v, L_w) from the advertised
+   R̄(R(Π))-sets with {L_v, L_w} ∈ E_{R(Π)} (both endpoints derive the
+   same pair from a shared deterministic rule);
+
+   step 2 — per incident half-edge, pick ℓ_v ∈ L_v so that the labels
+   around the node form a configuration of N_Π.
+
+   Algorithms are functions of extracted balls only (locality is
+   enforced structurally, see [Graph.Ball]). *)
+
+type algo = {
+  radius : int;
+  problem : Lcl.Problem.t;
+  run : Graph.Ball.t -> int array; (* output label per center port *)
+}
+
+let center_inputs ball =
+  Array.map (fun i -> if i < 0 then 0 else i) ball.Graph.Ball.input.(0)
+
+(** The 0-round algorithm induced by a [Zero_round.t] witness. *)
+let of_zero_round (z : Zero_round.t) =
+  {
+    radius = 0;
+    problem = Zero_round.problem z;
+    run = (fun ball -> Zero_round.outputs_for z (center_inputs ball));
+  }
+
+(** Deterministic choice for step 1: the lexicographically first pair
+    (l1, l2) with l1 ∈ set1, l2 ∈ set2 and {l1, l2} ∈ E_mid. *)
+let first_edge_pair mid_problem set1 set2 =
+  let l1s = Util.Bitset.to_list set1 and l2s = Util.Bitset.to_list set2 in
+  let rec go = function
+    | [] -> None
+    | l1 :: rest -> (
+      match List.find_opt (fun l2 -> Lcl.Problem.edge_ok mid_problem l1 l2) l2s with
+      | Some l2 -> Some (l1, l2)
+      | None -> go rest)
+  in
+  go l1s
+
+(** Deterministic choice for step 2: the first node configuration of
+    [base] (in the problem's canonical order) assignable to the ports
+    with the p-th label drawn from [choices.(p)]; returns the per-port
+    assignment. *)
+let first_node_assignment base choices =
+  let d = Array.length choices in
+  let out = Array.make d (-1) in
+  let used = Array.make d false in
+  let try_config cfg =
+    let rec go = function
+      | [] -> true
+      | l :: rest ->
+        let rec try_pos p =
+          if p >= d then false
+          else if (not used.(p)) && Util.Bitset.mem l choices.(p) then begin
+            used.(p) <- true;
+            out.(p) <- l;
+            if go rest then true
+            else begin
+              used.(p) <- false;
+              out.(p) <- -1;
+              try_pos (p + 1)
+            end
+          end
+          else try_pos (p + 1)
+        in
+        try_pos 0
+    in
+    go (Util.Multiset.to_list cfg)
+  in
+  let rec search = function
+    | [] -> None
+    | cfg :: rest -> if try_config cfg then Some (Array.copy out) else search rest
+  in
+  search (Lcl.Problem.node_configs base ~degree:d)
+
+exception Lift_failure of string
+
+(** [step ~base ~step algo] — the (T+1)-round algorithm for [base]
+    from the T-round [algo] for [step.after.problem]. Raises
+    [Lift_failure] at run time if [algo] produced an output violating
+    its problem (which Lemma 3.9 rules out for correct inputs). *)
+let step ~base (s : Eliminate.step) a =
+  if not (Lcl.Problem.equal_structure a.problem s.Eliminate.after.Eliminate.problem)
+  then invalid_arg "Lift.step: algorithm does not match the step's problem";
+  let mid = s.Eliminate.mid and after = s.Eliminate.after in
+  let run ball =
+    let radius = a.radius in
+    let d = Array.length ball.Graph.Ball.adj.(0) in
+    (* simulate the inner algorithm at the center and at each neighbor *)
+    let out_center = a.run (Graph.Ball.sub ball ~center:0 ~radius) in
+    let mid_labels = Array.make d (-1) in
+    for p = 0 to d - 1 do
+      match ball.Graph.Ball.adj.(0).(p) with
+      | None -> raise (Lift_failure "lifted algorithm needs radius >= 1 view")
+      | Some (w, q) ->
+        let out_w = a.run (Graph.Ball.sub ball ~center:w ~radius) in
+        let a_v = out_center.(p) and a_w = out_w.(q) in
+        let set_v = after.Eliminate.sets.(a_v)
+        and set_w = after.Eliminate.sets.(a_w) in
+        (* shared orientation: endpoint with the smaller ID goes first *)
+        let id_v = ball.Graph.Ball.id.(0) and id_w = ball.Graph.Ball.id.(w) in
+        let l_v =
+          if id_v < id_w then
+            match first_edge_pair mid.Eliminate.problem set_v set_w with
+            | Some (l1, _) -> l1
+            | None -> raise (Lift_failure "step 1: no compatible pair")
+          else
+            match first_edge_pair mid.Eliminate.problem set_w set_v with
+            | Some (_, l2) -> l2
+            | None -> raise (Lift_failure "step 1: no compatible pair")
+        in
+        mid_labels.(p) <- l_v
+    done;
+    (* step 2: refine mid-labels to base labels around the node *)
+    let choices = Array.map (fun l -> mid.Eliminate.sets.(l)) mid_labels in
+    (* additionally respect g of the base problem: intersect with the
+       g-image of each port's input (guaranteed nonempty by g_{R}) *)
+    let inputs = center_inputs ball in
+    let choices =
+      Array.mapi
+        (fun p set -> Util.Bitset.inter set (Lcl.Problem.g_set base inputs.(p)))
+        choices
+    in
+    match first_node_assignment base choices with
+    | Some out -> out
+    | None -> raise (Lift_failure "step 2: no node configuration")
+  in
+  { radius = a.radius + 1; problem = base; run }

@@ -1,0 +1,21 @@
+(** Constructive Lemma 3.9: a deterministic T-round algorithm for
+    [R̄(R(Π))] becomes a deterministic (T+1)-round algorithm for [Π].
+    Algorithms are functions of extracted views only. *)
+
+type algo = {
+  radius : int;
+  problem : Lcl.Problem.t;
+  run : Graph.Ball.t -> int array;  (** output label per center port *)
+}
+
+(** The 0-round algorithm induced by a [Zero_round] witness. *)
+val of_zero_round : Zero_round.t -> algo
+
+(** Raised at run time if the inner algorithm's outputs violate its
+    problem (ruled out by the lemma for correct inputs). *)
+exception Lift_failure of string
+
+(** [step ~base s a] — the (T+1)-round algorithm for [base] from the
+    T-round [a] for [s.after.problem].
+    @raise Invalid_argument if [a] does not solve [s]'s after-problem. *)
+val step : base:Lcl.Problem.t -> Eliminate.step -> algo -> algo

@@ -1,0 +1,36 @@
+(** The gap pipeline of Theorems 3.10/3.11, executable: decide whether
+    a node-edge-checkable LCL is O(1)-solvable on trees/forests by
+    iterating [f = R̄(R(·))] until a 0-round algorithm exists, then
+    lifting it back with Lemma 3.9; a fixed point of [f] that is not
+    0-round solvable certifies Ω(log* n). *)
+
+type trace_entry = {
+  iteration : int;
+  problem : Lcl.Problem.t;       (** f^k(Π), grounded and pruned *)
+  step : Eliminate.step option;  (** the step that produced it *)
+  labels : int;                  (** |Σ_out| of [problem] *)
+  zero_round : bool;             (** 0-round solvable? *)
+}
+
+type verdict =
+  | Constant of { rounds : int; algo : Lift.algo }
+      (** O(1): a deterministic [rounds]-round LOCAL algorithm for Π,
+          runnable on the simulator (Lemma 3.9 construction). *)
+  | Lower_bound_log_star of { fixed_point_at : int }
+      (** Ω(log* n): the sequence reached a non-0-round-solvable fixed
+          point of [f] (up to output-label renaming). *)
+  | Budget_exceeded of { at_iteration : int; labels : int }
+      (** Inconclusive: the doubly-exponential label growth exceeded
+          the budget — consistent with Ω(log* n). *)
+
+type result = { verdict : verdict; trace : trace_entry list }
+
+val default_max_iterations : int
+val default_max_labels : int
+
+(** Run the pipeline. Sound in both definite directions: a [Constant]
+    verdict carries a correct-by-construction algorithm; a
+    [Lower_bound_log_star] verdict carries a genuine fixed point. *)
+val run : ?max_iterations:int -> ?max_labels:int -> Lcl.Problem.t -> result
+
+val pp_verdict : Format.formatter -> verdict -> unit

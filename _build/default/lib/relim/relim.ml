@@ -1,0 +1,9 @@
+(* Facade of the [relim] library: the round elimination machinery of
+   Section 3 of the paper. *)
+
+module Eliminate = Eliminate
+module Zero_round = Zero_round
+module Fixpoint = Fixpoint
+module Lift = Lift
+module Failure = Failure
+module Pipeline = Pipeline

@@ -1,0 +1,168 @@
+(* Deterministic 0-round solvability — the decision extracted from the
+   proof of Theorem 3.10. A 0-round algorithm is a function A_det from
+   input tuples (the degree of a node plus the input labels on its
+   ports) to output tuples. The proof shows that a correct A_det exists
+   iff one can choose, for every input tuple, an output tuple such that
+
+   (a) its multiset is a node configuration of Π,
+   (b) each position respects g, and
+   (c) *any* two labels ever used (across all input tuples, including a
+       label paired with itself) form an edge configuration of Π —
+       because in a forest any two 0-round outputs can meet across an
+       edge.
+
+   Equivalently: pick one node configuration per input tuple so that
+   the union of all labels used is a clique of the edge-compatibility
+   graph, reflexive on every member ({c,c} ∈ E). We search by
+   backtracking over the input tuples (few of them: degrees 1..Δ times
+   input multisets), growing the label set and checking clique-ness
+   incrementally — the problem is monotone in the clique, so any
+   completion works and no maximal-clique enumeration is needed. *)
+
+type t = {
+  problem : Lcl.Problem.t;
+  (* chosen configuration per (degree, sorted input list) *)
+  table : (int * int list, int list) Hashtbl.t;
+}
+
+(** All input multisets of size [d] over the input alphabet. *)
+let input_multisets p d =
+  let univ = Lcl.Alphabet.all (Lcl.Problem.sigma_in p) in
+  Util.Multiset.enumerate ~univ ~k:d |> List.map Util.Multiset.to_list
+
+(* Can configuration [cfg] be assigned to ports carrying [inputs]
+   (bijectively, respecting g)? Backtracking over positions; degrees
+   are at most Δ, so this is cheap. *)
+let assignable p cfg inputs =
+  let d = List.length inputs in
+  let inputs = Array.of_list inputs in
+  let used = Array.make d false in
+  let rec go = function
+    | [] -> true
+    | l :: rest ->
+      let rec try_pos i =
+        if i >= d then false
+        else if (not used.(i)) && Lcl.Problem.g_allows p ~inp:inputs.(i) ~out:l
+        then begin
+          used.(i) <- true;
+          if go rest then true
+          else begin
+            used.(i) <- false;
+            try_pos (i + 1)
+          end
+        end
+        else try_pos (i + 1)
+      in
+      try_pos 0
+  in
+  go (Util.Multiset.to_list cfg)
+
+(** Search for a 0-round algorithm; [None] means none exists. *)
+let solve p =
+  let delta = Lcl.Problem.delta p in
+  let selfloop l = Lcl.Problem.edge_ok p l l in
+  (* entries: every input tuple the algorithm must serve *)
+  let entries =
+    List.concat_map
+      (fun dm1 ->
+        let d = dm1 + 1 in
+        List.map (fun inputs -> (d, inputs)) (input_multisets p d))
+      (List.init delta Fun.id)
+  in
+  (* candidate configurations per entry: correct degree, assignable
+     under g, all labels self-compatible and mutually edge-compatible
+     (a configuration's own labels can meet across an edge via two
+     nodes using the same entry) *)
+  let options =
+    List.map
+      (fun (d, inputs) ->
+        let cfgs =
+          List.filter
+            (fun cfg ->
+              let labels = Util.Multiset.distinct cfg in
+              List.for_all selfloop labels
+              && List.for_all
+                   (fun a -> List.for_all (fun b -> Lcl.Problem.edge_ok p a b) labels)
+                   labels
+              && assignable p cfg inputs)
+            (Lcl.Problem.node_configs p ~degree:d)
+        in
+        ((d, inputs), cfgs))
+      entries
+  in
+  (* cheapest-first ordering shrinks the search tree *)
+  let options =
+    List.sort
+      (fun (_, a) (_, b) -> compare (List.length a) (List.length b))
+      options
+  in
+  let table = Hashtbl.create 32 in
+  let compatible used cfg =
+    List.for_all
+      (fun l ->
+        List.for_all (fun u -> Lcl.Problem.edge_ok p l u) used)
+      (Util.Multiset.distinct cfg)
+  in
+  let rec go used = function
+    | [] -> true
+    | ((d, inputs), cfgs) :: rest ->
+      List.exists
+        (fun cfg ->
+          if compatible used cfg then begin
+            Hashtbl.replace table (d, inputs) (Util.Multiset.to_list cfg);
+            let used' =
+              List.sort_uniq compare (Util.Multiset.distinct cfg @ used)
+            in
+            if go used' rest then true
+            else begin
+              Hashtbl.remove table (d, inputs);
+              false
+            end
+          end
+          else false)
+        cfgs
+  in
+  if go [] options then Some { problem = p; table } else None
+
+let solvable p = Option.is_some (solve p)
+
+let problem t = t.problem
+
+(** Output labels for a node with (ordered) input tuple [inputs]: the
+    chosen configuration assigned to ports by a deterministic
+    backtracking rule (a pure function of the input tuple, so all nodes
+    with equal tuples answer alike — no coordination is ever needed
+    across an edge thanks to clique condition (c)). *)
+let outputs_for t inputs =
+  let d = Array.length inputs in
+  let key = (d, List.sort compare (Array.to_list inputs)) in
+  match Hashtbl.find_opt t.table key with
+  | None -> invalid_arg "Zero_round.outputs_for: input tuple out of range"
+  | Some cfg ->
+    let out = Array.make d (-1) in
+    let used = Array.make d false in
+    let rec go = function
+      | [] -> true
+      | l :: rest ->
+        let rec try_pos i =
+          if i >= d then false
+          else if
+            (not used.(i))
+            && Lcl.Problem.g_allows t.problem ~inp:inputs.(i) ~out:l
+          then begin
+            used.(i) <- true;
+            out.(i) <- l;
+            if go rest then true
+            else begin
+              used.(i) <- false;
+              out.(i) <- -1;
+              try_pos (i + 1)
+            end
+          end
+          else try_pos (i + 1)
+        in
+        try_pos 0
+    in
+    if not (go cfg) then
+      invalid_arg "Zero_round.outputs_for: stored configuration unassignable";
+    out

@@ -1,0 +1,27 @@
+(** Deterministic 0-round solvability, as extracted from the proof of
+    Theorem 3.10: a 0-round algorithm [A_det] maps each input tuple
+    (degree + input labels on ports) to an output tuple such that (a)
+    the outputs form a node configuration, (b) each respects [g], and
+    (c) the set of all labels ever used is a reflexive clique of the
+    edge-compatibility relation — on forests any two 0-round outputs
+    can meet across an edge. *)
+
+type t
+
+(** The problem the witness solves. *)
+val problem : t -> Lcl.Problem.t
+
+(** Decide and construct; [None] = provably no 0-round algorithm. *)
+val solve : Lcl.Problem.t -> t option
+
+val solvable : Lcl.Problem.t -> bool
+
+(** The witness's output labels for an ordered input tuple, assigned by
+    a fixed deterministic rule (a pure function of the tuple).
+    @raise Invalid_argument if the tuple is outside the problem's
+    degree/alphabet ranges. *)
+val outputs_for : t -> int array -> int array
+
+(** {1 Exposed for tests} *)
+
+val input_multisets : Lcl.Problem.t -> int -> int list list

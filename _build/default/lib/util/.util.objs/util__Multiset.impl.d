@@ -1,0 +1,1 @@
+lib/util/multiset.ml: Array Fmt Hashtbl List Stdlib

@@ -1,0 +1,129 @@
+(* Sets of small nonnegative integers as packed bit arrays of arbitrary
+   width. Round elimination (Definitions 3.1/3.2) manufactures labels
+   that are *sets* of base labels, and iterating it grows alphabets
+   quickly, so no fixed capacity is acceptable.
+
+   Representation: little-endian array of 62-bit words with no trailing
+   zero word (canonical), so structural equality and hashing are set
+   equality. The empty set is [||]. *)
+
+type t = int array
+
+let bits_per_word = 62
+
+let empty : t = [||]
+let is_empty (s : t) = Array.length s = 0
+
+let trim (s : int array) : t =
+  let n = ref (Array.length s) in
+  while !n > 0 && s.(!n - 1) = 0 do decr n done;
+  if !n = Array.length s then s else Array.sub s 0 !n
+
+let singleton i : t =
+  if i < 0 then invalid_arg "Bitset.singleton";
+  let w = i / bits_per_word in
+  let s = Array.make (w + 1) 0 in
+  s.(w) <- 1 lsl (i mod bits_per_word);
+  s
+
+let mem i (s : t) =
+  i >= 0
+  &&
+  let w = i / bits_per_word in
+  w < Array.length s && s.(w) land (1 lsl (i mod bits_per_word)) <> 0
+
+let add i (s : t) : t =
+  if i < 0 then invalid_arg "Bitset.add";
+  let w = i / bits_per_word in
+  let out = Array.make (max (Array.length s) (w + 1)) 0 in
+  Array.blit s 0 out 0 (Array.length s);
+  out.(w) <- out.(w) lor (1 lsl (i mod bits_per_word));
+  out
+
+let remove i (s : t) : t =
+  let w = i / bits_per_word in
+  if i < 0 || w >= Array.length s then s
+  else begin
+    let out = Array.copy s in
+    out.(w) <- out.(w) land lnot (1 lsl (i mod bits_per_word));
+    trim out
+  end
+
+let union (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make (max la lb) 0 in
+  for i = 0 to Array.length out - 1 do
+    out.(i) <-
+      (if i < la then a.(i) else 0) lor (if i < lb then b.(i) else 0)
+  done;
+  out
+
+let inter (a : t) (b : t) : t =
+  let l = min (Array.length a) (Array.length b) in
+  trim (Array.init l (fun i -> a.(i) land b.(i)))
+
+let diff (a : t) (b : t) : t =
+  let lb = Array.length b in
+  trim
+    (Array.mapi (fun i w -> if i < lb then w land lnot b.(i) else w) a)
+
+let subset (a : t) (b : t) =
+  let lb = Array.length b in
+  let ok = ref true in
+  Array.iteri
+    (fun i w ->
+      if w land lnot (if i < lb then b.(i) else 0) <> 0 then ok := false)
+    a;
+  !ok
+
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare a b
+
+let popcount w =
+  let rec go w acc = if w = 0 then acc else go (w lsr 1) (acc + (w land 1)) in
+  go w 0
+
+let cardinal (s : t) = Array.fold_left (fun acc w -> acc + popcount w) 0 s
+
+let of_list xs = List.fold_left (fun acc i -> add i acc) empty xs
+
+let to_list (s : t) =
+  let out = ref [] in
+  for w = Array.length s - 1 downto 0 do
+    for b = bits_per_word - 1 downto 0 do
+      if s.(w) land (1 lsl b) <> 0 then out := ((w * bits_per_word) + b) :: !out
+    done
+  done;
+  !out
+
+let fold f (s : t) init = List.fold_left (fun acc i -> f i acc) init (to_list s)
+let iter f (s : t) = List.iter f (to_list s)
+
+(** [full n] — the set {0, …, n-1}. *)
+let full n =
+  if n < 0 then invalid_arg "Bitset.full";
+  let rec go i acc = if i = n then acc else go (i + 1) (add i acc) in
+  go 0 empty
+
+(** [of_int_mask m] — the set whose membership bits are the bits of the
+    nonnegative int [m] (positions 0..61). *)
+let of_int_mask m =
+  if m < 0 then invalid_arg "Bitset.of_int_mask";
+  trim [| m |]
+
+(** [subsets_nonempty n] — every nonempty subset of {0, …, n-1}.
+    2^n - 1 of them; callers keep n small (capped at 22). *)
+let subsets_nonempty n =
+  if n > 22 then invalid_arg "Bitset.subsets_nonempty: universe too large";
+  List.init ((1 lsl n) - 1) (fun i -> of_int_mask (i + 1))
+
+(** [choose s] — least element. Raises [Not_found] on empty. *)
+let choose (s : t) =
+  if is_empty s then raise Not_found;
+  let rec word w = if s.(w) <> 0 then w else word (w + 1) in
+  let w = word 0 in
+  let rec bit b = if s.(w) land (1 lsl b) <> 0 then b else bit (b + 1) in
+  (w * bits_per_word) + bit 0
+
+let pp fmt_elt ppf (s : t) =
+  Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ",") fmt_elt) (to_list s)

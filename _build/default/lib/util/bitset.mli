@@ -1,0 +1,45 @@
+(** Sets of small nonnegative integers as packed bit arrays of
+    arbitrary width, in canonical form (no trailing zero words), so
+    structural equality and hashing coincide with set equality. Round
+    elimination manufactures labels that are sets of labels; iterated,
+    alphabets outgrow any fixed word size. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val singleton : int -> t
+val mem : int -> t -> bool
+val add : int -> t -> t
+val remove : int -> t -> t
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val subset : t -> t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val cardinal : t -> int
+val of_list : int list -> t
+
+(** Ascending. *)
+val to_list : t -> int list
+
+(** Folds/iterates in ascending element order. *)
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val iter : (int -> unit) -> t -> unit
+
+(** [full n] — the set {0, …, n-1}. *)
+val full : int -> t
+
+(** The set whose members are the set bits of a nonnegative int. *)
+val of_int_mask : int -> t
+
+(** Every nonempty subset of {0, …, n-1}; n is capped at 22. *)
+val subsets_nonempty : int -> t list
+
+(** Least element. @raise Not_found on the empty set. *)
+val choose : t -> int
+
+val pp :
+  (Format.formatter -> int -> unit) -> Format.formatter -> t -> unit

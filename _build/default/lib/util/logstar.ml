@@ -1,0 +1,37 @@
+(* Iterated-logarithm utilities.
+
+   [log_star n] is the number of times [log2] must be applied to [n]
+   before the result drops to at most 1 (Linial's locality bound is
+   stated in terms of this function). We work with integer ceilings so
+   the function is total, monotone, and exact on all int inputs. *)
+
+(** [log2_floor n] is the greatest [k] with [2^k <= n]. Requires
+    [n >= 1]. Shift-based, so safe on the whole int range. *)
+let log2_floor n =
+  if n < 1 then invalid_arg "Logstar.log2_floor: n must be >= 1";
+  let rec go k m = if m <= 1 then k else go (k + 1) (m lsr 1) in
+  go 0 n
+
+(** [log2_ceil n] is the least [k] with [2^k >= n]. Requires [n >= 1]. *)
+let log2_ceil n =
+  if n < 1 then invalid_arg "Logstar.log2_ceil: n must be >= 1";
+  if n = 1 then 0 else log2_floor (n - 1) + 1
+
+(** [log_star n] is the minimum number of applications of [log2_ceil]
+    needed to bring [n] down to at most 1. [log_star 1 = 0],
+    [log_star 2 = 1], [log_star 4 = 2], [log_star 16 = 3],
+    [log_star 65536 = 4]. Requires [n >= 1]. *)
+let log_star n =
+  if n < 1 then invalid_arg "Logstar.log_star: n must be >= 1";
+  let rec go k m = if m <= 1 then k else go (k + 1) (log2_ceil m) in
+  go 0 n
+
+(** [tower k] is the power tower [2^(2^(...^2))] of height [k]
+    ([tower 0 = 1], [tower 4 = 65536]); a right inverse of [log_star]:
+    [log_star (tower k) = k]. Raises [Invalid_argument] for heights
+    above 4, which would overflow a 63-bit int. *)
+let tower k =
+  if k < 0 then invalid_arg "Logstar.tower: negative height";
+  if k > 4 then invalid_arg "Logstar.tower: overflow (height > 4)";
+  let rec go k acc = if k = 0 then acc else go (k - 1) (1 lsl acc) in
+  go k 1

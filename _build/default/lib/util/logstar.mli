@@ -1,0 +1,19 @@
+(** Iterated-logarithm utilities (Linial's locality bound is stated in
+    terms of the log-star function). Integer-exact and overflow-safe on the whole int
+    range. *)
+
+(** Greatest [k] with [2^k <= n]. @raise Invalid_argument if [n < 1]. *)
+val log2_floor : int -> int
+
+(** Least [k] with [2^k >= n]. @raise Invalid_argument if [n < 1]. *)
+val log2_ceil : int -> int
+
+(** Number of [log2_ceil] applications to reach 1:
+    [log_star 65536 = 4], [log_star 65537 = 5].
+    @raise Invalid_argument if [n < 1]. *)
+val log_star : int -> int
+
+(** Power tower of height [k]: [tower 0 = 1], [tower 4 = 65536]; a
+    right inverse of [log_star]. @raise Invalid_argument above height 4
+    (would overflow). *)
+val tower : int -> int

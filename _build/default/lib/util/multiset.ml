@@ -1,0 +1,90 @@
+(* Multisets of small integers, represented canonically as sorted
+   arrays. LCL configurations (Def. 2.3 of the paper) are multisets of
+   labels; keeping them sorted makes equality, hashing and subset tests
+   cheap and makes every configuration have exactly one representation. *)
+
+type t = int array
+
+let of_list xs : t =
+  let arr = Array.of_list xs in
+  Array.sort compare arr;
+  arr
+
+let of_array xs : t =
+  let arr = Array.copy xs in
+  Array.sort compare arr;
+  arr
+
+let to_list (t : t) = Array.to_list t
+let size (t : t) = Array.length t
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = compare a b
+let hash (t : t) = Hashtbl.hash t
+
+(** [mem x t] — does [x] occur at least once? (binary search) *)
+let mem x (t : t) =
+  let rec go lo hi =
+    if lo >= hi then false
+    else
+      let mid = (lo + hi) / 2 in
+      if t.(mid) = x then true
+      else if t.(mid) < x then go (mid + 1) hi
+      else go lo mid
+  in
+  go 0 (Array.length t)
+
+(** [count x t] — multiplicity of [x] in [t]. *)
+let count x (t : t) =
+  Array.fold_left (fun acc v -> if v = x then acc + 1 else acc) 0 t
+
+(** [add x t] — insert one occurrence of [x]. Sizes are tiny
+    (at most the degree bound), so append-and-sort is fine. *)
+let add x (t : t) : t =
+  let out = Array.append t [| x |] in
+  Array.sort Stdlib.compare out;
+  out
+
+(** [remove_one x t] — remove a single occurrence of [x];
+    [None] if absent. *)
+let remove_one x (t : t) : t option =
+  match Array.find_index (fun v -> v = x) t with
+  | None -> None
+  | Some i ->
+    Some (Array.append (Array.sub t 0 i) (Array.sub t (i + 1) (size t - i - 1)))
+
+(** [map f t] — image multiset (re-canonicalized). *)
+let map f (t : t) : t = of_array (Array.map f t)
+
+(** [distinct t] — the support of the multiset, ascending. *)
+let distinct (t : t) =
+  Array.to_list t
+  |> List.sort_uniq Stdlib.compare
+
+(** All multisets of size [k] over the universe [univ] (ascending
+    combinations with repetition). The count is C(|univ|+k-1, k), so
+    callers must keep [k] and [univ] small — fine for degree <= Delta. *)
+let enumerate ~univ ~k : t list =
+  let univ = List.sort_uniq Stdlib.compare univ in
+  let rec go k candidates =
+    if k = 0 then [ [] ]
+    else
+      match candidates with
+      | [] -> []
+      | x :: rest ->
+        let with_x = List.map (fun m -> x :: m) (go (k - 1) candidates) in
+        let without_x = go k rest in
+        with_x @ without_x
+  in
+  List.map of_list (go k univ)
+
+(** Cartesian selections: given a list of lists [choices], all tuples
+    picking one element per list (in order). Used for the existential /
+    universal configuration lifts of Definitions 3.1 and 3.2. *)
+let selections (choices : 'a list list) : 'a list list =
+  List.fold_right
+    (fun opts acc ->
+      List.concat_map (fun o -> List.map (fun rest -> o :: rest) acc) opts)
+    choices [ [] ]
+
+let pp fmt_elt ppf (t : t) =
+  Fmt.pf ppf "{%a}" Fmt.(array ~sep:(any ",") fmt_elt) t

@@ -1,0 +1,45 @@
+(** Multisets of small integers in canonical form (sorted arrays) —
+    the representation of LCL configurations (Definition 2.3): every
+    configuration has exactly one value, so equality, hashing and table
+    lookup are cheap. *)
+
+type t = int array
+(** Invariant: sorted ascending. Build values only through this
+    module's constructors to preserve it. *)
+
+val of_list : int list -> t
+val of_array : int array -> t
+val to_list : t -> int list
+val size : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+(** Membership (binary search). *)
+val mem : int -> t -> bool
+
+(** Multiplicity. *)
+val count : int -> t -> int
+
+(** Insert one occurrence. *)
+val add : int -> t -> t
+
+(** Remove one occurrence; [None] if absent. *)
+val remove_one : int -> t -> t option
+
+(** Image multiset (re-canonicalized). *)
+val map : (int -> int) -> t -> t
+
+(** The support, ascending. *)
+val distinct : t -> int list
+
+(** All multisets of size [k] over [univ] — C(|univ|+k-1, k) of them;
+    keep the arguments small (degrees are at most Δ). *)
+val enumerate : univ:int list -> k:int -> t list
+
+(** All tuples picking one element per list, in order — the selections
+    of the Definition 3.1/3.2 configuration lifts. *)
+val selections : 'a list list -> 'a list list
+
+val pp :
+  (Format.formatter -> int -> unit) -> Format.formatter -> t -> unit

@@ -1,0 +1,56 @@
+(* Small shared pretty-printing and table helpers used by the bench
+   harness and the CLI. Tables are plain fixed-width ASCII so the
+   output diffs cleanly and reads well in a terminal or a log file. *)
+
+(** [pad w s] — left-justify [s] in a field of width [w]. *)
+let pad w s =
+  let n = String.length s in
+  if n >= w then s else s ^ String.make (w - n) ' '
+
+(** [pad_left w s] — right-justify [s] in a field of width [w]. *)
+let pad_left w s =
+  let n = String.length s in
+  if n >= w then s else String.make (w - n) ' ' ^ s
+
+(** [table ~header rows] renders rows of strings as an aligned ASCII
+    table with a rule under the header. *)
+let table ~header rows =
+  let all = header :: rows in
+  let cols =
+    List.fold_left (fun acc row -> max acc (List.length row)) 0 all
+  in
+  let widths = Array.make cols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    all;
+  let rtrim s =
+    let n = ref (String.length s) in
+    while !n > 0 && s.[!n - 1] = ' ' do decr n done;
+    String.sub s 0 !n
+  in
+  let render row =
+    row
+    |> List.mapi (fun i cell -> pad widths.(i) cell)
+    |> String.concat "  "
+    |> rtrim
+  in
+  let rule =
+    Array.to_list widths
+    |> List.map (fun w -> String.make w '-')
+    |> String.concat "  "
+  in
+  String.concat "\n" (render header :: rule :: List.map render rows)
+
+(** [section title] — a banner used between experiment blocks. *)
+let section title =
+  let bar = String.make (String.length title + 8) '=' in
+  Printf.sprintf "%s\n=== %s ===\n%s" bar title bar
+
+(** [float_cell f] — compact fixed-point rendering for table cells. *)
+let float_cell f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.4g" f

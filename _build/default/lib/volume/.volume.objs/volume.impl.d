@@ -1,0 +1,1 @@
+lib/volume/volume.ml: Algorithms Lca Order_invariant Probe Ramsey

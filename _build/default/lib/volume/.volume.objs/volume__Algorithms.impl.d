@@ -1,0 +1,1 @@
+lib/volume/algorithms.ml: Array Lcl List Local Probe

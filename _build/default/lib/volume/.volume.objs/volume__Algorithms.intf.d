@@ -1,0 +1,1 @@
+lib/volume/algorithms.mli: Probe

@@ -1,0 +1,1 @@
+lib/volume/lca.ml: Array Graph Printf Probe Util

@@ -1,0 +1,1 @@
+lib/volume/lca.mli: Graph Lcl Probe

@@ -1,0 +1,1 @@
+lib/volume/order_invariant.ml: Graph Printf Probe Util

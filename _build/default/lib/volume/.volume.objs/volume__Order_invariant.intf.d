@@ -1,0 +1,1 @@
+lib/volume/order_invariant.mli: Graph Lcl Probe

@@ -1,0 +1,1 @@
+lib/volume/probe.ml: Array Graph Lcl List Util

@@ -1,0 +1,1 @@
+lib/volume/probe.mli: Graph Lcl

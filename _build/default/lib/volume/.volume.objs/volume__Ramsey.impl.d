@@ -1,0 +1,1 @@
+lib/volume/ramsey.ml: Array Float Graph Hashtbl List Util

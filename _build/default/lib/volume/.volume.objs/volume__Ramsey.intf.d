@@ -1,0 +1,1 @@
+lib/volume/ramsey.mli:

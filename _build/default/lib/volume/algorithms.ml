@@ -1,0 +1,173 @@
+(* Concrete VOLUME algorithms populating the probe-complexity landscape
+   (Figure 1, bottom right; experiments E4 and E7):
+
+   - [constant_choice]        — 0 probes, the O(1) class;
+   - [cv_coloring]            — Θ(log* n) probes: Cole–Vishkin along
+     the successor chain of an oriented path/cycle, navigated through
+     the orientation *inputs* ([Lcl.Zoo_oriented]);
+   - [two_coloring_walker]    — Θ(n) probes: 2-coloring an even cycle
+     by walking all the way around and anchoring at the minimum id;
+   - [shortcut_path_coloring] — Θ(log* n) probes for 3-coloring a
+     marked path inside a shortcut graph. In the LOCAL model the
+     shortcut structure compresses the *radius* to Θ(log log* n), but a
+     probe algorithm pays per node seen, so the volume stays Θ(log* n)
+     — the asymmetry behind Theorem 1.3's clean landscape.
+
+   A VOLUME algorithm's [decide] is a pure function of the tuples seen
+   so far, so each of these algorithms replays its deterministic probe
+   policy against the received tuples and either emits the next probe
+   of the plan or computes the output. *)
+
+(* Port of [t] carrying input label [inp]; None if absent. *)
+let port_with t inp =
+  let rec find p =
+    if p >= t.Probe.degree then None
+    else if t.Probe.inputs.(p) = inp then Some p
+    else find (p + 1)
+  in
+  find 0
+
+(** 0 probes: output a fixed label on every port. *)
+let constant_choice ~name label : Probe.t =
+  {
+    name;
+    budget = (fun ~n:_ -> 0);
+    decide =
+      (fun ~n:_ tuples -> Probe.Output (Array.make tuples.(0).Probe.degree label));
+  }
+
+(* -- bidirectional chain walking ------------------------------------ *)
+
+(* Replay the deterministic plan "walk [fwd] successors, then [back]
+   predecessors (both stopping early at chain ends)" against the tuples
+   received so far. Returns either the next probe or the two chains as
+   tuple-index lists (center first). *)
+let replay_walk ~fwd ~back ~succ_of ~pred_of (tuples : Probe.tuple array) =
+  let total = Array.length tuples in
+  let next = ref 1 in
+  let fwd_chain = ref [ 0 ] and back_chain = ref [ 0 ] in
+  let result = ref None in
+  (* forward phase *)
+  let frontier = ref 0 and steps = ref 0 in
+  while !result = None && !steps < fwd do
+    match succ_of tuples.(!frontier) with
+    | None -> steps := fwd
+    | Some p ->
+      if !next < total then begin
+        frontier := !next;
+        fwd_chain := !next :: !fwd_chain;
+        incr next;
+        incr steps
+      end
+      else result := Some (Probe.Probe (!frontier, p))
+  done;
+  (* backward phase *)
+  let frontier = ref 0 and steps = ref 0 in
+  while !result = None && !steps < back do
+    match pred_of tuples.(!frontier) with
+    | None -> steps := back
+    | Some p ->
+      if !next < total then begin
+        frontier := !next;
+        back_chain := !next :: !back_chain;
+        incr next;
+        incr steps
+      end
+      else result := Some (Probe.Probe (!frontier, p))
+  done;
+  match !result with
+  | Some probe -> Error probe
+  | None -> Ok (List.rev !fwd_chain, List.rev !back_chain)
+
+(* Assemble the id array from backward and forward chains (both start
+   with the center); returns (ids, center_index). *)
+let chain_ids (tuples : Probe.tuple array) fwd_chain back_chain =
+  let back_ids =
+    List.tl back_chain |> List.map (fun i -> tuples.(i).Probe.id) |> List.rev
+  in
+  let fwd_ids = List.map (fun i -> tuples.(i).Probe.id) fwd_chain in
+  (Array.of_list (back_ids @ fwd_ids), List.length back_ids)
+
+(** Θ(log* n)-probe 3-coloring of oriented paths/cycles (verify against
+    [Lcl.Zoo_oriented.coloring ~k:3] on graphs passed through
+    [Lcl.Zoo_oriented.mark_orientation_inputs]). *)
+let cv_coloring : Probe.t =
+  let succ_of t = port_with t Lcl.Zoo_oriented.succ_input in
+  let pred_of t = port_with t Lcl.Zoo_oriented.pred_input in
+  let probes ~n = Local.Cole_vishkin.cv_iterations n + 6 in
+  {
+    name = "volume-cv-3-coloring";
+    budget = probes;
+    decide =
+      (fun ~n tuples ->
+        let iters = Local.Cole_vishkin.cv_iterations n in
+        match replay_walk ~fwd:(iters + 3) ~back:3 ~succ_of ~pred_of tuples with
+        | Error probe -> probe
+        | Ok (fwd_chain, back_chain) ->
+          let ids, center = chain_ids tuples fwd_chain back_chain in
+          let color = Local.Cole_vishkin.chain_color ~iters ids center in
+          Probe.Output (Array.make tuples.(0).Probe.degree color));
+  }
+
+(** Θ(n)-probe 2-coloring of even oriented cycles: walk the full cycle
+    in successor direction; the color is the parity of the distance at
+    which the minimum identifier appears. *)
+let two_coloring_walker : Probe.t =
+  let succ_of t = port_with t Lcl.Zoo_oriented.succ_input in
+  {
+    name = "volume-2-coloring-walker";
+    budget = (fun ~n -> n);
+    decide =
+      (fun ~n:_ tuples ->
+        let total = Array.length tuples in
+        let self = tuples.(0).Probe.id in
+        (* closed the cycle once the last tuple is the start again *)
+        if total > 1 && tuples.(total - 1).Probe.id = self then begin
+          let min_index = ref 0 in
+          for i = 0 to total - 2 do
+            if tuples.(i).Probe.id < tuples.(!min_index).Probe.id then
+              min_index := i
+          done;
+          Probe.Output
+            (Array.make tuples.(0).Probe.degree (!min_index mod 2))
+        end
+        else
+          match succ_of tuples.(total - 1) with
+          | Some p -> Probe.Probe (total - 1, p)
+          | None -> invalid_arg "two_coloring_walker: not a cycle");
+  }
+
+(** Θ(log* n)-probe 3-coloring of the marked path inside a
+    [Graph.Builder.shortcut_path] graph annotated by
+    [Lcl.Zoo_oriented.mark_shortcut_inputs]; non-path nodes output the
+    filler with zero probes. *)
+let shortcut_path_coloring : Probe.t =
+  let succ_of t = port_with t Lcl.Zoo_oriented.path_succ in
+  let pred_of t = port_with t Lcl.Zoo_oriented.path_pred in
+  let filler = 3 in
+  {
+    name = "volume-shortcut-path-coloring";
+    budget = (fun ~n -> Local.Cole_vishkin.cv_iterations n + 6);
+    decide =
+      (fun ~n tuples ->
+        let center = tuples.(0) in
+        let on_path = succ_of center <> None || pred_of center <> None in
+        if not on_path then
+          Probe.Output (Array.make center.Probe.degree filler)
+        else
+          let iters = Local.Cole_vishkin.cv_iterations n in
+          match
+            replay_walk ~fwd:(iters + 3) ~back:3 ~succ_of ~pred_of tuples
+          with
+          | Error probe -> probe
+          | Ok (fwd_chain, back_chain) ->
+            let ids, ci = chain_ids tuples fwd_chain back_chain in
+            let color = Local.Cole_vishkin.chain_color ~iters ids ci in
+            Probe.Output
+              (Array.init center.Probe.degree (fun p ->
+                   if
+                     center.Probe.inputs.(p) = Lcl.Zoo_oriented.path_succ
+                     || center.Probe.inputs.(p) = Lcl.Zoo_oriented.path_pred
+                   then color
+                   else filler)));
+  }

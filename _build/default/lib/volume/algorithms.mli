@@ -1,0 +1,22 @@
+(** Probe algorithms populating the VOLUME landscape (Fig. 1 bottom
+    right; experiments E4/E7): O(1), Θ(log* n) and Θ(n) probes. Each
+    [decide] is a pure function of the tuples seen so far, replaying
+    its deterministic probe plan. *)
+
+(** 0 probes: a fixed label on every port. *)
+val constant_choice : name:string -> int -> Probe.t
+
+(** Θ(log* n) probes: Cole–Vishkin along the successor chain of an
+    oriented path/cycle, navigated through the orientation inputs
+    ([Lcl.Zoo_oriented.mark_orientation_inputs]); verify against
+    [Lcl.Zoo_oriented.coloring ~k:3]. *)
+val cv_coloring : Probe.t
+
+(** Θ(n) probes: 2-coloring an even oriented cycle by walking all the
+    way around and anchoring at the minimum identifier. *)
+val two_coloring_walker : Probe.t
+
+(** Θ(log* n) probes for the marked-path 3-coloring on shortcut graphs
+    — the shortcut structure cannot reduce the node count a probe
+    algorithm must pay for (Theorem 1.3's asymmetry). *)
+val shortcut_path_coloring : Probe.t

@@ -1,0 +1,11 @@
+(** The LCA model (Section 2.2): VOLUME algorithms under the
+    sequential-identifier assumption; far probes are elided per
+    Theorem 2.12 (they do not help below o(√log n) probes). *)
+
+(** Run with identifiers a random permutation of 1..n. *)
+val run :
+  ?seed:int -> problem:Lcl.Problem.t -> Probe.t -> Graph.t -> Probe.outcome
+
+(** The id-range inflation direction used in the paper's reduction:
+    run the algorithm as if the id range were n^k. *)
+val with_polynomial_ids : k:int -> Probe.t -> Probe.t

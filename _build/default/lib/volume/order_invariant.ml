@@ -1,0 +1,36 @@
+(* Order-invariance in the VOLUME model (Definition 2.10) and the
+   order-invariant speedup (Theorem 2.11, VOLUME side).
+
+   An order-invariant algorithm's decisions depend only on the relative
+   order of the identifiers in its tuples ("almost identical" tuples of
+   Def. 2.8 get equal answers). [check] property-tests this by
+   re-running entire queries under order-preserving re-assignments of
+   all identifiers; [speedup] is the Theorem 2.11 construction
+   f^{A'}_{n,i} = f^A_{min(n,n0),i} — declare n₀ regardless of the true
+   size, turning a o(log* n)-probe order-invariant algorithm into an
+   O(1)-probe one. *)
+
+(** Does the full labeling survive order-preserving ID changes? *)
+let check ?(trials = 5) ?(seed = 23) ~problem (a : Probe.t) g =
+  let n = Graph.n g in
+  let rng = Util.Prng.create ~seed in
+  let base_ids = Graph.Ids.random rng n in
+  let order = Graph.Ids.order_of base_ids in
+  let reference = Probe.run_with_ids ~problem a g ~ids:base_ids in
+  let ok = ref true in
+  for _ = 1 to trials do
+    let ids = Graph.Ids.with_order rng order in
+    let o = Probe.run_with_ids ~problem a g ~ids in
+    if o.Probe.labeling <> reference.Probe.labeling then ok := false
+  done;
+  !ok
+
+(** Theorem 2.11 (VOLUME): cap the declared size at n₀. For a correct
+    order-invariant algorithm with T(n) = o(n) probes this remains
+    correct on all sizes while using T(n₀) = O(1) probes. *)
+let speedup ~n0 (a : Probe.t) : Probe.t =
+  {
+    Probe.name = a.Probe.name ^ Printf.sprintf "@n0=%d" n0;
+    budget = (fun ~n -> a.Probe.budget ~n:(min n n0));
+    decide = (fun ~n tuples -> a.Probe.decide ~n:(min n n0) tuples);
+  }

@@ -1,0 +1,12 @@
+(** Order-invariance in the VOLUME model (Def. 2.10) and the
+    order-invariant speedup (Theorem 2.11, VOLUME side). *)
+
+(** Property test: does the full labeling survive order-preserving
+    identifier re-assignments? *)
+val check :
+  ?trials:int -> ?seed:int -> problem:Lcl.Problem.t -> Probe.t -> Graph.t ->
+  bool
+
+(** Theorem 2.11: cap the declared size at n0 (constant probes;
+    correct for order-invariant o(n)-probe algorithms). *)
+val speedup : n0:int -> Probe.t -> Probe.t

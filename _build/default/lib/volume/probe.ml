@@ -1,0 +1,101 @@
+(* The VOLUME model (Definitions 2.8 and 2.9). An algorithm answers a
+   query about one node by *adaptively probing*: it starts from the
+   queried node's local tuple (identifier, degree, per-port inputs) and
+   repeatedly asks for the node behind port p of the j-th node it has
+   already seen; after at most T(n) probes it must output the labels of
+   the queried node's half-edges. Unlike the LOCAL model it pays per
+   node seen, not per hop of radius — the distinction Theorem 1.3
+   exploits.
+
+   The tuple contents follow Definition 2.8: (id, deg, in) where [in]
+   assigns an input label to each port. Orientation marks and similar
+   structural annotations enter through the input labels, as in the
+   paper's LCL formalism (inputs live on half-edges). *)
+
+type tuple = {
+  id : int;
+  degree : int;
+  inputs : int array; (* per-port input labels; -1 = unlabeled *)
+}
+
+type decision =
+  | Probe of int * int  (* probe port p of the j-th discovered node *)
+  | Output of int array (* output labels for the queried node's ports *)
+
+type t = {
+  name : string;
+  budget : n:int -> int; (* declared probe complexity T(n) *)
+  decide : n:int -> tuple array -> decision;
+}
+
+exception Budget_exceeded of { algo : string; node : int; budget : int }
+exception Bad_probe of string
+
+let tuple_of g ~ids v =
+  {
+    id = ids.(v);
+    degree = Graph.degree g v;
+    inputs = Array.init (Graph.degree g v) (fun p -> Graph.input g v p);
+  }
+
+(** Answer the query for node [v]: run the adaptive probe loop.
+    Returns the outputs and the number of probes spent. *)
+let query ?(n_declared = -1) (a : t) g ~ids v =
+  let n = if n_declared >= 0 then n_declared else Graph.n g in
+  let budget = a.budget ~n in
+  let discovered = ref [ (v, tuple_of g ~ids v) ] in
+  let count = ref 0 in
+  let rec loop () =
+    let tuples = Array.of_list (List.rev_map snd !discovered) in
+    match a.decide ~n tuples with
+    | Output out ->
+      if Array.length out <> Graph.degree g v then
+        raise (Bad_probe (a.name ^ ": wrong output arity"));
+      (out, !count)
+    | Probe (j, p) ->
+      incr count;
+      if !count > budget then
+        raise (Budget_exceeded { algo = a.name; node = v; budget });
+      let nodes = Array.of_list (List.rev_map fst !discovered) in
+      if j < 0 || j >= Array.length nodes then
+        raise (Bad_probe (a.name ^ ": probe of unknown node"));
+      let u = nodes.(j) in
+      if p < 0 || p >= Graph.degree g u then
+        raise (Bad_probe (a.name ^ ": probe of nonexistent port"));
+      let w = Graph.neighbor g u p in
+      discovered := (w, tuple_of g ~ids w) :: !discovered;
+      loop ()
+  in
+  loop ()
+
+type outcome = {
+  labeling : int array array;
+  violations : Lcl.Verify.violation list;
+  max_probes : int;
+  total_probes : int;
+}
+
+(** Run the algorithm for every node under the given identifier
+    assignment and verify the assembled labeling against [problem]. *)
+let run_with_ids ?n_declared ~problem (a : t) g ~ids =
+  let n = Graph.n g in
+  let max_probes = ref 0 and total = ref 0 in
+  let labeling =
+    Array.init n (fun v ->
+        let out, probes = query ?n_declared a g ~ids v in
+        max_probes := max !max_probes probes;
+        total := !total + probes;
+        out)
+  in
+  {
+    labeling;
+    violations = Lcl.Verify.violations problem g labeling;
+    max_probes = !max_probes;
+    total_probes = !total;
+  }
+
+(** Same with fresh random identifiers from a cubic range. *)
+let run ?(seed = 0xBEEF) ?n_declared ~problem (a : t) g =
+  let rng = Util.Prng.create ~seed in
+  let ids = Graph.Ids.random rng (Graph.n g) in
+  run_with_ids ?n_declared ~problem a g ~ids

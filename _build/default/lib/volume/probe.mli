@@ -1,0 +1,47 @@
+(** The VOLUME model (Definitions 2.8/2.9): adaptive probe algorithms
+    that pay per node seen instead of per hop of radius. *)
+
+type tuple = {
+  id : int;
+  degree : int;
+  inputs : int array;  (** per-port input labels; -1 = unlabeled *)
+}
+
+type decision =
+  | Probe of int * int  (** probe port p of the j-th discovered node *)
+  | Output of int array (** outputs for the queried node's ports *)
+
+type t = {
+  name : string;
+  budget : n:int -> int;                      (** declared T(n) *)
+  decide : n:int -> tuple array -> decision;  (** pure in the tuples *)
+}
+
+exception Budget_exceeded of { algo : string; node : int; budget : int }
+exception Bad_probe of string
+
+val tuple_of : Graph.t -> ids:int array -> int -> tuple
+
+(** Answer one query: run the probe loop for node [v]; returns the
+    outputs and the probes spent.
+    @raise Budget_exceeded / Bad_probe accordingly. *)
+val query :
+  ?n_declared:int -> t -> Graph.t -> ids:int array -> int -> int array * int
+
+type outcome = {
+  labeling : int array array;
+  violations : Lcl.Verify.violation list;
+  max_probes : int;
+  total_probes : int;
+}
+
+(** Run the algorithm for every node under the given identifiers and
+    verify the assembled labeling. *)
+val run_with_ids :
+  ?n_declared:int -> problem:Lcl.Problem.t -> t -> Graph.t ->
+  ids:int array -> outcome
+
+(** Same with fresh random identifiers from a cubic range. *)
+val run :
+  ?seed:int -> ?n_declared:int -> problem:Lcl.Problem.t -> t -> Graph.t ->
+  outcome

@@ -1,0 +1,30 @@
+(** Lemma 4.2, executable at toy scale: find an identifier subset on
+    which a probe algorithm's decision function is order-invariant
+    (Def. 2.8's "almost identical" tuples get equal answers), by
+    exhaustive search instead of Ramsey's theorem; plus the
+    log*-space bookkeeping of the Ramsey bound the proof uses. *)
+
+(** Strictly increasing [k]-tuples from a pool. *)
+val increasing_tuples : 'a list -> int -> 'a list list
+
+val permutations : 'a list -> 'a list list
+
+(** Is [decide] order-invariant over id set [s] for tuples of length up
+    to [max_len] (per fixed skeleton)? *)
+val order_invariant_on :
+  decide:(ids:int array -> skeleton:'sk -> 'd) ->
+  skeletons:'sk list -> max_len:int -> int list -> bool
+
+(** Search [1..space] for an order-invariance witness set of the given
+    size — Lemma 4.2's conclusion on a toy instance. *)
+val find_invariant_subset :
+  decide:(ids:int array -> skeleton:'sk -> 'd) ->
+  skeletons:'sk list -> max_len:int -> space:int -> size:int ->
+  int list option
+
+(** log₂ of the Lemma 4.2 color count: [outputs]^[tuples]. *)
+val log2_color_count : tuples:int -> outputs:int -> float
+
+(** The paper's log* R(p, m, c) = p + log* m + log* c + O(1), with the
+    O(1) instantiated as 1. *)
+val log_star_ramsey_bound : p:int -> m:int -> log2_c:float -> int

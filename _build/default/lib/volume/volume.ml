@@ -1,0 +1,8 @@
+(* Facade of the [volume] library: the VOLUME / LCA models of
+   Section 2.2 and Section 4 of the paper. *)
+
+module Probe = Probe
+module Algorithms = Algorithms
+module Order_invariant = Order_invariant
+module Lca = Lca
+module Ramsey = Ramsey

@@ -1,0 +1,1 @@
+test/helpers.ml: Array Fun Graph Lcl List Printf QCheck QCheck_alcotest Util

@@ -1,0 +1,1 @@
+test/test_classify.ml: Alcotest Classify Graph Helpers Lcl List Local QCheck Util

@@ -1,0 +1,1 @@
+test/test_general.ml: Alcotest Array Graph Helpers Lcl List QCheck Util

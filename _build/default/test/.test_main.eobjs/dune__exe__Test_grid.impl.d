@@ -1,0 +1,1 @@
+test/test_grid.ml: Alcotest Array Fun Graph Grid Helpers List Local Printf QCheck

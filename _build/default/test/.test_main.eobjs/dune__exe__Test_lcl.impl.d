@@ -1,0 +1,1 @@
+test/test_lcl.ml: Alcotest Array Filename Graph Hashtbl Helpers In_channel Lcl List Option QCheck String Sys Util

@@ -1,0 +1,1 @@
+test/test_local.ml: Alcotest Array Graph Helpers Int64 Lcl List Local Printf QCheck Util

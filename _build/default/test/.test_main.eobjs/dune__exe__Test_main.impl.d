@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_classify Test_general Test_graph Test_grid Test_lcl Test_local Test_re Test_util Test_volume

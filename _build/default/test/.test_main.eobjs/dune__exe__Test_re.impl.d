@@ -1,0 +1,1 @@
+test/test_re.ml: Alcotest Array Classify Graph Helpers Lcl List Local Printf QCheck Relim Util

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Fun Hashtbl Helpers List QCheck Util

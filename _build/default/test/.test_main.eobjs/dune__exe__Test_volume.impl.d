@@ -1,0 +1,1 @@
+test/test_volume.ml: Alcotest Array Graph Helpers Lcl List Local Printf QCheck Util Volume

@@ -1,0 +1,39 @@
+(* Shared QCheck generators for property-based tests: random small
+   node-edge-checkable LCLs, random graphs, and helpers. *)
+
+let rng_of_seed seed = Util.Prng.create ~seed
+
+(** Random input-free problem with [k] output labels and degree bound
+    [delta]; every constraint set is a random nonempty subset of the
+    possible configurations. *)
+let random_problem rng ~k ~delta =
+  let labels = List.init k Fun.id in
+  let pick_nonempty configs =
+    let picked = List.filter (fun _ -> Util.Prng.bool rng) configs in
+    if picked = [] then
+      [ List.nth configs (Util.Prng.int rng (List.length configs)) ]
+    else picked
+  in
+  let node_cfg =
+    Array.init delta (fun dm1 ->
+        pick_nonempty (Util.Multiset.enumerate ~univ:labels ~k:(dm1 + 1)))
+  in
+  let edge_cfg = pick_nonempty (Util.Multiset.enumerate ~univ:labels ~k:2) in
+  let sigma_out =
+    Lcl.Alphabet.of_names (List.init k (Printf.sprintf "l%d"))
+  in
+  Lcl.Problem.make_input_free ~name:"random" ~delta ~sigma_out ~node_cfg
+    ~edge_cfg
+
+(** Seed arbitrary for property tests that build their own randomized
+    structures (printing the seed keeps failures reproducible). *)
+let seed_arb =
+  QCheck.make
+    ~print:(fun seed -> Printf.sprintf "seed=%d" seed)
+    QCheck.Gen.(int_bound 1_000_000)
+
+(** A random tree on [n] nodes with degree bound [delta]. *)
+let random_tree seed ~delta n =
+  Graph.Builder.random_tree (rng_of_seed seed) ~delta n
+
+let qsuite name cells = (name, List.map QCheck_alcotest.to_alcotest cells)

@@ -1,0 +1,135 @@
+(* Tests for the landscape classifiers: the diagram automaton, the
+   decidable cycle/path classification, and cross-validation of the
+   automaton against brute-force solvability. *)
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+
+let verdict =
+  Alcotest.testable Classify.Cycle_path.pp_verdict (fun a b -> a = b)
+
+(* -- automaton -------------------------------------------------------- *)
+
+let test_coloring_automaton () =
+  let a = Classify.Automaton.of_problem (Lcl.Zoo.coloring ~k:3 ~delta:2) in
+  (* vertex coloring: r -> r' iff r <> r' (via l = r') *)
+  check bool "no self-loop" true (Classify.Automaton.self_loops a = []);
+  check bool "flexible" true (Classify.Automaton.flexible_states a <> []);
+  check bool "walk length 5" true (Classify.Automaton.closed_walk_exists a 5);
+  check bool "no walk length 1" false (Classify.Automaton.closed_walk_exists a 1)
+
+let test_period_two_coloring () =
+  let a = Classify.Automaton.of_problem (Lcl.Zoo.coloring ~k:2 ~delta:2) in
+  check bool "period 2" true (Classify.Automaton.period a 0 = Some 2);
+  check bool "not flexible" true (Classify.Automaton.flexible_states a = []);
+  check bool "even walks only" true
+    (Classify.Automaton.closed_walk_exists a 6
+    && not (Classify.Automaton.closed_walk_exists a 7))
+
+(* -- cycle classification --------------------------------------------- *)
+
+let test_cycle_classification () =
+  let cases =
+    [
+      (Lcl.Zoo.trivial ~delta:2, Classify.Cycle_path.Const);
+      (Lcl.Zoo.free_choice ~delta:2, Classify.Cycle_path.Const);
+      (* with the orientation given, pointing "forward" is 0 rounds *)
+      (Lcl.Zoo.edge_orientation ~delta:2, Classify.Cycle_path.Const);
+      (Lcl.Zoo.consistent_orientation, Classify.Cycle_path.Const);
+      (Lcl.Zoo.coloring ~k:3 ~delta:2, Classify.Cycle_path.Log_star);
+      (Lcl.Zoo.mis ~delta:2, Classify.Cycle_path.Log_star);
+      (Lcl.Zoo.maximal_matching ~delta:2, Classify.Cycle_path.Log_star);
+      (Lcl.Zoo.edge_coloring ~k:3 ~delta:2, Classify.Cycle_path.Log_star);
+      (Lcl.Zoo.coloring ~k:2 ~delta:2, Classify.Cycle_path.Global);
+      (Lcl.Zoo.weak_2_coloring ~delta:2 (), Classify.Cycle_path.Log_star);
+      (Lcl.Zoo.period_pattern ~k:3, Classify.Cycle_path.Log_star);
+      (Lcl.Zoo.period_pattern ~k:4, Classify.Cycle_path.Global);
+    ]
+  in
+  List.iter
+    (fun (p, expected) ->
+      check verdict (Lcl.Problem.name p) expected
+        (Classify.Cycle_path.classify_cycle p))
+    cases
+
+let test_path_classification () =
+  check verdict "3-coloring paths" Classify.Cycle_path.Log_star
+    (Classify.Cycle_path.classify_path (Lcl.Zoo.coloring ~k:3 ~delta:2));
+  check verdict "2-coloring paths" Classify.Cycle_path.Global
+    (Classify.Cycle_path.classify_path (Lcl.Zoo.coloring ~k:2 ~delta:2));
+  check verdict "trivial paths" Classify.Cycle_path.Const
+    (Classify.Cycle_path.classify_path (Lcl.Zoo.trivial ~delta:2));
+  check verdict "mis paths" Classify.Cycle_path.Log_star
+    (Classify.Cycle_path.classify_path (Lcl.Zoo.mis ~delta:2))
+
+let test_unsolvable () =
+  (* an empty-ish problem: single label but edge constraint refuses it *)
+  let sigma_out = Lcl.Alphabet.of_names [ "a"; "b" ] in
+  let ms = Util.Multiset.of_list in
+  let p =
+    Lcl.Problem.make_input_free ~name:"dead" ~delta:2 ~sigma_out
+      ~node_cfg:[| [ ms [ 0 ] ]; [ ms [ 0; 0 ] ] |]
+      ~edge_cfg:[ ms [ 1; 1 ] ]
+  in
+  check verdict "dead problem" Classify.Cycle_path.Unsolvable
+    (Classify.Cycle_path.classify_cycle p)
+
+(* -- the crucial cross-check: automaton walks = brute-force solvability *)
+
+let prop_closed_walks_match_bruteforce =
+  QCheck.Test.make
+    ~name:"closed walks of length n <=> solutions on the n-cycle" ~count:60
+    QCheck.(pair Helpers.seed_arb (int_range 3 7))
+    (fun (seed, n) ->
+      let rng = Helpers.rng_of_seed seed in
+      let p = Helpers.random_problem rng ~k:3 ~delta:2 in
+      let a = Classify.Automaton.of_problem p in
+      let walk = Classify.Automaton.closed_walk_exists a n in
+      let solvable = Lcl.Verify.solvable p (Graph.Builder.cycle n) <> None in
+      walk = solvable)
+
+(* a Const verdict comes from a self-loop: repeating that state tiles
+   every cycle length, so the problem must be solvable on all of them *)
+let prop_const_implies_universally_solvable =
+  QCheck.Test.make
+    ~name:"classifier Const => solvable on every cycle length" ~count:60
+    Helpers.seed_arb
+    (fun seed ->
+      let rng = Helpers.rng_of_seed seed in
+      let p = Helpers.random_problem rng ~k:3 ~delta:2 in
+      match Classify.Cycle_path.classify_cycle p with
+      | Classify.Cycle_path.Const ->
+        List.for_all
+          (fun n -> Lcl.Verify.solvable p (Graph.Builder.cycle n) <> None)
+          [ 3; 4; 5; 6; 7; 8 ]
+      | _ -> true)
+
+(* classifier verdict must be consistent with measured algorithms: a
+   Const verdict means some uniform pattern exists; verify the specific
+   known pairs through the simulator instead of re-proving theory *)
+let test_classifier_vs_simulator () =
+  (* 3-coloring classified Log_star, and CV achieves it *)
+  check verdict "3col" Classify.Cycle_path.Log_star
+    (Classify.Cycle_path.classify_cycle (Lcl.Zoo.coloring ~k:3 ~delta:2));
+  let g = Graph.Builder.oriented_cycle 50 in
+  check bool "CV realizes the class" true
+    (Local.Runner.succeeds ~problem:(Lcl.Zoo.coloring ~k:3 ~delta:2)
+       Local.Cole_vishkin.three_coloring g)
+
+let suites =
+  [
+    ( "classify.unit",
+      [
+        Alcotest.test_case "coloring automaton" `Quick test_coloring_automaton;
+        Alcotest.test_case "period of 2-coloring" `Quick test_period_two_coloring;
+        Alcotest.test_case "cycle classification" `Quick test_cycle_classification;
+        Alcotest.test_case "path classification" `Quick test_path_classification;
+        Alcotest.test_case "unsolvable" `Quick test_unsolvable;
+        Alcotest.test_case "classifier vs simulator" `Quick test_classifier_vs_simulator;
+      ] );
+    Helpers.qsuite "classify.prop"
+      [
+        prop_closed_walks_match_bruteforce;
+        prop_const_implies_universally_solvable;
+      ];
+  ]

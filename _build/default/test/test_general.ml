@@ -1,0 +1,117 @@
+(* Tests for general (radius-r) LCLs and the Lemma 2.6 reduction. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let coloring = Lcl.Zoo.coloring ~k:3 ~delta:2
+let general = Lcl.General.of_node_edge coloring
+
+let proper_labeling g =
+  match Lcl.Verify.solvable coloring g with
+  | Some l -> l
+  | None -> Alcotest.fail "expected a 3-coloring to exist"
+
+let improper_labeling g =
+  Array.init (Graph.n g) (fun v -> Array.make (Graph.degree g v) 0)
+
+(* -- general verification agrees with node-edge verification --------- *)
+
+let test_general_matches_node_edge () =
+  let g = Graph.Builder.cycle 7 in
+  let good = proper_labeling g in
+  check bool "valid accepted" true (Lcl.General.is_valid general g good);
+  let bad = improper_labeling g in
+  check bool "invalid rejected" false (Lcl.General.is_valid general g bad);
+  (* the general violations cover the nodes adjacent to bad edges *)
+  check int "all nodes rejected (constant labeling on a cycle)" 7
+    (List.length (Lcl.General.violations general g bad))
+
+let prop_general_equals_node_edge =
+  QCheck.Test.make
+    ~name:"general-LCL verdict = node-edge verdict on random labelings"
+    ~count:60
+    QCheck.(pair Helpers.seed_arb (int_range 3 9))
+    (fun (seed, n) ->
+      let rng = Helpers.rng_of_seed seed in
+      let g = Graph.Builder.cycle n in
+      let labeling =
+        Array.init n (fun v ->
+            Array.init (Graph.degree g v) (fun _ -> Util.Prng.int rng 3))
+      in
+      Lcl.General.is_valid general g labeling
+      = Lcl.Verify.is_valid coloring g labeling)
+
+(* -- Lemma 2.6 round trip --------------------------------------------- *)
+
+let test_lemma26_encode_valid () =
+  (* direction 1: the r-round encoding of a valid solution satisfies
+     the virtual node/edge/g constraints of Π' *)
+  let g = Graph.Builder.cycle 8 in
+  let good = proper_labeling g in
+  let codes = Lcl.General.Lemma26.encode_all general g good in
+  check int "no virtual violations" 0
+    (List.length (Lcl.General.Lemma26.virtual_violations general g codes))
+
+let test_lemma26_decode_roundtrip () =
+  (* direction 2: decoding the encoding returns the original labels *)
+  let g = Graph.Builder.path 9 in
+  let good = proper_labeling g in
+  let codes = Lcl.General.Lemma26.encode_all general g good in
+  let back = Lcl.General.Lemma26.decode_all codes in
+  check bool "decode . encode = id" true (back = good);
+  check bool "decoded solution valid" true (Lcl.Verify.is_valid coloring g back)
+
+let test_lemma26_rejects_frankenstein () =
+  (* stitching codes from two different solutions violates the virtual
+     constraints: the codes describe inconsistent neighborhoods *)
+  let g = Graph.Builder.cycle 9 in
+  let sol1 = proper_labeling g in
+  (* rotate colors for a second, different solution *)
+  let sol2 = Array.map (Array.map (fun c -> (c + 1) mod 3)) sol1 in
+  let c1 = Lcl.General.Lemma26.encode_all general g sol1 in
+  let c2 = Lcl.General.Lemma26.encode_all general g sol2 in
+  let franken =
+    Array.init (Graph.n g) (fun v -> if v mod 2 = 0 then c1.(v) else c2.(v))
+  in
+  check bool "inconsistent stitching caught" true
+    (Lcl.General.Lemma26.virtual_violations general g franken <> [])
+
+let prop_lemma26_roundtrip_random_trees =
+  QCheck.Test.make ~name:"Lemma 2.6 round trip on random trees" ~count:25
+    QCheck.(pair Helpers.seed_arb (int_range 4 14))
+    (fun (seed, n) ->
+      let g = Helpers.random_tree seed ~delta:2 n in
+      match Lcl.Verify.solvable coloring g with
+      | None -> true
+      | Some good ->
+        let codes = Lcl.General.Lemma26.encode_all general g good in
+        Lcl.General.Lemma26.virtual_violations general g codes = []
+        && Lcl.General.Lemma26.decode_all codes = good)
+
+(* MIS as a general LCL with delta 3: same machinery on irregular trees *)
+let test_lemma26_mis_tree () =
+  let mis = Lcl.Zoo.mis ~delta:3 in
+  let gmis = Lcl.General.of_node_edge mis in
+  let g = Graph.Builder.complete_tree ~arity:2 11 in
+  match Lcl.Verify.solvable mis g with
+  | None -> Alcotest.fail "MIS solvable on trees"
+  | Some good ->
+    let codes = Lcl.General.Lemma26.encode_all gmis g good in
+    check int "virtual constraints hold" 0
+      (List.length (Lcl.General.Lemma26.virtual_violations gmis g codes));
+    check bool "decode" true (Lcl.General.Lemma26.decode_all codes = good)
+
+let suites =
+  [
+    ( "general.unit",
+      [
+        Alcotest.test_case "general = node-edge" `Quick test_general_matches_node_edge;
+        Alcotest.test_case "encode satisfies virtual constraints" `Quick test_lemma26_encode_valid;
+        Alcotest.test_case "decode roundtrip" `Quick test_lemma26_decode_roundtrip;
+        Alcotest.test_case "frankenstein rejected" `Quick test_lemma26_rejects_frankenstein;
+        Alcotest.test_case "MIS on a tree" `Quick test_lemma26_mis_tree;
+      ] );
+    Helpers.qsuite "general.prop"
+      [ prop_general_equals_node_edge; prop_lemma26_roundtrip_random_trees ];
+  ]

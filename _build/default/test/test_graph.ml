@@ -1,0 +1,270 @@
+(* Tests for the graph substrate: builders, well-formedness, balls. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let test_of_edges_validation () =
+  Alcotest.check_raises "self-loop"
+    (Invalid_argument "Graph.of_edges: self-loop") (fun () ->
+      ignore (Graph.of_edges ~n:2 ~delta:2 [ (0, 0) ]));
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Graph.of_edges: duplicate edge") (fun () ->
+      ignore (Graph.of_edges ~n:2 ~delta:2 [ (0, 1); (1, 0) ]));
+  Alcotest.check_raises "degree overflow"
+    (Invalid_argument "Graph.of_edges: node 0 has degree 3 > delta 2")
+    (fun () -> ignore (Graph.of_edges ~n:4 ~delta:2 [ (0, 1); (0, 2); (0, 3) ]))
+
+let test_path () =
+  let g = Graph.Builder.path 5 in
+  check int "n" 5 (Graph.n g);
+  check int "edges" 4 (Graph.num_edges g);
+  check bool "tree" true (Graph.is_tree g);
+  check bool "well-formed" true (Graph.Check.well_formed g);
+  check int "endpoint degree" 1 (Graph.degree g 0);
+  check int "inner degree" 2 (Graph.degree g 2)
+
+let test_cycle () =
+  let g = Graph.Builder.cycle 7 in
+  check int "edges" 7 (Graph.num_edges g);
+  check bool "not forest" false (Graph.is_forest g);
+  check bool "girth" true (Graph.girth g = Some 7)
+
+let test_star_complete_tree () =
+  let s = Graph.Builder.star 6 in
+  check int "star center degree" 5 (Graph.degree s 0);
+  check bool "star is tree" true (Graph.is_tree s);
+  let t = Graph.Builder.complete_tree ~arity:2 15 in
+  check bool "complete tree" true (Graph.is_tree t);
+  check int "root degree" 2 (Graph.degree t 0);
+  check bool "delta respected" true
+    (List.for_all (fun v -> Graph.degree t v <= 3) (List.init 15 Fun.id))
+
+let test_caterpillar () =
+  let g = Graph.Builder.caterpillar ~spine:4 ~legs:2 in
+  check int "n" 12 (Graph.n g);
+  check bool "tree" true (Graph.is_tree g)
+
+let test_oriented_cycle_tags () =
+  let g = Graph.Builder.oriented_cycle 6 in
+  (* every node has exactly one successor and one predecessor tag *)
+  let ok = ref true in
+  for v = 0 to 5 do
+    let tags = List.init (Graph.degree g v) (Graph.edge_tag g v) in
+    if List.sort compare tags <> [ Graph.Builder.pred_tag; Graph.Builder.succ_tag ]
+    then ok := false
+  done;
+  check bool "tags" true !ok;
+  (* succ pointers form one consistent cycle *)
+  let succ v =
+    let rec go p =
+      if Graph.edge_tag g v p = Graph.Builder.succ_tag then Graph.neighbor g v p
+      else go (p + 1)
+    in
+    go 0
+  in
+  let rec walk v steps = if steps = 0 then v else walk (succ v) (steps - 1) in
+  check int "cycle closes" 0 (walk 0 6)
+
+let test_bfs_component () =
+  let g = Graph.of_edges ~n:6 ~delta:3 [ (0, 1); (1, 2); (3, 4) ] in
+  let d = Graph.bfs_distances g 0 in
+  check int "dist 2" 2 d.(2);
+  check int "unreachable" (-1) d.(3);
+  check int "components" 3 (List.length (Graph.components g));
+  check bool "forest" true (Graph.is_forest g)
+
+(* -- balls ----------------------------------------------------------- *)
+
+let extract g v radius =
+  let n = Graph.n g in
+  let ids = Graph.Ids.sequential n in
+  let rand = Array.make n 0L in
+  Graph.Ball.extract g ~ids ~rand ~n_declared:n v ~radius
+
+let test_ball_radius_coverage () =
+  let g = Graph.Builder.path 9 in
+  let ball, hosts = extract g 4 2 in
+  check int "ball size" 5 ball.Graph.Ball.size;
+  check int "center" 0 ball.Graph.Ball.center;
+  check int "center host" 4 hosts.(0);
+  (* nodes at distance exactly 2 have no visible edges beyond *)
+  let boundary =
+    List.filter
+      (fun u -> ball.Graph.Ball.dist.(u) = 2)
+      (List.init ball.Graph.Ball.size Fun.id)
+  in
+  check int "two boundary nodes" 2 (List.length boundary);
+  List.iter
+    (fun u ->
+      (* the edge toward the ball interior is visible, the outward one
+         is not *)
+      let visible =
+        Array.to_list ball.Graph.Ball.adj.(u)
+        |> List.filter (fun e -> e <> None)
+        |> List.length
+      in
+      check int "boundary visibility" 1 visible)
+    boundary
+
+let test_ball_radius_zero () =
+  let g = Graph.Builder.cycle 5 in
+  let ball, _ = extract g 0 0 in
+  check int "only center" 1 ball.Graph.Ball.size;
+  check int "degree known" 2 ball.Graph.Ball.degree.(0);
+  check bool "no visible edges" true
+    (Array.for_all (fun e -> e = None) ball.Graph.Ball.adj.(0))
+
+let test_ball_sub () =
+  let g = Graph.Builder.cycle 9 in
+  let ball, hosts = extract g 0 3 in
+  (* sub-ball around a neighbor of the center *)
+  let w =
+    match ball.Graph.Ball.adj.(0).(0) with
+    | Some (w, _) -> w
+    | None -> Alcotest.fail "center edge invisible"
+  in
+  let sub = Graph.Ball.sub ball ~center:w ~radius:2 in
+  let direct, _ = extract g hosts.(w) 2 in
+  check int "same size" direct.Graph.Ball.size sub.Graph.Ball.size;
+  check bool "same ids (as sets)" true
+    (List.sort compare (Array.to_list sub.Graph.Ball.id)
+    = List.sort compare (Array.to_list direct.Graph.Ball.id))
+
+let test_order_type () =
+  let g = Graph.Builder.path 4 in
+  let n = 4 in
+  let rand = Array.make n 0L in
+  let b1, _ =
+    Graph.Ball.extract g ~ids:[| 30; 10; 40; 20 |] ~rand ~n_declared:n 1
+      ~radius:2
+  in
+  let b2, _ =
+    Graph.Ball.extract g ~ids:[| 300; 100; 999; 250 |] ~rand ~n_declared:n 1
+      ~radius:2
+  in
+  check bool "same order type" true
+    (Graph.Ball.equal_deterministic (Graph.Ball.order_type b1)
+       (Graph.Ball.order_type b2))
+
+(* -- properties ------------------------------------------------------ *)
+
+let prop_random_tree_is_tree =
+  QCheck.Test.make ~name:"random_tree is a bounded-degree tree" ~count:100
+    QCheck.(pair Helpers.seed_arb (int_range 2 60))
+    (fun (seed, n) ->
+      let g = Helpers.random_tree seed ~delta:4 n in
+      Graph.is_tree g && Graph.Check.well_formed g && Graph.Check.simple g
+      && List.for_all (fun v -> Graph.degree g v <= 4) (List.init n Fun.id))
+
+let prop_random_forest =
+  QCheck.Test.make ~name:"random_forest is a forest without isolated nodes"
+    ~count:60
+    QCheck.(pair Helpers.seed_arb (int_range 8 60))
+    (fun (seed, n) ->
+      let rng = Helpers.rng_of_seed seed in
+      let g = Graph.Builder.random_forest rng ~delta:3 ~trees:3 n in
+      Graph.is_forest g
+      && List.for_all (fun v -> Graph.degree g v >= 1) (List.init n Fun.id))
+
+let prop_ball_size_bound =
+  QCheck.Test.make ~name:"ball contains exactly the radius-T nodes" ~count:60
+    QCheck.(triple Helpers.seed_arb (int_range 4 40) (int_range 0 4))
+    (fun (seed, n, radius) ->
+      let g = Helpers.random_tree seed ~delta:3 n in
+      let v = seed mod n in
+      let ids = Graph.Ids.sequential n in
+      let rand = Array.make n 0L in
+      let ball, hosts = Graph.Ball.extract g ~ids ~rand ~n_declared:n v ~radius in
+      let dist = Graph.bfs_distances g v in
+      let expected =
+        List.filter (fun u -> dist.(u) >= 0 && dist.(u) <= radius)
+          (List.init n Fun.id)
+      in
+      List.sort compare (Array.to_list hosts) = expected
+      && Array.for_all2 (fun b h -> b = dist.(h)) ball.Graph.Ball.dist hosts)
+
+let prop_ids_distinct =
+  QCheck.Test.make ~name:"random ids distinct" ~count:100
+    QCheck.(pair Helpers.seed_arb (int_range 1 200))
+    (fun (seed, n) ->
+      let rng = Helpers.rng_of_seed seed in
+      Graph.Ids.all_distinct (Graph.Ids.random rng n))
+
+let prop_with_order_preserves_order =
+  QCheck.Test.make ~name:"Ids.with_order preserves order type" ~count:100
+    QCheck.(pair Helpers.seed_arb (int_range 2 50))
+    (fun (seed, n) ->
+      let rng = Helpers.rng_of_seed seed in
+      let ids = Graph.Ids.random rng n in
+      let order = Graph.Ids.order_of ids in
+      let fresh = Graph.Ids.with_order rng order in
+      Graph.Ids.order_of fresh = order)
+
+let prop_sub_matches_direct =
+  QCheck.Test.make
+    ~name:"Ball.sub = direct extraction (structure, ids, inputs)" ~count:60
+    QCheck.(quad Helpers.seed_arb (int_range 5 40) (int_range 1 3) (int_range 0 2))
+    (fun (seed, n, outer_extra, inner) ->
+      let g = Helpers.random_tree seed ~delta:3 n in
+      let rng = Helpers.rng_of_seed (seed + 1) in
+      let ids = Graph.Ids.random rng n in
+      let rand = Array.make n 0L in
+      let v = seed mod n in
+      let outer_radius = inner + outer_extra in
+      let ball, hosts =
+        Graph.Ball.extract g ~ids ~rand ~n_declared:n v ~radius:outer_radius
+      in
+      (* pick some node within distance outer_extra of the center *)
+      let candidates =
+        List.filter
+          (fun u -> ball.Graph.Ball.dist.(u) <= outer_extra)
+          (List.init ball.Graph.Ball.size Fun.id)
+      in
+      let w = List.nth candidates (seed mod List.length candidates) in
+      let sub = Graph.Ball.sub ball ~center:w ~radius:inner in
+      let direct, _ =
+        Graph.Ball.extract g ~ids ~rand ~n_declared:n hosts.(w) ~radius:inner
+      in
+      Graph.Ball.equal_deterministic sub direct)
+
+let test_shortcut_path () =
+  let g, is_path = Graph.Builder.shortcut_path 64 in
+  check bool "well-formed" true (Graph.Check.well_formed g);
+  (* the path closes cycles through the hub tree — that the graph is
+     NOT a tree/forest is exactly why Theorem 1.1 does not apply *)
+  check bool "has cycles" false (Graph.is_forest g);
+  check bool "path node" true (is_path 10);
+  check bool "hub node" false (is_path 64);
+  (* shortcut property: graph distance between path nodes is
+     logarithmic in their path distance *)
+  let d = Graph.bfs_distances g 0 in
+  check bool "0 to 63 close" true (d.(63) <= 2 * (Util.Logstar.log2_ceil 64 + 2))
+
+let suites =
+  [
+    ( "graph.unit",
+      [
+        Alcotest.test_case "of_edges validation" `Quick test_of_edges_validation;
+        Alcotest.test_case "path" `Quick test_path;
+        Alcotest.test_case "cycle" `Quick test_cycle;
+        Alcotest.test_case "star & complete tree" `Quick test_star_complete_tree;
+        Alcotest.test_case "caterpillar" `Quick test_caterpillar;
+        Alcotest.test_case "oriented cycle tags" `Quick test_oriented_cycle_tags;
+        Alcotest.test_case "bfs & components" `Quick test_bfs_component;
+        Alcotest.test_case "ball radius coverage" `Quick test_ball_radius_coverage;
+        Alcotest.test_case "ball radius zero" `Quick test_ball_radius_zero;
+        Alcotest.test_case "ball sub" `Quick test_ball_sub;
+        Alcotest.test_case "order type" `Quick test_order_type;
+        Alcotest.test_case "shortcut path" `Quick test_shortcut_path;
+      ] );
+    Helpers.qsuite "graph.prop"
+      [
+        prop_random_tree_is_tree;
+        prop_random_forest;
+        prop_ball_size_bound;
+        prop_ids_distinct;
+        prop_with_order_preserves_order;
+        prop_sub_matches_direct;
+      ];
+  ]

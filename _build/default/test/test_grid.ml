@@ -1,0 +1,206 @@
+(* Tests for oriented toroidal grids and PROD-LOCAL algorithms. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let test_torus_structure () =
+  let t = Grid.Torus.make [| 4; 5 |] in
+  let g = Grid.Torus.graph t in
+  check int "n" 20 (Graph.n g);
+  check int "m" 40 (Graph.num_edges g);
+  check bool "well-formed" true (Graph.Check.well_formed g);
+  check bool "4-regular" true
+    (List.for_all (fun v -> Graph.degree g v = 4) (List.init 20 Fun.id))
+
+let test_torus_tags () =
+  let t = Grid.Torus.make [| 3; 4 |] in
+  let g = Grid.Torus.graph t in
+  (* every node: exactly one succ and one pred tag per dimension *)
+  let ok = ref true in
+  for v = 0 to Graph.n g - 1 do
+    let tags =
+      List.sort compare (List.init (Graph.degree g v) (Graph.edge_tag g v))
+    in
+    if tags <> [ 0; 1; 2; 3 ] then ok := false
+  done;
+  check bool "tags complete" true !ok;
+  (* following dim-0 successors returns home after side0 steps *)
+  let succ0 v =
+    let rec go p =
+      if Graph.edge_tag g v p = Grid.Torus.succ_tag 0 then Graph.neighbor g v p
+      else go (p + 1)
+    in
+    go 0
+  in
+  let rec walk v k = if k = 0 then v else walk (succ0 v) (k - 1) in
+  check int "dim0 cycle length" 0 (walk 0 3)
+
+let test_coords_roundtrip () =
+  let sides = [| 3; 4; 5 |] in
+  let t = Grid.Torus.make sides in
+  let ok = ref true in
+  for v = 0 to Graph.n (Grid.Torus.graph t) - 1 do
+    if Grid.Torus.node_of_coords sides (Grid.Torus.coords t v) <> v then
+      ok := false
+  done;
+  check bool "coords roundtrip" true !ok
+
+let test_prod_ids () =
+  let t = Grid.Torus.make [| 4; 6 |] in
+  let ids = Grid.Torus.prod_ids t in
+  let g = Grid.Torus.graph t in
+  (* digit i equal iff coordinate i equal *)
+  let ok = ref true in
+  for u = 0 to Graph.n g - 1 do
+    for v = 0 to Graph.n g - 1 do
+      for dim = 0 to 1 do
+        let du =
+          Grid.Torus.unpack ~base:ids.Grid.Torus.base ~dim
+            ids.Grid.Torus.packed.(u)
+        and dv =
+          Grid.Torus.unpack ~base:ids.Grid.Torus.base ~dim
+            ids.Grid.Torus.packed.(v)
+        in
+        let same_coord = (Grid.Torus.coords t u).(dim) = (Grid.Torus.coords t v).(dim) in
+        if (du = dv) <> same_coord then ok := false
+      done
+    done
+  done;
+  check bool "digits track coordinates" true !ok
+
+(* -- algorithms -------------------------------------------------------- *)
+
+let run_grid ~d ~sides algo problem =
+  let t = Grid.Problems.mark_tag_inputs (Grid.Torus.make sides) in
+  let ids = Grid.Torus.prod_ids t in
+  let g = Grid.Torus.graph t in
+  ignore d;
+  Local.Runner.run ~ids:(`Fixed ids.Grid.Torus.packed) ~problem (algo ids) g
+
+let test_dimension_echo () =
+  let o =
+    run_grid ~d:2 ~sides:[| 4; 5 |]
+      (fun _ -> Grid.Algorithms.dimension_echo)
+      (Grid.Problems.dimension_echo ~d:2)
+  in
+  check int "echo valid" 0 (List.length o.Local.Runner.violations);
+  check int "zero radius" 0 o.Local.Runner.radius_used
+
+let test_torus_coloring_2d () =
+  List.iter
+    (fun sides ->
+      let o =
+        run_grid ~d:2 ~sides
+          (fun ids -> Grid.Algorithms.torus_coloring ~d:2 ~base:ids.Grid.Torus.base)
+          (Grid.Problems.torus_coloring ~d:2)
+      in
+      check int
+        (Printf.sprintf "coloring %dx%d valid" sides.(0) sides.(1))
+        0
+        (List.length o.Local.Runner.violations))
+    [ [| 3; 3 |]; [| 4; 7 |]; [| 8; 8 |]; [| 5; 16 |] ]
+
+let test_torus_coloring_3d () =
+  let o =
+    run_grid ~d:3 ~sides:[| 3; 4; 5 |]
+      (fun ids -> Grid.Algorithms.torus_coloring ~d:3 ~base:ids.Grid.Torus.base)
+      (Grid.Problems.torus_coloring ~d:3)
+  in
+  check int "3d coloring valid" 0 (List.length o.Local.Runner.violations)
+
+let test_dim0_two_coloring () =
+  List.iter
+    (fun sides ->
+      let o =
+        run_grid ~d:2 ~sides
+          (fun ids ->
+            Grid.Algorithms.dim0_two_coloring ~base:ids.Grid.Torus.base
+              ~side:sides.(0))
+          (Grid.Problems.dim0_two_coloring ~d:2)
+      in
+      check int
+        (Printf.sprintf "dim0 2-coloring %dx%d" sides.(0) sides.(1))
+        0
+        (List.length o.Local.Runner.violations))
+    [ [| 4; 3 |]; [| 8; 5 |] ]
+
+let test_grid_radii () =
+  (* the three classes: 0, Θ(log* n), Θ(side) radii *)
+  let t = Grid.Torus.make [| 16; 16 |] in
+  let ids = Grid.Torus.prod_ids t in
+  let n = 256 in
+  let r_echo = Grid.Algorithms.dimension_echo.Local.Algorithm.radius ~n in
+  let color = Grid.Algorithms.torus_coloring ~d:2 ~base:ids.Grid.Torus.base in
+  let r_color = color.Local.Algorithm.radius ~n in
+  let global = Grid.Algorithms.dim0_two_coloring ~base:ids.Grid.Torus.base ~side:16 in
+  let r_global = global.Local.Algorithm.radius ~n in
+  check int "echo 0" 0 r_echo;
+  check bool "coloring small" true (r_color > 0 && r_color < 16);
+  check int "global = side" 16 r_global
+
+(* Prop. 5.5 fooling: the coloring algorithm's radius depends only on
+   the identifier base, so running it with a fooled n keeps it correct
+   (its correctness never consulted n in the first place — exactly why
+   the fooled run is safe). *)
+let test_fooled_grid_coloring () =
+  let t = Grid.Problems.mark_tag_inputs (Grid.Torus.make [| 12; 12 |]) in
+  let ids = Grid.Torus.prod_ids t in
+  let algo =
+    Local.Order_invariant.speedup ~n0:9
+      (Grid.Algorithms.torus_coloring ~d:2 ~base:ids.Grid.Torus.base)
+  in
+  let o =
+    Local.Runner.run ~ids:(`Fixed ids.Grid.Torus.packed)
+      ~problem:(Grid.Problems.torus_coloring ~d:2) algo (Grid.Torus.graph t)
+  in
+  check int "fooled run valid" 0 (List.length o.Local.Runner.violations)
+
+let prop_torus_coloring_random_sides =
+  QCheck.Test.make ~name:"torus coloring valid on random sides" ~count:15
+    QCheck.(pair (int_range 3 9) (int_range 3 9))
+    (fun (a, b) ->
+      let o =
+        run_grid ~d:2 ~sides:[| a; b |]
+          (fun ids -> Grid.Algorithms.torus_coloring ~d:2 ~base:ids.Grid.Torus.base)
+          (Grid.Problems.torus_coloring ~d:2)
+      in
+      o.Local.Runner.violations = [])
+
+let test_torus_1d () =
+  (* a 1-dimensional torus is an oriented cycle *)
+  let t = Grid.Problems.mark_tag_inputs (Grid.Torus.make [| 9 |]) in
+  let ids = Grid.Torus.prod_ids t in
+  let o =
+    Local.Runner.run ~ids:(`Fixed ids.Grid.Torus.packed)
+      ~problem:(Grid.Problems.torus_coloring ~d:1)
+      (Grid.Algorithms.torus_coloring ~d:1 ~base:ids.Grid.Torus.base)
+      (Grid.Torus.graph t)
+  in
+  check int "1d coloring valid" 0 (List.length o.Local.Runner.violations)
+
+let test_torus_rejects_small_sides () =
+  check bool "side 2 rejected" true
+    (match Grid.Torus.make [| 2; 4 |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let suites =
+  [
+    ( "grid.unit",
+      [
+        Alcotest.test_case "torus structure" `Quick test_torus_structure;
+        Alcotest.test_case "torus tags" `Quick test_torus_tags;
+        Alcotest.test_case "coords roundtrip" `Quick test_coords_roundtrip;
+        Alcotest.test_case "prod ids" `Quick test_prod_ids;
+        Alcotest.test_case "dimension echo" `Quick test_dimension_echo;
+        Alcotest.test_case "torus coloring 2d" `Quick test_torus_coloring_2d;
+        Alcotest.test_case "torus coloring 3d" `Quick test_torus_coloring_3d;
+        Alcotest.test_case "dim0 2-coloring" `Quick test_dim0_two_coloring;
+        Alcotest.test_case "grid radii" `Quick test_grid_radii;
+        Alcotest.test_case "fooled coloring" `Quick test_fooled_grid_coloring;
+        Alcotest.test_case "1d torus" `Quick test_torus_1d;
+        Alcotest.test_case "small sides rejected" `Quick test_torus_rejects_small_sides;
+      ] );
+    Helpers.qsuite "grid.prop" [ prop_torus_coloring_random_sides ];
+  ]

@@ -1,0 +1,314 @@
+(* Tests for round elimination: the operators of Definitions 3.1/3.2,
+   0-round solvability (Theorem 3.10), lifting (Lemma 3.9), the failure
+   recurrence (Theorem 3.4) and the full gap pipeline. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+(* -- operators -------------------------------------------------------- *)
+
+let test_r_of_coloring () =
+  let p = Lcl.Zoo.coloring ~k:3 ~delta:2 in
+  let img = Relim.Eliminate.r p in
+  let q = img.Relim.Eliminate.problem in
+  (* the full-subset label {c0,c1,c2} is unusable (its common neighbor
+     set is empty) and must be pruned, leaving the 6 proper subsets *)
+  check int "labels" 6 (Lcl.Alphabet.size (Lcl.Problem.sigma_out q));
+  (* semantic sets: every grounded label denotes a nonempty set of base
+     labels *)
+  Array.iter
+    (fun s -> check bool "nonempty set" true (not (Util.Bitset.is_empty s)))
+    img.Relim.Eliminate.sets
+
+let test_r_edge_constraint_universal () =
+  let p = Lcl.Zoo.coloring ~k:3 ~delta:2 in
+  let img = Relim.Eliminate.r p in
+  let q = img.Relim.Eliminate.problem in
+  (* every edge configuration of R(Π) is universally compatible in Π *)
+  List.iter
+    (fun cfg ->
+      match Util.Multiset.to_list cfg with
+      | [ i; j ] ->
+        let si = img.Relim.Eliminate.sets.(i) and sj = img.Relim.Eliminate.sets.(j) in
+        Util.Bitset.iter
+          (fun a ->
+            Util.Bitset.iter
+              (fun b -> check bool "forall pair" true (Lcl.Problem.edge_ok p a b))
+              sj)
+          si
+      | _ -> Alcotest.fail "edge config arity")
+    (Lcl.Problem.edge_configs q)
+
+let test_rbar_node_constraint_universal () =
+  let p = Lcl.Zoo.coloring ~k:3 ~delta:2 in
+  let mid = Relim.Eliminate.r p in
+  let aft = Relim.Eliminate.rbar mid.Relim.Eliminate.problem in
+  let q = aft.Relim.Eliminate.problem in
+  (* every degree-2 node configuration of R̄ is universally valid in
+     the middle problem *)
+  List.iter
+    (fun cfg ->
+      match Util.Multiset.to_list cfg with
+      | [ i; j ] ->
+        Util.Bitset.iter
+          (fun a ->
+            Util.Bitset.iter
+              (fun b ->
+                check bool "forall node sel" true
+                  (Lcl.Problem.node_ok mid.Relim.Eliminate.problem
+                     (Util.Multiset.of_list [ a; b ])))
+              aft.Relim.Eliminate.sets.(j))
+          aft.Relim.Eliminate.sets.(i)
+      | _ -> Alcotest.fail "node config arity")
+    (Lcl.Problem.node_configs q ~degree:2)
+
+let test_trivial_fixed_point () =
+  let p = Lcl.Zoo.trivial ~delta:3 in
+  let s = Relim.Eliminate.speedup_step p in
+  check bool "f(trivial) ~ trivial" true
+    (Relim.Fixpoint.isomorphic (s.Relim.Eliminate.after).Relim.Eliminate.problem p)
+
+let test_closed_mode_agrees_on_zero_round () =
+  (* where both modes are affordable, the closed-mode problem must be
+     0-round solvable iff the full one is (input-free case) *)
+  List.iter
+    (fun p ->
+      let full = (Relim.Eliminate.rbar ~mode:`Full (Relim.Eliminate.r ~mode:`Full p).Relim.Eliminate.problem).Relim.Eliminate.problem in
+      let closed = (Relim.Eliminate.rbar ~mode:`Closed (Relim.Eliminate.r ~mode:`Closed p).Relim.Eliminate.problem).Relim.Eliminate.problem in
+      check bool
+        ("modes agree: " ^ Lcl.Problem.name p)
+        (Relim.Zero_round.solvable full)
+        (Relim.Zero_round.solvable closed))
+    [
+      Lcl.Zoo.trivial ~delta:2;
+      Lcl.Zoo.free_choice ~delta:2;
+      Lcl.Zoo.edge_orientation ~delta:2;
+      Lcl.Zoo.coloring ~k:3 ~delta:2;
+    ]
+
+(* -- zero round ------------------------------------------------------- *)
+
+let test_zero_round_solvable () =
+  check bool "trivial" true (Relim.Zero_round.solvable (Lcl.Zoo.trivial ~delta:3));
+  check bool "free-choice" true
+    (Relim.Zero_round.solvable (Lcl.Zoo.free_choice ~delta:3));
+  check bool "echo-input" true
+    (Relim.Zero_round.solvable (Lcl.Zoo.echo_input ~delta:2));
+  check bool "coloring not" false
+    (Relim.Zero_round.solvable (Lcl.Zoo.coloring ~k:3 ~delta:2));
+  check bool "edge-orientation not" false
+    (Relim.Zero_round.solvable (Lcl.Zoo.edge_orientation ~delta:2));
+  check bool "mis not" false (Relim.Zero_round.solvable (Lcl.Zoo.mis ~delta:2))
+
+let test_zero_round_outputs () =
+  match Relim.Zero_round.solve (Lcl.Zoo.echo_input ~delta:2) with
+  | None -> Alcotest.fail "echo-input must be 0-round solvable"
+  | Some z ->
+    let out = Relim.Zero_round.outputs_for z [| 1; 0 |] in
+    check int "echo port 0" 1 out.(0);
+    check int "echo port 1" 0 out.(1)
+
+(* a 0-round witness, run as an algorithm, verifies on random graphs *)
+let prop_zero_round_runs_valid =
+  QCheck.Test.make ~name:"0-round witnesses verify on random trees" ~count:40
+    QCheck.(pair Helpers.seed_arb (int_range 4 30))
+    (fun (seed, n) ->
+      let rng = Helpers.rng_of_seed seed in
+      let p = Helpers.random_problem rng ~k:3 ~delta:3 in
+      match Relim.Zero_round.solve p with
+      | None -> true (* nothing to run; the decision itself is tested above *)
+      | Some z ->
+        let algo =
+          let a = Relim.Lift.of_zero_round z in
+          {
+            Local.Algorithm.name = "zr";
+            radius = (fun ~n:_ -> 0);
+            run = a.Relim.Lift.run;
+          }
+        in
+        let g = Helpers.random_tree seed ~delta:3 n in
+        Local.Runner.succeeds ~seed ~problem:p algo g)
+
+(* -- lifting (Lemma 3.9) ---------------------------------------------- *)
+
+let test_lift_edge_orientation () =
+  let p = Lcl.Zoo.edge_orientation ~delta:3 in
+  match (Relim.Pipeline.run p).Relim.Pipeline.verdict with
+  | Relim.Pipeline.Constant { rounds; algo } ->
+    check int "one round" 1 rounds;
+    let wrapped =
+      {
+        Local.Algorithm.name = "lifted";
+        radius = (fun ~n:_ -> algo.Relim.Lift.radius);
+        run = algo.Relim.Lift.run;
+      }
+    in
+    let rng = Util.Prng.create ~seed:5 in
+    List.iter
+      (fun n ->
+        let g = Graph.Builder.random_forest rng ~delta:3 ~trees:2 n in
+        check bool
+          (Printf.sprintf "valid on n=%d" n)
+          true
+          (Local.Runner.succeeds ~seed:n ~problem:p wrapped g))
+      [ 6; 15; 40; 100 ]
+  | v -> Alcotest.failf "expected Constant, got %a" Relim.Pipeline.pp_verdict v
+
+(* the paper's Section 1.1 remark: the gap (and our lifted algorithms,
+   whose correctness argument is purely local) transfers to high-girth
+   graphs — run the Lemma 3.9-lifted algorithm on a subdivided clique *)
+let test_lift_on_high_girth () =
+  let p = Lcl.Zoo.edge_orientation ~delta:3 in
+  match (Relim.Pipeline.run p).Relim.Pipeline.verdict with
+  | Relim.Pipeline.Constant { algo; _ } ->
+    let wrapped =
+      {
+        Local.Algorithm.name = "lifted-high-girth";
+        radius = (fun ~n:_ -> algo.Relim.Lift.radius);
+        run = algo.Relim.Lift.run;
+      }
+    in
+    let g = Graph.Builder.subdivided_clique ~base:4 ~subdivisions:6 in
+    check bool "valid on girth-21 graph" true
+      (Local.Runner.succeeds ~seed:17 ~problem:p wrapped g)
+  | v -> Alcotest.failf "expected Constant, got %a" Relim.Pipeline.pp_verdict v
+
+let test_pipeline_verdicts () =
+  let expect_const name p rounds_max =
+    match (Relim.Pipeline.run p).Relim.Pipeline.verdict with
+    | Relim.Pipeline.Constant { rounds; _ } ->
+      check bool (name ^ " rounds small") true (rounds <= rounds_max)
+    | v -> Alcotest.failf "%s: expected Constant, got %a" name Relim.Pipeline.pp_verdict v
+  in
+  expect_const "trivial" (Lcl.Zoo.trivial ~delta:3) 0;
+  expect_const "free-choice" (Lcl.Zoo.free_choice ~delta:2) 0;
+  expect_const "echo-input" (Lcl.Zoo.echo_input ~delta:2) 0;
+  expect_const "edge-orientation" (Lcl.Zoo.edge_orientation ~delta:2) 1;
+  let expect_not_const name p =
+    match (Relim.Pipeline.run ~max_iterations:2 ~max_labels:150 p).Relim.Pipeline.verdict with
+    | Relim.Pipeline.Constant _ -> Alcotest.failf "%s must not be O(1)" name
+    | _ -> ()
+  in
+  expect_not_const "3-coloring" (Lcl.Zoo.coloring ~k:3 ~delta:2);
+  expect_not_const "mis" (Lcl.Zoo.mis ~delta:2);
+  expect_not_const "sinkless" (Lcl.Zoo.sinkless_orientation ~delta:3)
+
+let test_tree_gap_validation () =
+  let outcome = Classify.Tree_gap.run (Lcl.Zoo.edge_orientation ~delta:3) in
+  match outcome.Classify.Tree_gap.validation with
+  | Some v -> check bool "lifted algorithm validates" true v.Classify.Tree_gap.all_valid
+  | None -> Alcotest.fail "expected O(1) verdict with validation"
+
+(* pipeline soundness on random problems: every Constant verdict's
+   lifted algorithm must verify on random forests *)
+let prop_pipeline_constant_sound =
+  QCheck.Test.make ~name:"pipeline Constant verdicts validate on forests"
+    ~count:25 Helpers.seed_arb
+    (fun seed ->
+      let rng = Helpers.rng_of_seed seed in
+      let p = Helpers.random_problem rng ~k:2 ~delta:2 in
+      match
+        (Relim.Pipeline.run ~max_iterations:2 ~max_labels:80 p)
+          .Relim.Pipeline.verdict
+      with
+      | Relim.Pipeline.Constant { algo; _ } ->
+        let v =
+          Classify.Tree_gap.validate ~seed ~sizes:[ 8; 25 ] ~problem:p algo
+        in
+        v.Classify.Tree_gap.all_valid
+      | _ -> true)
+
+(* -- fixpoint isomorphism --------------------------------------------- *)
+
+let test_isomorphism_renaming () =
+  let p = Lcl.Zoo.coloring ~k:3 ~delta:2 in
+  (* rename colors by a rotation: structurally the same problem *)
+  let sigma_out = Lcl.Alphabet.of_names [ "x"; "y"; "z" ] in
+  let rot l = (l + 1) mod 3 in
+  let rename_cfgs cfgs = List.map (Util.Multiset.map rot) cfgs in
+  let q =
+    Lcl.Problem.make_input_free ~name:"rotated" ~delta:2 ~sigma_out
+      ~node_cfg:
+        [|
+          rename_cfgs (Lcl.Problem.node_configs p ~degree:1);
+          rename_cfgs (Lcl.Problem.node_configs p ~degree:2);
+        |]
+      ~edge_cfg:(rename_cfgs (Lcl.Problem.edge_configs p))
+  in
+  check bool "isomorphic" true (Relim.Fixpoint.isomorphic p q);
+  check bool "not isomorphic to 2-coloring" false
+    (Relim.Fixpoint.isomorphic p (Lcl.Zoo.coloring ~k:2 ~delta:2))
+
+let prop_isomorphic_reflexive =
+  QCheck.Test.make ~name:"isomorphism is reflexive" ~count:40 Helpers.seed_arb
+    (fun seed ->
+      let rng = Helpers.rng_of_seed seed in
+      let p = Helpers.random_problem rng ~k:3 ~delta:2 in
+      Relim.Fixpoint.isomorphic p p)
+
+(* -- failure recurrence (Theorem 3.4 / 3.10) -------------------------- *)
+
+let test_failure_recurrence () =
+  let trace =
+    Relim.Failure.recurrence_trace ~delta:3 ~t:3 ~sigma_in:1 ~log2_n0:1e9
+  in
+  check int "trace length" 4 (List.length trace);
+  (* p grows (log2 p increases toward 0) but must stay below the
+     threshold for a valid n0 *)
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a <= b && increasing rest
+    | _ -> true
+  in
+  check bool "monotone" true (increasing trace);
+  check bool "succeeds" true
+    (Relim.Failure.recurrence_succeeds ~delta:3 ~t:3 ~sigma_in:1 ~log2_n0:1e9)
+
+let test_tower_height () =
+  let h, ok = Relim.Failure.minimal_tower_height ~delta:3 ~t:2 ~sigma_in:1 in
+  check int "2T+5" 9 h;
+  check bool "(3.2)&(3.4) hold at probe scale" true ok
+
+let test_log2_s_positive () =
+  check bool "S > 1" true
+    (Relim.Failure.log2_s ~delta:2 ~t:1 ~sigma_in:1 ~sigma_out:3 ~sigma_out_r:7
+     > 0.)
+
+let test_eliminate_too_large () =
+  (* a 12-label degree-3 problem overflows the full-mode budget and the
+     closed universe budget must stop iteration gracefully *)
+  let p = Lcl.Zoo.coloring ~k:12 ~delta:3 in
+  check bool "full not affordable" false (Relim.Eliminate.full_affordable p);
+  match Relim.Pipeline.run ~max_iterations:1 ~max_labels:50 p with
+  | { verdict = Relim.Pipeline.Budget_exceeded _; _ } -> ()
+  | { verdict = v; _ } ->
+    Alcotest.failf "expected budget verdict, got %a" Relim.Pipeline.pp_verdict v
+
+let suites =
+  [
+    ( "re.unit",
+      [
+        Alcotest.test_case "R(3-coloring)" `Quick test_r_of_coloring;
+        Alcotest.test_case "R edge universality" `Quick test_r_edge_constraint_universal;
+        Alcotest.test_case "R~ node universality" `Quick test_rbar_node_constraint_universal;
+        Alcotest.test_case "trivial fixed point" `Quick test_trivial_fixed_point;
+        Alcotest.test_case "modes agree" `Quick test_closed_mode_agrees_on_zero_round;
+        Alcotest.test_case "zero-round decisions" `Quick test_zero_round_solvable;
+        Alcotest.test_case "zero-round outputs" `Quick test_zero_round_outputs;
+        Alcotest.test_case "lift edge-orientation" `Quick test_lift_edge_orientation;
+        Alcotest.test_case "lift on high girth" `Quick test_lift_on_high_girth;
+        Alcotest.test_case "pipeline verdicts" `Quick test_pipeline_verdicts;
+        Alcotest.test_case "tree-gap validation" `Quick test_tree_gap_validation;
+        Alcotest.test_case "isomorphism renaming" `Quick test_isomorphism_renaming;
+        Alcotest.test_case "budget guard" `Quick test_eliminate_too_large;
+        Alcotest.test_case "failure recurrence" `Quick test_failure_recurrence;
+        Alcotest.test_case "tower height" `Quick test_tower_height;
+        Alcotest.test_case "log2 S" `Quick test_log2_s_positive;
+      ] );
+    Helpers.qsuite "re.prop"
+      [
+        prop_zero_round_runs_valid;
+        prop_isomorphic_reflexive;
+        prop_pipeline_constant_sound;
+      ];
+  ]

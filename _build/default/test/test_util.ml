@@ -1,0 +1,214 @@
+(* Tests for the [util] substrate: log*, PRNG, multisets, bitsets. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+(* -- Logstar --------------------------------------------------------- *)
+
+let test_log2 () =
+  check int "log2_ceil 1" 0 (Util.Logstar.log2_ceil 1);
+  check int "log2_ceil 2" 1 (Util.Logstar.log2_ceil 2);
+  check int "log2_ceil 3" 2 (Util.Logstar.log2_ceil 3);
+  check int "log2_ceil 1024" 10 (Util.Logstar.log2_ceil 1024);
+  check int "log2_ceil 1025" 11 (Util.Logstar.log2_ceil 1025);
+  check int "log2_floor 1" 0 (Util.Logstar.log2_floor 1);
+  check int "log2_floor 1023" 9 (Util.Logstar.log2_floor 1023);
+  check int "log2_floor 1024" 10 (Util.Logstar.log2_floor 1024)
+
+let test_log_star_values () =
+  check int "log* 1" 0 (Util.Logstar.log_star 1);
+  check int "log* 2" 1 (Util.Logstar.log_star 2);
+  check int "log* 4" 2 (Util.Logstar.log_star 4);
+  check int "log* 16" 3 (Util.Logstar.log_star 16);
+  check int "log* 17" 4 (Util.Logstar.log_star 17);
+  check int "log* 65536" 4 (Util.Logstar.log_star 65536);
+  check int "log* 65537" 5 (Util.Logstar.log_star 65537);
+  check int "log* max" 5 (Util.Logstar.log_star max_int)
+
+let test_tower () =
+  check int "tower 0" 1 (Util.Logstar.tower 0);
+  check int "tower 4" 65536 (Util.Logstar.tower 4);
+  Alcotest.check_raises "tower 5 overflows"
+    (Invalid_argument "Logstar.tower: overflow (height > 4)") (fun () ->
+      ignore (Util.Logstar.tower 5))
+
+let prop_tower_inverse =
+  QCheck.Test.make ~name:"log_star (tower k) = k" ~count:5
+    QCheck.(int_bound 4)
+    (fun k -> Util.Logstar.log_star (Util.Logstar.tower k) = k)
+
+let prop_log_star_monotone =
+  QCheck.Test.make ~name:"log* monotone" ~count:200
+    QCheck.(pair (int_range 1 1_000_000) (int_range 1 1_000_000))
+    (fun (a, b) ->
+      let a, b = (min a b, max a b) in
+      Util.Logstar.log_star a <= Util.Logstar.log_star b)
+
+(* -- Prng ------------------------------------------------------------ *)
+
+let test_prng_deterministic () =
+  let a = Util.Prng.create ~seed:7 and b = Util.Prng.create ~seed:7 in
+  for _ = 1 to 50 do
+    check bool "same stream" true (Util.Prng.bits a = Util.Prng.bits b)
+  done
+
+let test_prng_split_independent () =
+  let a = Util.Prng.create ~seed:7 in
+  let child = Util.Prng.split a in
+  let x = Util.Prng.bits child in
+  (* recreating the parent and splitting again reproduces the child *)
+  let a' = Util.Prng.create ~seed:7 in
+  let child' = Util.Prng.split a' in
+  check bool "split deterministic" true (x = Util.Prng.bits child')
+
+let prop_int_in_range =
+  QCheck.Test.make ~name:"Prng.int bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Util.Prng.create ~seed in
+      let v = Util.Prng.int rng bound in
+      v >= 0 && v < bound)
+
+let prop_permutation =
+  QCheck.Test.make ~name:"Prng.permutation is a permutation" ~count:100
+    QCheck.(pair small_int (int_range 1 50))
+    (fun (seed, n) ->
+      let rng = Util.Prng.create ~seed in
+      let p = Util.Prng.permutation rng n in
+      List.sort compare (Array.to_list p) = List.init n Fun.id)
+
+let prop_sample_distinct =
+  QCheck.Test.make ~name:"Prng.sample_distinct distinct & bounded" ~count:100
+    QCheck.(pair small_int (int_range 1 60))
+    (fun (seed, count) ->
+      let rng = Util.Prng.create ~seed in
+      let s = Util.Prng.sample_distinct rng ~bound:100 ~count in
+      let l = Array.to_list s in
+      List.length (List.sort_uniq compare l) = count
+      && List.for_all (fun v -> v >= 0 && v < 100) l)
+
+(* -- Multiset -------------------------------------------------------- *)
+
+let test_multiset_canonical () =
+  let a = Util.Multiset.of_list [ 3; 1; 2; 1 ] in
+  let b = Util.Multiset.of_list [ 1; 1; 2; 3 ] in
+  check bool "order-insensitive" true (Util.Multiset.equal a b);
+  check int "count 1" 2 (Util.Multiset.count 1 a);
+  check bool "mem" true (Util.Multiset.mem 3 a);
+  check bool "not mem" false (Util.Multiset.mem 4 a);
+  check int "size" 4 (Util.Multiset.size a)
+
+let test_multiset_ops () =
+  let a = Util.Multiset.of_list [ 1; 2 ] in
+  check bool "add" true
+    (Util.Multiset.equal (Util.Multiset.add 0 a) (Util.Multiset.of_list [ 0; 1; 2 ]));
+  (match Util.Multiset.remove_one 1 a with
+  | Some r -> check bool "remove" true (Util.Multiset.equal r (Util.Multiset.of_list [ 2 ]))
+  | None -> Alcotest.fail "remove_one failed");
+  check bool "remove absent" true (Util.Multiset.remove_one 9 a = None);
+  check bool "distinct" true (Util.Multiset.distinct (Util.Multiset.of_list [ 1; 1; 2 ]) = [ 1; 2 ])
+
+let test_multiset_enumerate_count () =
+  (* C(k + u - 1, k) multisets of size k over u elements *)
+  let count u k =
+    List.length (Util.Multiset.enumerate ~univ:(List.init u Fun.id) ~k)
+  in
+  check int "C(3+2-1,2)=6" 6 (count 3 2);
+  check int "C(4+3-1,3)=20" 20 (count 4 3);
+  check int "size 1" 5 (count 5 1)
+
+let prop_enumerate_sorted_unique =
+  QCheck.Test.make ~name:"enumerate yields distinct canonical multisets"
+    ~count:50
+    QCheck.(pair (int_range 1 5) (int_range 1 4))
+    (fun (u, k) ->
+      let l = Util.Multiset.enumerate ~univ:(List.init u Fun.id) ~k in
+      List.length (List.sort_uniq Util.Multiset.compare l) = List.length l)
+
+let test_selections () =
+  let s = Util.Multiset.selections [ [ 1; 2 ]; [ 3 ]; [ 4; 5 ] ] in
+  check int "product size" 4 (List.length s);
+  check bool "contains 1,3,5" true (List.mem [ 1; 3; 5 ] s)
+
+(* -- Bitset ---------------------------------------------------------- *)
+
+let test_bitset_basic () =
+  let s = Util.Bitset.of_list [ 1; 5; 100 ] in
+  check bool "mem 100" true (Util.Bitset.mem 100 s);
+  check bool "not mem 99" false (Util.Bitset.mem 99 s);
+  check int "cardinal" 3 (Util.Bitset.cardinal s);
+  check bool "to_list" true (Util.Bitset.to_list s = [ 1; 5; 100 ]);
+  check int "choose" 1 (Util.Bitset.choose s);
+  check bool "remove" true
+    (Util.Bitset.to_list (Util.Bitset.remove 100 s) = [ 1; 5 ])
+
+let test_bitset_canonical () =
+  (* removal that empties high words must compare equal to a set built
+     small — the trim invariant *)
+  let a = Util.Bitset.remove 100 (Util.Bitset.of_list [ 1; 100 ]) in
+  let b = Util.Bitset.singleton 1 in
+  check bool "canonical equal" true (Util.Bitset.equal a b);
+  check bool "hashes equal" true (Hashtbl.hash a = Hashtbl.hash b)
+
+let bitset_arb =
+  QCheck.make
+    ~print:(fun l -> QCheck.Print.list string_of_int l)
+    QCheck.Gen.(list_size (int_bound 12) (int_bound 150))
+
+let prop_union_inter_laws =
+  QCheck.Test.make ~name:"bitset algebra laws" ~count:300
+    QCheck.(pair bitset_arb bitset_arb)
+    (fun (la, lb) ->
+      let a = Util.Bitset.of_list la and b = Util.Bitset.of_list lb in
+      let u = Util.Bitset.union a b and i = Util.Bitset.inter a b in
+      Util.Bitset.subset a u && Util.Bitset.subset b u
+      && Util.Bitset.subset i a && Util.Bitset.subset i b
+      && Util.Bitset.equal (Util.Bitset.diff a b)
+           (Util.Bitset.diff a i)
+      && Util.Bitset.cardinal u + Util.Bitset.cardinal i
+         = Util.Bitset.cardinal a + Util.Bitset.cardinal b)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"bitset of_list/to_list roundtrip" ~count:300
+    bitset_arb
+    (fun l ->
+      let s = Util.Bitset.of_list l in
+      Util.Bitset.to_list s = List.sort_uniq compare l)
+
+let test_subsets_nonempty () =
+  check int "2^4-1 subsets" 15 (List.length (Util.Bitset.subsets_nonempty 4));
+  check bool "all nonempty" true
+    (List.for_all
+       (fun s -> not (Util.Bitset.is_empty s))
+       (Util.Bitset.subsets_nonempty 5))
+
+let suites =
+  [
+    ( "util.unit",
+      [
+        Alcotest.test_case "log2 values" `Quick test_log2;
+        Alcotest.test_case "log* values" `Quick test_log_star_values;
+        Alcotest.test_case "tower" `Quick test_tower;
+        Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
+        Alcotest.test_case "prng split" `Quick test_prng_split_independent;
+        Alcotest.test_case "multiset canonical" `Quick test_multiset_canonical;
+        Alcotest.test_case "multiset ops" `Quick test_multiset_ops;
+        Alcotest.test_case "multiset enumerate" `Quick test_multiset_enumerate_count;
+        Alcotest.test_case "selections" `Quick test_selections;
+        Alcotest.test_case "bitset basic" `Quick test_bitset_basic;
+        Alcotest.test_case "bitset canonical" `Quick test_bitset_canonical;
+        Alcotest.test_case "subsets_nonempty" `Quick test_subsets_nonempty;
+      ] );
+    Helpers.qsuite "util.prop"
+      [
+        prop_tower_inverse;
+        prop_log_star_monotone;
+        prop_int_in_range;
+        prop_permutation;
+        prop_sample_distinct;
+        prop_enumerate_sorted_unique;
+        prop_union_inter_laws;
+        prop_roundtrip;
+      ];
+  ]

@@ -1,0 +1,229 @@
+(* Tests for the VOLUME / LCA simulators and probe algorithms. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let oriented_cycle n =
+  Lcl.Zoo_oriented.mark_orientation_inputs (Graph.Builder.oriented_cycle n)
+
+let oriented_path n =
+  Lcl.Zoo_oriented.mark_orientation_inputs (Graph.Builder.oriented_path n)
+
+(* -- runner basics ---------------------------------------------------- *)
+
+let test_constant_choice () =
+  let p = Lcl.Zoo.free_choice ~delta:2 in
+  let a = Volume.Algorithms.constant_choice ~name:"allA" 0 in
+  let g = Graph.Builder.cycle 10 in
+  let o = Volume.Probe.run ~problem:p a g in
+  check int "no violations" 0 (List.length o.Volume.Probe.violations);
+  check int "zero probes" 0 o.Volume.Probe.max_probes
+
+let test_budget_enforced () =
+  let hungry : Volume.Probe.t =
+    {
+      Volume.Probe.name = "hungry";
+      budget = (fun ~n:_ -> 1);
+      decide = (fun ~n:_ tuples -> Volume.Probe.Probe (Array.length tuples - 1, 0));
+    }
+  in
+  let g = Graph.Builder.cycle 6 in
+  check bool "budget exceeded raises" true
+    (match Volume.Probe.run ~problem:(Lcl.Zoo.trivial ~delta:2) hungry g with
+    | exception Volume.Probe.Budget_exceeded _ -> true
+    | _ -> false)
+
+let test_bad_probe_detected () =
+  let silly : Volume.Probe.t =
+    {
+      Volume.Probe.name = "silly";
+      budget = (fun ~n:_ -> 10);
+      decide = (fun ~n:_ _ -> Volume.Probe.Probe (99, 0));
+    }
+  in
+  let g = Graph.Builder.cycle 6 in
+  check bool "unknown node rejected" true
+    (match Volume.Probe.run ~problem:(Lcl.Zoo.trivial ~delta:2) silly g with
+    | exception Volume.Probe.Bad_probe _ -> true
+    | _ -> false)
+
+(* -- CV coloring by probes -------------------------------------------- *)
+
+let cv_problem = Lcl.Zoo_oriented.coloring ~k:3
+
+let test_cv_coloring_cycles () =
+  List.iter
+    (fun n ->
+      let g = oriented_cycle n in
+      let o = Volume.Probe.run ~seed:n ~problem:cv_problem Volume.Algorithms.cv_coloring g in
+      check int (Printf.sprintf "C%d valid" n) 0 (List.length o.Volume.Probe.violations);
+      check bool "probe count log*-ish" true
+        (o.Volume.Probe.max_probes <= Local.Cole_vishkin.cv_iterations n + 6))
+    [ 3; 7; 20; 100 ]
+
+let test_cv_coloring_paths () =
+  List.iter
+    (fun n ->
+      let g = oriented_path n in
+      let o = Volume.Probe.run ~seed:n ~problem:cv_problem Volume.Algorithms.cv_coloring g in
+      check int (Printf.sprintf "P%d valid" n) 0 (List.length o.Volume.Probe.violations))
+    [ 2; 5; 40 ]
+
+let prop_cv_coloring_random =
+  QCheck.Test.make ~name:"probe CV coloring valid on random cycle sizes"
+    ~count:30
+    QCheck.(pair Helpers.seed_arb (int_range 3 150))
+    (fun (seed, n) ->
+      let g = oriented_cycle n in
+      let o = Volume.Probe.run ~seed ~problem:cv_problem Volume.Algorithms.cv_coloring g in
+      o.Volume.Probe.violations = [])
+
+(* -- the Θ(n) walker --------------------------------------------------- *)
+
+let test_two_coloring_walker () =
+  let p = Lcl.Zoo_oriented.coloring ~k:2 in
+  List.iter
+    (fun n ->
+      let g = oriented_cycle n in
+      let o = Volume.Probe.run ~seed:n ~problem:p Volume.Algorithms.two_coloring_walker g in
+      check int (Printf.sprintf "even C%d valid" n) 0 (List.length o.Volume.Probe.violations);
+      check int "walks the whole cycle" n o.Volume.Probe.max_probes)
+    [ 4; 8; 14 ]
+
+let test_two_coloring_walker_odd () =
+  (* odd cycles are not 2-colorable: the walker's output cannot verify *)
+  let p = Lcl.Zoo_oriented.coloring ~k:2 in
+  let g = oriented_cycle 7 in
+  let o = Volume.Probe.run ~problem:p Volume.Algorithms.two_coloring_walker g in
+  check bool "violations on odd cycle" true (o.Volume.Probe.violations <> [])
+
+(* -- order invariance / speedup (Thm. 2.11, Thm. 4.1) ------------------ *)
+
+let test_order_invariance () =
+  let g = Graph.Builder.cycle 12 in
+  Graph.set_all_inputs g 0;
+  let p = Lcl.Zoo.free_choice ~delta:2 in
+  let const = Volume.Algorithms.constant_choice ~name:"allA" 0 in
+  check bool "constant algo order-invariant" true
+    (Volume.Order_invariant.check ~problem:p const g);
+  let gc = oriented_cycle 12 in
+  check bool "CV probes not order-invariant" false
+    (Volume.Order_invariant.check ~problem:cv_problem Volume.Algorithms.cv_coloring gc)
+
+let test_speedup_fooling () =
+  let const = Volume.Algorithms.constant_choice ~name:"allA" 0 in
+  let sped = Volume.Order_invariant.speedup ~n0:16 const in
+  let g = Graph.Builder.cycle 100 in
+  Graph.set_all_inputs g 0;
+  let o = Volume.Probe.run ~problem:(Lcl.Zoo.free_choice ~delta:2) sped g in
+  check int "still valid" 0 (List.length o.Volume.Probe.violations);
+  check int "budget capped" 0 (sped.Volume.Probe.budget ~n:1_000_000)
+
+(* -- shortcut graph: small radius, Θ(log* n) probes (E7) --------------- *)
+
+let test_shortcut_volume () =
+  List.iter
+    (fun n_path ->
+      let g, _ = Graph.Builder.shortcut_path n_path in
+      let g = Lcl.Zoo_oriented.mark_shortcut_inputs g ~n_path in
+      let p = Lcl.Zoo_oriented.path_coloring in
+      let o =
+        Volume.Probe.run ~seed:n_path ~problem:p
+          Volume.Algorithms.shortcut_path_coloring g
+      in
+      check int (Printf.sprintf "shortcut n=%d" n_path) 0
+        (List.length o.Volume.Probe.violations))
+    [ 8; 64; 256 ]
+
+(* -- Lemma 4.2 toy-scale Ramsey extraction ----------------------------- *)
+
+(* a deliberately order-sensitive toy decision: the id's parity *)
+let parity_decide ~ids ~skeleton =
+  ignore skeleton;
+  ids.(0) land 1
+
+let test_ramsey_finds_invariant_subset () =
+  (* parity is not order-invariant on [1..8] (mixed parities with equal
+     order types disagree), but IS on any single-parity subset — the
+     Lemma 4.2 conclusion, found by exhaustive search *)
+  check bool "not invariant on the full space" false
+    (Volume.Ramsey.order_invariant_on ~decide:parity_decide ~skeletons:[ () ]
+       ~max_len:1
+       (List.init 8 (fun i -> i + 1)));
+  match
+    Volume.Ramsey.find_invariant_subset ~decide:parity_decide
+      ~skeletons:[ () ] ~max_len:1 ~space:8 ~size:3
+  with
+  | None -> Alcotest.fail "an invariant subset must exist"
+  | Some s ->
+    check bool "invariant on the found subset" true
+      (Volume.Ramsey.order_invariant_on ~decide:parity_decide
+         ~skeletons:[ () ] ~max_len:1 s);
+    (* single parity *)
+    let parities = List.sort_uniq compare (List.map (fun i -> i land 1) s) in
+    check int "single parity" 1 (List.length parities)
+
+let test_ramsey_order_invariant_decide () =
+  (* a genuinely order-invariant decision passes on the full space *)
+  let min_decide ~ids ~skeleton =
+    ignore skeleton;
+    if Array.length ids >= 2 && ids.(0) < ids.(1) then 0 else 1
+  in
+  check bool "order-invariant decide accepted" true
+    (Volume.Ramsey.order_invariant_on ~decide:min_decide ~skeletons:[ () ]
+       ~max_len:2
+       (List.init 6 (fun i -> i + 1)))
+
+let test_ramsey_bound_bookkeeping () =
+  (* log* R stays additive in its parts: tiny for constant p *)
+  let log2_c = Volume.Ramsey.log2_color_count ~tuples:100 ~outputs:3 in
+  let ls = Volume.Ramsey.log_star_ramsey_bound ~p:3 ~m:50 ~log2_c in
+  check bool "bound is small" true (ls <= 3 + 4 + 5 + 1)
+
+(* -- LCA wrapper -------------------------------------------------------- *)
+
+let test_lca_run () =
+  let g = oriented_cycle 30 in
+  let o = Volume.Lca.run ~problem:cv_problem Volume.Algorithms.cv_coloring g in
+  check int "LCA ids work" 0 (List.length o.Volume.Probe.violations)
+
+let test_query_probe_count_exact () =
+  (* cv_coloring's probe count equals its plan: iters+3 forward + 3
+     back on a long cycle *)
+  let n = 128 in
+  let g = oriented_cycle n in
+  let rng = Util.Prng.create ~seed:8 in
+  let ids = Graph.Ids.random rng n in
+  let _, probes = Volume.Probe.query Volume.Algorithms.cv_coloring g ~ids 0 in
+  check int "exact plan length" (Local.Cole_vishkin.cv_iterations n + 6) probes
+
+let test_lca_polynomial_ids () =
+  let a = Volume.Lca.with_polynomial_ids ~k:2 Volume.Algorithms.cv_coloring in
+  let g = oriented_cycle 20 in
+  let o = Volume.Probe.run ~problem:cv_problem a g in
+  check int "inflated id range ok" 0 (List.length o.Volume.Probe.violations)
+
+let suites =
+  [
+    ( "volume.unit",
+      [
+        Alcotest.test_case "constant choice" `Quick test_constant_choice;
+        Alcotest.test_case "budget enforced" `Quick test_budget_enforced;
+        Alcotest.test_case "bad probe" `Quick test_bad_probe_detected;
+        Alcotest.test_case "cv coloring cycles" `Quick test_cv_coloring_cycles;
+        Alcotest.test_case "cv coloring paths" `Quick test_cv_coloring_paths;
+        Alcotest.test_case "2-coloring walker" `Quick test_two_coloring_walker;
+        Alcotest.test_case "walker on odd cycle" `Quick test_two_coloring_walker_odd;
+        Alcotest.test_case "order invariance" `Quick test_order_invariance;
+        Alcotest.test_case "speedup fooling" `Quick test_speedup_fooling;
+        Alcotest.test_case "shortcut volume" `Quick test_shortcut_volume;
+        Alcotest.test_case "ramsey invariant subset" `Quick test_ramsey_finds_invariant_subset;
+        Alcotest.test_case "ramsey accepts invariant" `Quick test_ramsey_order_invariant_decide;
+        Alcotest.test_case "ramsey bound" `Quick test_ramsey_bound_bookkeeping;
+        Alcotest.test_case "lca run" `Quick test_lca_run;
+        Alcotest.test_case "lca polynomial ids" `Quick test_lca_polynomial_ids;
+        Alcotest.test_case "exact probe count" `Quick test_query_probe_count_exact;
+      ] );
+    Helpers.qsuite "volume.prop" [ prop_cv_coloring_random ];
+  ]
