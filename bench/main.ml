@@ -64,20 +64,26 @@ let e1 () =
 
 let e2 () =
   section "E2  oriented-grid landscape (Fig. 1 top-right)";
-  print_endline
+  Printf.printf
     "Measured radius of one algorithm per class of Corollary 1.5 on\n\
-     2-dimensional tori (violations must be 0 everywhere).\n";
+     2-dimensional tori (violations must be 0 everywhere).\n\
+     Engine: %d domain(s) ($LCL_DOMAINS); the O(1) echo runs with the\n\
+     canonical-view memo (sound: deterministic order-invariant).\n\n"
+    (Util.Parallel.default_domains ());
+  let engine_rows = ref [] in
   let rows =
     List.map
       (fun side ->
         let t = Grid.Problems.mark_tag_inputs (Grid.Torus.make [| side; side |]) in
         let ids = Grid.Torus.prod_ids t in
         let g = Grid.Torus.graph t in
-        let run algo problem =
-          Local.Runner.run ~ids:(`Fixed ids.Grid.Torus.packed) ~problem algo g
+        let run ?memo algo problem =
+          Local.Runner.run ~ids:(`Fixed ids.Grid.Torus.packed) ?memo ~problem
+            algo g
         in
         let echo =
-          run Grid.Algorithms.dimension_echo (Grid.Problems.dimension_echo ~d:2)
+          run ~memo:true Grid.Algorithms.dimension_echo
+            (Grid.Problems.dimension_echo ~d:2)
         in
         let color =
           run
@@ -89,6 +95,18 @@ let e2 () =
             (Grid.Algorithms.dim0_two_coloring ~base:ids.Grid.Torus.base ~side)
             (Grid.Problems.dim0_two_coloring ~d:2)
         in
+        let s = echo.Local.Runner.stats in
+        engine_rows :=
+          [
+            Printf.sprintf "%dx%d echo" side side;
+            string_of_int s.Local.Runner.balls_extracted;
+            string_of_int s.Local.Runner.cache_hits;
+            string_of_int s.Local.Runner.distinct_views;
+            string_of_int s.Local.Runner.domains_used;
+            Printf.sprintf "%.1f"
+              (1e3 *. global.Local.Runner.stats.Local.Runner.simulate_seconds);
+          ]
+          :: !engine_rows;
         let cell o =
           Printf.sprintf "r=%d v=%d" o.Local.Runner.radius_used
             (List.length o.Local.Runner.violations)
@@ -106,6 +124,10 @@ let e2 () =
     ~header:
       [ "torus"; "log* n"; "echo O(1)"; "9-coloring Th(log*)"; "dim0-2col Th(side)" ]
     rows;
+  print_endline "\nrunner engine stats (memoized echo; dim0 simulate time):";
+  table
+    ~header:[ "run"; "balls"; "cache hits"; "distinct views"; "domains"; "dim0 sim ms" ]
+    (List.rev !engine_rows);
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
@@ -432,7 +454,9 @@ let e8 () =
             g
         in
         let fooled =
-          Local.Runner.run ~ids:(`Fixed ids.Grid.Torus.packed)
+          (* order-invariant by construction (Thm. 2.11), so the
+             canonical-view memo is sound here *)
+          Local.Runner.run ~ids:(`Fixed ids.Grid.Torus.packed) ~memo:true
             ~problem:(Grid.Problems.dimension_echo ~d:2)
             (Local.Order_invariant.speedup ~n0:16 Grid.Algorithms.dimension_echo)
             g
@@ -441,8 +465,10 @@ let e8 () =
           Printf.sprintf "%dx%d" side side;
           Printf.sprintf "%d (v=%d)" color.Local.Runner.radius_used
             (List.length color.Local.Runner.violations);
-          Printf.sprintf "%d (v=%d)" fooled.Local.Runner.radius_used
-            (List.length fooled.Local.Runner.violations);
+          Printf.sprintf "%d (v=%d, memo %d/%d)" fooled.Local.Runner.radius_used
+            (List.length fooled.Local.Runner.violations)
+            fooled.Local.Runner.stats.Local.Runner.cache_hits
+            fooled.Local.Runner.stats.Local.Runner.balls_extracted;
         ])
       [ 4; 8; 16; 32 ]
   in

@@ -218,11 +218,110 @@ let volume_cmd =
     (Cmd.info "volume" ~doc:"Run a VOLUME (probe) algorithm on a cycle")
     Term.(const run $ n_arg $ volume_algo_arg $ const ())
 
+(* -- bench-runner ------------------------------------------------------- *)
+
+(* Timed series over the simulation engine, one JSON object per line —
+   the machine-readable counterpart of bench/main.exe's runner-bound
+   sections, meant to be collected into BENCH_*.json files across
+   revisions. Each workload is measured sequentially (domains=1, no
+   memo: the seed path) and then on the configured engine; speedup is
+   engine vs. sequential within the same invocation. *)
+
+let bench_json ~workload ~n ~config (o : Local.Runner.outcome) ~speedup =
+  let s = o.Local.Runner.stats in
+  Printf.printf
+    "{\"bench\":\"runner\",\"workload\":\"%s\",\"n\":%d,\"radius\":%d,\
+     \"domains\":%d,\"memo\":%b,\"balls\":%d,\"cache_hits\":%d,\
+     \"distinct_views\":%d,\"simulate_s\":%.6f,\"verify_s\":%.6f,\
+     \"total_s\":%.6f,\"violations\":%d%s}\n"
+    workload n o.Local.Runner.radius_used s.Local.Runner.domains_used
+    (snd config) s.Local.Runner.balls_extracted s.Local.Runner.cache_hits
+    s.Local.Runner.distinct_views s.Local.Runner.simulate_seconds
+    s.Local.Runner.verify_seconds s.Local.Runner.total_seconds
+    (List.length o.Local.Runner.violations)
+    (match speedup with
+    | None -> ""
+    | Some x -> Printf.sprintf ",\"speedup_vs_seq\":%.2f" x)
+
+let bench_runner_cmd =
+  let domains_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "domains" ]
+          ~doc:
+            "Engine worker domains; 0 (the default) means min(4, core \
+             count) — oversubscribing cores only adds GC barriers.")
+  in
+  let cycle_n_arg =
+    Arg.(value & opt int 16384 & info [ "cycle-n" ] ~doc:"Cycle workload size.")
+  in
+  let side_arg =
+    Arg.(value & opt int 24 & info [ "side" ] ~doc:"Torus side length.")
+  in
+  let run domains cycle_n side () =
+    if side < 3 then begin
+      Fmt.epr "bench-runner: --side must be >= 3 (got %d)@." side;
+      exit 2
+    end;
+    if cycle_n < 3 then begin
+      Fmt.epr "bench-runner: --cycle-n must be >= 3 (got %d)@." cycle_n;
+      exit 2
+    end;
+    let domains =
+      if domains >= 1 then domains else min 4 (Util.Parallel.recommended ())
+    in
+    (* (label, algo, problem, graph, ids, memo-soundness) per workload;
+       memo stays off for id-reading algorithms (CV, torus coloring) *)
+    let cycle = Graph.Builder.oriented_cycle cycle_n in
+    let torus = Grid.Problems.mark_tag_inputs (Grid.Torus.make [| side; side |]) in
+    let tg = Grid.Torus.graph torus in
+    let tids = (Grid.Torus.prod_ids torus).Grid.Torus.packed in
+    let workloads =
+      [
+        ( "cycle-cv3", cycle_n, Local.Cole_vishkin.three_coloring,
+          Lcl.Zoo.coloring ~k:3 ~delta:2, cycle, `Random, false );
+        ( "torus-echo", side * side, Grid.Algorithms.dimension_echo,
+          Grid.Problems.dimension_echo ~d:2, tg, `Fixed tids, true );
+        ( "torus-echo-fooled", side * side,
+          Local.Order_invariant.speedup ~n0:16 Grid.Algorithms.dimension_echo,
+          Grid.Problems.dimension_echo ~d:2, tg, `Fixed tids, true );
+        ( "torus-dim0-2col", side * side,
+          Grid.Algorithms.dim0_two_coloring
+            ~base:(Grid.Torus.prod_ids torus).Grid.Torus.base ~side,
+          Grid.Problems.dim0_two_coloring ~d:2, tg, `Fixed tids, false );
+      ]
+    in
+    List.iter
+      (fun (label, n, algo, problem, g, ids, memo_sound) ->
+        let seq = Local.Runner.run ~ids ~domains:1 ~memo:false ~problem algo g in
+        bench_json ~workload:label ~n ~config:(1, false) seq ~speedup:None;
+        let eng =
+          Local.Runner.run ~ids ~domains ~memo:memo_sound ~problem algo g
+        in
+        let speedup =
+          seq.Local.Runner.stats.Local.Runner.simulate_seconds
+          /. max 1e-9 eng.Local.Runner.stats.Local.Runner.simulate_seconds
+        in
+        if eng.Local.Runner.labeling <> seq.Local.Runner.labeling then begin
+          Fmt.epr "bench-runner: %s engine labeling diverged@." label;
+          exit 1
+        end;
+        bench_json ~workload:label ~n ~config:(domains, memo_sound) eng
+          ~speedup:(Some speedup))
+      workloads
+  in
+  Cmd.v
+    (Cmd.info "bench-runner"
+       ~doc:
+         "Time the simulation engine (sequential vs parallel+memo) and print \
+          a JSON line per run")
+    Term.(const run $ domains_arg $ cycle_n_arg $ side_arg $ const ())
+
 let main =
   Cmd.group
     (Cmd.info "lcl_tool" ~version:"1.0"
        ~doc:"LCL landscape toolkit (PODC 2022 reproduction)")
     [ show_cmd; zoo_cmd; classify_cmd; gap_cmd; eliminate_cmd; simulate_cmd;
-      volume_cmd ]
+      volume_cmd; bench_runner_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -12,8 +12,8 @@ type validation = {
 
 (** Run the Lemma 3.9-lifted algorithm on random forests of the given
     sizes and verify every output with [Lcl.Verify]. *)
-let validate ?(seed = 42) ?(sizes = [ 8; 20; 50; 120 ]) ~problem
-    (algo : Relim.Lift.algo) =
+let validate ?(seed = 42) ?(sizes = [ 8; 20; 50; 120 ]) ?domains ?memo
+    ~problem (algo : Relim.Lift.algo) =
   let rng = Util.Prng.create ~seed in
   let wrapped =
     {
@@ -30,7 +30,10 @@ let validate ?(seed = 42) ?(sizes = [ 8; 20; 50; 120 ]) ~problem
         Graph.Builder.random_forest rng ~delta:(Lcl.Problem.delta problem)
           ~trees n
       in
-      let o = Local.Runner.run ~seed:(Util.Prng.bits rng) ~problem wrapped g in
+      let o =
+        Local.Runner.run ~seed:(Util.Prng.bits rng) ?domains ?memo ~problem
+          wrapped g
+      in
       match o.Local.Runner.violations with
       | [] -> ()
       | v -> failures := (n, List.length v) :: !failures)
@@ -44,12 +47,12 @@ type outcome = {
 }
 
 (** Classify and, for O(1) verdicts, validate. *)
-let run ?max_iterations ?max_labels ?seed ?sizes p =
+let run ?max_iterations ?max_labels ?seed ?sizes ?domains ?memo p =
   let result = Relim.Pipeline.run ?max_iterations ?max_labels p in
   let validation =
     match result.Relim.Pipeline.verdict with
     | Relim.Pipeline.Constant { algo; _ } ->
-      Some (validate ?seed ?sizes ~problem:p algo)
+      Some (validate ?seed ?sizes ?domains ?memo ~problem:p algo)
     | _ -> None
   in
   { problem = Lcl.Problem.name p; verdict = result.Relim.Pipeline.verdict;

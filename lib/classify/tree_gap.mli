@@ -10,10 +10,11 @@ type validation = {
 }
 
 (** Run a Lemma 3.9-lifted algorithm on random forests of the given
-    sizes (default [8; 20; 50; 120]) and verify with [Lcl.Verify]. *)
+    sizes (default [8; 20; 50; 120]) and verify with [Lcl.Verify].
+    [domains]/[memo] are forwarded to [Local.Runner.run]. *)
 val validate :
-  ?seed:int -> ?sizes:int list -> problem:Lcl.Problem.t -> Relim.Lift.algo ->
-  validation
+  ?seed:int -> ?sizes:int list -> ?domains:int -> ?memo:bool ->
+  problem:Lcl.Problem.t -> Relim.Lift.algo -> validation
 
 type outcome = {
   problem : string;
@@ -23,4 +24,4 @@ type outcome = {
 
 val run :
   ?max_iterations:int -> ?max_labels:int -> ?seed:int -> ?sizes:int list ->
-  Lcl.Problem.t -> outcome
+  ?domains:int -> ?memo:bool -> Lcl.Problem.t -> outcome

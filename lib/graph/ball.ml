@@ -26,6 +26,35 @@ type t = {
   n_declared : int;                    (* the "number of nodes" input *)
 }
 
+(* Reusable BFS scratch, one per domain (via [Domain.DLS]): arrays
+   indexed by host node, valid only where [mark.(h) = gen]. Extraction
+   is the hot path of every runner — host-sized arrays amortized across
+   extractions beat per-call Hashtbls by a large constant factor, and
+   per-domain storage keeps parallel runs race-free without locks. *)
+type scratch = {
+  mutable cap : int;
+  mutable index : int array;          (* host node -> view index *)
+  mutable hdist : int array;          (* host node -> dist from center *)
+  mutable mark : int array;           (* generation stamp *)
+  mutable queue : int array;          (* BFS order = hosts of the view *)
+  mutable gen : int;
+}
+
+let make_scratch () =
+  { cap = 0; index = [||]; hdist = [||]; mark = [||]; queue = [||]; gen = 0 }
+
+let ensure_scratch s n =
+  if s.cap < n then begin
+    s.cap <- n;
+    s.index <- Array.make n 0;
+    s.hdist <- Array.make n 0;
+    s.mark <- Array.make n (-1);
+    s.queue <- Array.make n 0;
+    s.gen <- 0
+  end
+
+let scratch_key = Domain.DLS.new_key make_scratch
+
 (** [extract g ~ids ~rand ~n_declared v ~radius] builds the radius-T
     view of node [v] in host graph [g]. [ids.(u)] / [rand.(u)] supply
     the identifier and random seed of host node [u]; [n_declared] is
@@ -33,51 +62,51 @@ type t = {
     Lemma 3.3 construction deliberately lies about it). *)
 let extract g ~ids ~rand ~n_declared v ~radius =
   if radius < 0 then invalid_arg "Ball.extract: negative radius";
-  let host_index = Hashtbl.create 64 in
-  let order = ref [] and count = ref 0 in
-  let dist_tbl = Hashtbl.create 64 in
-  let queue = Queue.create () in
-  Hashtbl.add host_index v 0;
-  Hashtbl.add dist_tbl v 0;
-  order := [ v ];
-  count := 1;
-  Queue.add v queue;
-  while not (Queue.is_empty queue) do
-    let u = Queue.pop queue in
-    let du = Hashtbl.find dist_tbl u in
+  let s = Domain.DLS.get scratch_key in
+  ensure_scratch s (Base.n g);
+  let gen = s.gen + 1 in
+  s.gen <- gen;
+  let index = s.index and hdist = s.hdist and mark = s.mark in
+  let queue = s.queue in
+  mark.(v) <- gen;
+  index.(v) <- 0;
+  hdist.(v) <- 0;
+  queue.(0) <- v;
+  let head = ref 0 and count = ref 1 in
+  while !head < !count do
+    let u = queue.(!head) in
+    incr head;
+    let du = hdist.(u) in
     if du < radius then
       for p = 0 to Base.degree g u - 1 do
         let w = Base.neighbor g u p in
-        if not (Hashtbl.mem host_index w) then begin
-          Hashtbl.add host_index w !count;
-          Hashtbl.add dist_tbl w (du + 1);
-          order := w :: !order;
-          incr count;
-          Queue.add w queue
+        if mark.(w) <> gen then begin
+          mark.(w) <- gen;
+          index.(w) <- !count;
+          hdist.(w) <- du + 1;
+          queue.(!count) <- w;
+          incr count
         end
       done
   done;
-  let hosts = Array.of_list (List.rev !order) in
-  let size = Array.length hosts in
-  let dist = Array.map (fun h -> Hashtbl.find dist_tbl h) hosts in
-  let degree = Array.map (fun h -> Base.degree g h) hosts in
-  let visible u p =
-    (* an edge is in the view iff one endpoint is within radius-1 *)
-    let h = hosts.(u) in
-    let w = Base.neighbor g h p in
-    match Hashtbl.find_opt dist_tbl w with
-    | None -> false
-    | Some dw -> dist.(u) <= radius - 1 || dw <= radius - 1
-  in
+  let size = !count in
+  let hosts = Array.sub queue 0 size in
+  let dist = Array.init size (fun u -> hdist.(hosts.(u))) in
+  let degree = Array.init size (fun u -> Base.degree g hosts.(u)) in
   let adj =
     Array.init size (fun u ->
+        let h = hosts.(u) in
+        let du = dist.(u) in
         Array.init degree.(u) (fun p ->
-            if radius > 0 && visible u p then
-              let h = hosts.(u) in
+            (* an edge is in the view iff one endpoint is within
+               radius-1 *)
+            if radius = 0 then None
+            else
               let w = Base.neighbor g h p in
-              let q = Base.neighbor_port g h p in
-              Some (Hashtbl.find host_index w, q)
-            else None))
+              if mark.(w) = gen
+                 && (du <= radius - 1 || hdist.(w) <= radius - 1)
+              then Some (index.(w), Base.neighbor_port g h p)
+              else None))
   in
   let input =
     Array.init size (fun u ->
@@ -107,48 +136,46 @@ let extract g ~ids ~rand ~n_declared v ~radius =
 let sub_with_map ball ~center ~radius =
   if radius + ball.dist.(center) > ball.radius then
     invalid_arg "Ball.sub: outer ball too small";
-  let index = Hashtbl.create 32 in
-  let order = ref [ center ] and count = ref 1 in
-  let dist_tbl = Hashtbl.create 32 in
-  let queue = Queue.create () in
-  Hashtbl.add index center 0;
-  Hashtbl.add dist_tbl center 0;
-  Queue.add center queue;
-  while not (Queue.is_empty queue) do
-    let u = Queue.pop queue in
-    let du = Hashtbl.find dist_tbl u in
+  let n = ball.size in
+  let index = Array.make n (-1) in
+  let ndist = Array.make n 0 in
+  let queue = Array.make n 0 in
+  index.(center) <- 0;
+  queue.(0) <- center;
+  let head = ref 0 and count = ref 1 in
+  while !head < !count do
+    let u = queue.(!head) in
+    incr head;
+    let du = ndist.(u) in
     if du < radius then
       Array.iter
         (function
           | None -> ()
           | Some (w, _) ->
-            if not (Hashtbl.mem index w) then begin
-              Hashtbl.add index w !count;
-              Hashtbl.add dist_tbl w (du + 1);
-              order := w :: !order;
-              incr count;
-              Queue.add w queue
+            if index.(w) < 0 then begin
+              index.(w) <- !count;
+              ndist.(w) <- du + 1;
+              queue.(!count) <- w;
+              incr count
             end)
         ball.adj.(u)
   done;
-  let members = Array.of_list (List.rev !order) in
-  let size = Array.length members in
-  let dist = Array.map (fun m -> Hashtbl.find dist_tbl m) members in
-  let degree = Array.map (fun m -> ball.degree.(m)) members in
+  let size = !count in
+  let members = Array.sub queue 0 size in
+  let dist = Array.init size (fun u -> ndist.(members.(u))) in
+  let degree = Array.init size (fun u -> ball.degree.(members.(u))) in
   let adj =
     Array.init size (fun u ->
         let m = members.(u) in
+        let du = dist.(u) in
         Array.init degree.(u) (fun p ->
             match ball.adj.(m).(p) with
             | None -> None
-            | Some (w, q) -> (
-              match Hashtbl.find_opt index w with
-              | None -> None
-              | Some w' ->
-                if radius > 0 && (dist.(u) <= radius - 1
-                   || Hashtbl.find dist_tbl w <= radius - 1)
-                then Some (w', q)
-                else None)))
+            | Some (w, q) ->
+              if index.(w) >= 0 && radius > 0
+                 && (du <= radius - 1 || ndist.(w) <= radius - 1)
+              then Some (index.(w), q)
+              else None))
   in
   ( {
       size;
@@ -177,6 +204,21 @@ let order_type ball =
   let rank = Hashtbl.create ball.size in
   Array.iteri (fun r v -> if not (Hashtbl.mem rank v) then Hashtbl.add rank v r) sorted;
   { ball with id = Array.map (fun v -> Hashtbl.find rank v) ball.id }
+
+(** [fingerprint ball] — canonical key of the [order_type]-normalized
+    view with the randomness erased: two balls with equal fingerprints
+    are indistinguishable to any *deterministic order-invariant*
+    algorithm (Def. 2.7), which is exactly the soundness condition of
+    the runner's view-memoization. Everything an algorithm can observe
+    except raw identifier magnitudes and random bits enters the key:
+    topology (adj), ports, distances, true degrees, inputs, edge tags,
+    identifier order type, and the declared n. *)
+let fingerprint ball =
+  let b = order_type ball in
+  Marshal.to_string
+    (b.size, b.radius, b.dist, b.degree, b.adj, b.input, b.edge_tag, b.id,
+     b.n_declared)
+    []
 
 (** Structural equality of views after erasing randomness. Used to
     test order-invariance: erase ids via [order_type] first. *)

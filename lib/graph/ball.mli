@@ -44,5 +44,11 @@ val sub : t -> center:int -> radius:int -> t
     (Def. 2.7). *)
 val order_type : t -> t
 
+(** Canonical key of the [order_type]-normalized view with randomness
+    erased: equal fingerprints make two views indistinguishable to any
+    deterministic order-invariant algorithm — the soundness condition
+    of the runner's view memoization. *)
+val fingerprint : t -> string
+
 (** Structural equality ignoring randomness. *)
 val equal_deterministic : t -> t -> bool

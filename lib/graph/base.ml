@@ -37,9 +37,12 @@ let set_all_inputs t label =
   Array.iter (fun row -> Array.fill row 0 (Array.length row) label) t.input
 
 (** Build a graph from an edge list over nodes [0..n-1]. Ports are
-    assigned in the order edges are listed. Rejects self-loops,
-    duplicate edges and degree overflow beyond [delta]. *)
-let of_edges ~n ~delta edges =
+    assigned in the order edges are listed. Rejects duplicate edges and
+    degree overflow beyond [delta]. Self-loops are rejected unless
+    [self_loops] is set; an allowed loop at [v] occupies two ports of
+    [v] (each half-edge of the loop is its own port, so a loop
+    contributes 2 to the degree) and is listed at most once. *)
+let of_edges ?(self_loops = false) ~n ~delta edges =
   if n < 0 then invalid_arg "Graph.of_edges: negative n";
   let deg = Array.make n 0 in
   let seen = Hashtbl.create (2 * List.length edges + 1) in
@@ -47,7 +50,7 @@ let of_edges ~n ~delta edges =
     (fun (u, v) ->
       if u < 0 || u >= n || v < 0 || v >= n then
         invalid_arg "Graph.of_edges: node out of range";
-      if u = v then invalid_arg "Graph.of_edges: self-loop";
+      if u = v && not self_loops then invalid_arg "Graph.of_edges: self-loop";
       let key = (min u v, max u v) in
       if Hashtbl.mem seen key then invalid_arg "Graph.of_edges: duplicate edge";
       Hashtbl.add seen key ();
@@ -65,11 +68,20 @@ let of_edges ~n ~delta edges =
   let next = Array.make n 0 in
   List.iter
     (fun (u, v) ->
-      let pu = next.(u) and pv = next.(v) in
-      adj.(u).(pu) <- (v, pv);
-      adj.(v).(pv) <- (u, pu);
-      next.(u) <- pu + 1;
-      next.(v) <- pv + 1)
+      if u = v then begin
+        (* the loop's two half-edges are consecutive ports of u *)
+        let p = next.(u) in
+        adj.(u).(p) <- (u, p + 1);
+        adj.(u).(p + 1) <- (u, p);
+        next.(u) <- p + 2
+      end
+      else begin
+        let pu = next.(u) and pv = next.(v) in
+        adj.(u).(pu) <- (v, pv);
+        adj.(v).(pv) <- (u, pu);
+        next.(u) <- pu + 1;
+        next.(v) <- pv + 1
+      end)
     edges;
   {
     n;
@@ -79,15 +91,26 @@ let of_edges ~n ~delta edges =
     edge_tag = Array.init n (fun v -> Array.make deg.(v) (-1));
   }
 
-(** Edge list of the graph, each edge once, endpoints ordered. *)
+(** Edge list of the graph, each edge once, endpoints ordered
+    ([v <= u]); a self-loop [(v, v)] appears once even though it spans
+    two ports. *)
 let edges t =
   let out = ref [] in
   for v = 0 to t.n - 1 do
-    Array.iter (fun (u, _) -> if v < u then out := (v, u) :: !out) t.adj.(v)
+    Array.iteri
+      (fun p (u, q) -> if v < u || (v = u && p < q) then out := (v, u) :: !out)
+      t.adj.(v)
   done;
   List.rev !out
 
-let num_edges t = List.length (edges t)
+(* Direct count — every edge (loops included) owns exactly two ports —
+   so [pp] on a large graph does not materialize the edge list. *)
+let num_edges t =
+  let ports = ref 0 in
+  for v = 0 to t.n - 1 do
+    ports := !ports + Array.length t.adj.(v)
+  done;
+  !ports / 2
 
 (** Half-edges incident to [v], i.e. H[v] in the paper's notation. *)
 let half_edges_of_node t v =

@@ -1,31 +1,37 @@
 (* Structural well-formedness checks used by tests and by builders'
    property tests. *)
 
-(** Port symmetry: adj.(v).(p) = (u, q) implies adj.(u).(q) = (v, p),
-    no self-loops, and every degree within the bound. *)
+(** Port symmetry: adj.(v).(p) = (u, q) implies adj.(u).(q) = (v, p)
+    and every degree within the bound. A self-loop is well-formed when
+    its two half-edges occupy two distinct mutually-referencing ports
+    of the same node. *)
 let well_formed g =
   let ok = ref true in
   for v = 0 to Base.n g - 1 do
     if Base.degree g v > Base.delta g then ok := false;
     for p = 0 to Base.degree g v - 1 do
       let u = Base.neighbor g v p and q = Base.neighbor_port g v p in
-      if u = v then ok := false
-      else if u < 0 || u >= Base.n g then ok := false
+      if u < 0 || u >= Base.n g then ok := false
       else if q < 0 || q >= Base.degree g u then ok := false
+      else if u = v && q = p then ok := false
       else if Base.neighbor g u q <> v || Base.neighbor_port g u q <> p then
         ok := false
     done
   done;
   !ok
 
-(** No parallel edges. *)
+(** Simple in the classical sense: no self-loops and no parallel edges
+    (well-formedness is separate — a loop can be well-formed without
+    the graph being simple). *)
 let simple g =
   let ok = ref true in
   for v = 0 to Base.n g - 1 do
     let seen = Hashtbl.create 8 in
     for p = 0 to Base.degree g v - 1 do
       let u = Base.neighbor g v p in
-      if Hashtbl.mem seen u then ok := false else Hashtbl.add seen u ()
+      if u = v then ok := false
+      else if Hashtbl.mem seen u then ok := false
+      else Hashtbl.add seen u ()
     done
   done;
   !ok

@@ -5,7 +5,8 @@
      tag = 2*dim      on the half-edge pointing at the dim-successor,
      tag = 2*dim + 1  on the half-edge pointing back.
 
-   Side lengths must be at least 3 so the torus stays a simple graph. *)
+   Side lengths must be 1 (the dimension degenerates to a self-loop at
+   every node) or at least 3 (so no parallel edges arise). *)
 
 type t = {
   graph : Graph.t;
@@ -38,13 +39,22 @@ let coords_of_node sides v =
   go (d - 1) v;
   cs
 
-(** Build the torus with the given side lengths. *)
+(** Build the torus with the given side lengths. A dimension of side 1
+    degenerates to a self-loop at every node (its successor is the node
+    itself); at most one dimension may have side 1, and side 2 stays
+    rejected (it would create parallel edges). *)
 let make sides =
   let d = Array.length sides in
   if d < 1 then invalid_arg "Torus.make: at least one dimension";
   Array.iter
-    (fun s -> if s < 3 then invalid_arg "Torus.make: sides must be >= 3")
+    (fun s ->
+      if s < 3 && s <> 1 then
+        invalid_arg "Torus.make: sides must be 1 or >= 3")
     sides;
+  let degenerate = Array.fold_left (fun k s -> if s = 1 then k + 1 else k) 0 sides in
+  if degenerate > 1 then
+    invalid_arg "Torus.make: at most one dimension may have side 1";
+  let self_loops = degenerate > 0 in
   let n = Array.fold_left ( * ) 1 sides in
   let edges = ref [] in
   for v = 0 to n - 1 do
@@ -57,24 +67,39 @@ let make sides =
       edges := (v, u) :: !edges
     done
   done;
-  let graph = Graph.of_edges ~n ~delta:(2 * d) !edges in
+  let graph = Graph.of_edges ~self_loops ~n ~delta:(2 * d) !edges in
   (* tag orientation and dimension on every half-edge *)
   let coords = Array.init n (coords_of_node sides) in
+  let loop_dim =
+    let rec go dim = if dim = d || sides.(dim) = 1 then dim else go (dim + 1) in
+    go 0
+  in
   for v = 0 to n - 1 do
     for p = 0 to Graph.degree graph v - 1 do
       let u = Graph.neighbor graph v p in
-      let cu = coords.(u) and cv = coords.(v) in
-      (* find the dimension where they differ and the direction *)
-      let rec find dim =
-        if dim = d then invalid_arg "Torus.make: bad edge"
-        else if cu.(dim) = (cv.(dim) + 1) mod sides.(dim) && cu.(dim) <> cv.(dim)
-        then (dim, true)
-        else if cv.(dim) = (cu.(dim) + 1) mod sides.(dim) && cu.(dim) <> cv.(dim)
-        then (dim, false)
-        else find (dim + 1)
-      in
-      let dim, forward = find 0 in
-      Graph.set_edge_tag graph v p (if forward then succ_tag dim else pred_tag dim)
+      if u = v then
+        (* self-loop of the side-1 dimension: its lower port is the
+           successor side, the partner port the predecessor side *)
+        let q = Graph.neighbor_port graph v p in
+        Graph.set_edge_tag graph v p
+          (if p < q then succ_tag loop_dim else pred_tag loop_dim)
+      else begin
+        let cu = coords.(u) and cv = coords.(v) in
+        (* find the dimension where they differ and the direction *)
+        let rec find dim =
+          if dim = d then invalid_arg "Torus.make: bad edge"
+          else if
+            cu.(dim) = (cv.(dim) + 1) mod sides.(dim) && cu.(dim) <> cv.(dim)
+          then (dim, true)
+          else if
+            cv.(dim) = (cu.(dim) + 1) mod sides.(dim) && cu.(dim) <> cv.(dim)
+          then (dim, false)
+          else find (dim + 1)
+        in
+        let dim, forward = find 0 in
+        Graph.set_edge_tag graph v p
+          (if forward then succ_tag dim else pred_tag dim)
+      end
     done
   done;
   { graph; sides; coords }

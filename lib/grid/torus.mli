@@ -20,7 +20,9 @@ val pred_tag : int -> int
 val node_of_coords : int array -> int array -> int
 val coords_of_node : int array -> int -> int array
 
-(** Build the torus; all side lengths must be >= 3 (simple graph). *)
+(** Build the torus; side lengths must be 1 (the dimension degenerates
+    to a self-loop at every node; at most one such dimension) or >= 3
+    (no parallel edges). *)
 val make : int array -> t
 
 type prod_ids = {

@@ -61,10 +61,13 @@ let violations problem g labeling =
       let config = Util.Multiset.of_array labeling.(v) in
       if not (Problem.node_ok problem config) then out := Bad_node v :: !out
     end;
-    (* edge configuration, counted once per edge *)
+    (* edge configuration, counted once per edge (a self-loop once,
+       from its lower port — mirroring [Graph.edges]) *)
     for p = 0 to d - 1 do
       let u = Graph.neighbor g v p and q = Graph.neighbor_port g v p in
-      if v < u && not (Problem.edge_ok problem labeling.(v).(p) labeling.(u).(q))
+      if
+        (v < u || (v = u && p < q))
+        && not (Problem.edge_ok problem labeling.(v).(p) labeling.(u).(q))
       then out := Bad_edge (v, p) :: !out
     done
   done;

@@ -32,7 +32,9 @@ module Iterative = struct
     (* one synchronous round: the node sees, per port, the neighbor's
        current state (None if that edge's endpoint is outside the
        simulated region — never consulted for states the center
-       depends on) *)
+       depends on). The array is a per-degree scratch buffer reused
+       across nodes and rounds: read it during the call, never retain
+       it in the returned state. *)
     step : round:int -> 'state -> 'state option array -> 'state;
     (* final outputs per port *)
     output : 'state -> int array;
@@ -49,22 +51,40 @@ module Iterative = struct
               ~rand:ball.rand.(u) ~degree:ball.degree.(u)
               ~inputs:ball.input.(u) ~tags:ball.edge_tag.(u))
       in
+      (* Ball nodes are in BFS order, so [dist] is non-decreasing: the
+         nodes stepped in round r (those with dist <= t - r, the ones
+         whose state is still valid) form a prefix. Nodes past the
+         prefix keep the state of the last round for which it was
+         valid — exactly what a prefix node at the boundary reads. *)
+      let next = Array.copy state in
+      (* neighbor-state scratch, one buffer per distinct degree,
+         reused across nodes and rounds (see the [step] contract) *)
+      let neighbor_bufs = Hashtbl.create 4 in
+      let neighbor_buf deg =
+        match Hashtbl.find_opt neighbor_bufs deg with
+        | Some b -> b
+        | None ->
+          let b = Array.make deg None in
+          Hashtbl.add neighbor_bufs deg b;
+          b
+      in
       for r = 1 to t do
-        (* only nodes whose state remains valid this round are stepped *)
-        let next = Array.copy state in
-        for u = 0 to ball.size - 1 do
-          if ball.dist.(u) <= t - r then begin
-            let neighbor_states =
-              Array.map
-                (function
-                  | Some (w, _) -> Some state.(w)
-                  | None -> None)
-                ball.adj.(u)
-            in
-            next.(u) <- spec.step ~round:r state.(u) neighbor_states
-          end
+        let limit = ref 0 in
+        while !limit < ball.size && ball.dist.(!limit) <= t - r do
+          incr limit
         done;
-        Array.blit next 0 state 0 ball.size
+        for u = 0 to !limit - 1 do
+          let adj = ball.adj.(u) in
+          let buf = neighbor_buf (Array.length adj) in
+          for p = 0 to Array.length adj - 1 do
+            buf.(p) <-
+              (match adj.(p) with
+              | Some (w, _) -> Some state.(w)
+              | None -> None)
+          done;
+          next.(u) <- spec.step ~round:r state.(u) buf
+        done;
+        Array.blit next 0 state 0 !limit
       done;
       spec.output state.(ball.center)
     in

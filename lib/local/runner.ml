@@ -1,12 +1,39 @@
 (* Executing LOCAL algorithms on a host graph: assign identifiers and
    per-node randomness, extract each node's radius-T ball, run the
    algorithm everywhere, and hand the assembled half-edge labeling to
-   the verifier. *)
+   the verifier.
+
+   The per-node simulation — the O(n · Δ^T) hot path every experiment
+   funnels through — runs on the deterministic chunked parallel engine
+   of [Util.Parallel] (worker count from [?domains], default from
+   $LCL_DOMAINS, 1 = sequential); results are assembled in index order,
+   so the labeling is bit-identical to the sequential run for any
+   worker count.
+
+   [?memo] adds a canonical-view cache: each extracted ball is keyed by
+   its [Graph.Ball.fingerprint] ([order_type]-normalized structure with
+   randomness erased) and the algorithm's output is reused for repeated
+   views. On graphs with few distinct local views (grids, regular
+   trees: the order-invariance machinery of Def. 2.7 / Lemma 4.2 is
+   exactly what bounds their count) this removes most algorithm
+   invocations. Sound only for deterministic order-invariant
+   algorithms, hence off by default. *)
+
+type stats = {
+  balls_extracted : int;   (* views extracted (one per node) *)
+  cache_hits : int;        (* algorithm invocations saved by the memo *)
+  distinct_views : int;    (* canonical views in the cache (0 if off) *)
+  domains_used : int;      (* worker domains of the parallel engine *)
+  simulate_seconds : float;(* wall time: extraction + algorithm runs *)
+  verify_seconds : float;  (* wall time: Lcl.Verify over the labeling *)
+  total_seconds : float;   (* wall time of the whole run *)
+}
 
 type outcome = {
   labeling : int array array;                (* per node, per port *)
   violations : Lcl.Verify.violation list;
   radius_used : int;
+  stats : stats;
 }
 
 type id_mode = [ `Random | `Sequential | `Fixed of int array ]
@@ -19,54 +46,100 @@ let assign_ids rng mode n =
     if Array.length ids <> n then invalid_arg "Runner: fixed ids size";
     ids
 
+let resolve_domains domains =
+  match domains with
+  | Some d -> max 1 d
+  | None -> Util.Parallel.default_domains ()
+
 (** Run [algo] on [g] against [problem]. [n_declared] defaults to the
     true size (Def. 2.1 gives nodes the exact n; pass a different value
-    to "fool" an algorithm, as the order-invariance speedup does). *)
-let run ?(seed = 0xC0FFEE) ?(ids = `Random) ?n_declared ~problem
-    (algo : Algorithm.t) g =
+    to "fool" an algorithm, as the order-invariance speedup does).
+    [domains] selects the worker count of the parallel engine (default
+    $LCL_DOMAINS, else sequential); the labeling is identical for every
+    worker count. [memo] enables the canonical-view cache — only sound
+    for deterministic order-invariant algorithms. *)
+let run ?(seed = 0xC0FFEE) ?(ids = `Random) ?n_declared ?domains
+    ?(memo = false) ~problem (algo : Algorithm.t) g =
+  let t_start = Unix.gettimeofday () in
   let n = Graph.n g in
   let n_declared = Option.value n_declared ~default:n in
   let rng = Util.Prng.create ~seed in
   let ids = assign_ids rng ids n in
   let rand = Array.init n (fun _ -> Util.Prng.next_int64 rng) in
   let radius = algo.Algorithm.radius ~n:n_declared in
-  let labeling =
-    Array.init n (fun v ->
-        let ball, _hosts =
-          Graph.Ball.extract g ~ids ~rand ~n_declared v ~radius
-        in
-        let out = algo.Algorithm.run ball in
-        if Array.length out <> Graph.degree g v then
-          invalid_arg
-            (Printf.sprintf "Runner.run: %s returned %d outputs at degree-%d node"
-               algo.Algorithm.name (Array.length out) (Graph.degree g v));
+  let domains_used = min (resolve_domains domains) (max 1 n) in
+  let cache =
+    if memo then Some (Mutex.create (), Hashtbl.create 256) else None
+  in
+  let hits = Atomic.make 0 in
+  let check_arity v out =
+    if Array.length out <> Graph.degree g v then
+      invalid_arg
+        (Printf.sprintf "Runner.run: %s returned %d outputs at degree-%d node"
+           algo.Algorithm.name (Array.length out) (Graph.degree g v));
+    out
+  in
+  let simulate v =
+    let ball, _hosts = Graph.Ball.extract g ~ids ~rand ~n_declared v ~radius in
+    match cache with
+    | None -> check_arity v (algo.Algorithm.run ball)
+    | Some (lock, table) -> (
+      let key = Graph.Ball.fingerprint ball in
+      match Mutex.protect lock (fun () -> Hashtbl.find_opt table key) with
+      | Some out ->
+        Atomic.incr hits;
+        check_arity v (Array.copy out)
+      | None ->
+        let out = check_arity v (algo.Algorithm.run ball) in
+        (* a racing domain may insert the same view meanwhile; for the
+           deterministic algorithms the memo is sound for, both
+           computed outputs are identical, so first-writer-wins *)
+        Mutex.protect lock (fun () ->
+            if not (Hashtbl.mem table key) then
+              Hashtbl.add table key (Array.copy out));
         out)
   in
-  {
-    labeling;
-    violations = Lcl.Verify.violations problem g labeling;
-    radius_used = radius;
-  }
+  let labeling = Util.Parallel.init ~domains:domains_used n simulate in
+  let t_simulated = Unix.gettimeofday () in
+  let violations = Lcl.Verify.violations problem g labeling in
+  let t_end = Unix.gettimeofday () in
+  let stats =
+    {
+      balls_extracted = n;
+      cache_hits = Atomic.get hits;
+      distinct_views =
+        (match cache with None -> 0 | Some (_, table) -> Hashtbl.length table);
+      domains_used;
+      simulate_seconds = t_simulated -. t_start;
+      verify_seconds = t_end -. t_simulated;
+      total_seconds = t_end -. t_start;
+    }
+  in
+  { labeling; violations; radius_used = radius; stats }
 
-let succeeds ?seed ?ids ?n_declared ~problem algo g =
-  (run ?seed ?ids ?n_declared ~problem algo g).violations = []
+let succeeds ?seed ?ids ?n_declared ?domains ?memo ~problem algo g =
+  (run ?seed ?ids ?n_declared ?domains ?memo ~problem algo g).violations = []
 
 (** Empirical *local* failure probability (Def. 2.4): over [trials]
     independent runs (fresh randomness and IDs), the maximum over
-    nodes and edges of the failure frequency of that node/edge. *)
-let empirical_local_failure ?(trials = 100) ?(seed = 7) ~problem algo g =
+    nodes and edges of the failure frequency of that node/edge.
+    Failure counts use defaulting lookups, so edge keys the verifier
+    reports beyond the pre-registered edge list (e.g. self-loops keyed
+    as [(v, v)]) are counted instead of raising [Not_found]. *)
+let empirical_local_failure ?(trials = 100) ?(seed = 7) ?domains ?memo
+    ~problem algo g =
   let n = Graph.n g in
   let node_fails = Array.make n 0 in
   let edge_fails = Hashtbl.create 64 in
-  List.iter (fun (u, v) -> Hashtbl.replace edge_fails (u, v) 0) (Graph.edges g);
+  let count e =
+    Hashtbl.replace edge_fails e
+      (1 + Option.value (Hashtbl.find_opt edge_fails e) ~default:0)
+  in
   for trial = 0 to trials - 1 do
-    let o = run ~seed:(seed + (trial * 7919)) ~problem algo g in
+    let o = run ~seed:(seed + (trial * 7919)) ?domains ?memo ~problem algo g in
     let node_fail, edge_fail = Lcl.Verify.failure_events problem g o.labeling in
     Array.iteri (fun v f -> if f then node_fails.(v) <- node_fails.(v) + 1) node_fail;
-    Hashtbl.iter
-      (fun e () ->
-        Hashtbl.replace edge_fails e (Hashtbl.find edge_fails e + 1))
-      edge_fail
+    Hashtbl.iter (fun e () -> count e) edge_fail
   done;
   let worst = ref 0 in
   Array.iter (fun c -> worst := max !worst c) node_fails;

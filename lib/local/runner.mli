@@ -1,10 +1,24 @@
 (** Execution of LOCAL algorithms on a host graph: identifier and
-    randomness assignment, per-node view extraction, verification. *)
+    randomness assignment, per-node view extraction, verification —
+    parallelized over OCaml domains with an optional canonical-view
+    memo cache. *)
+
+(** Engine counters and per-phase wall times of one [run]. *)
+type stats = {
+  balls_extracted : int;    (** views extracted (one per node) *)
+  cache_hits : int;         (** algorithm invocations saved by the memo *)
+  distinct_views : int;     (** canonical views in the cache (0 if off) *)
+  domains_used : int;       (** worker domains of the parallel engine *)
+  simulate_seconds : float; (** wall time: extraction + algorithm runs *)
+  verify_seconds : float;   (** wall time: verification of the labeling *)
+  total_seconds : float;    (** wall time of the whole run *)
+}
 
 type outcome = {
   labeling : int array array;               (** per node, per port *)
   violations : Lcl.Verify.violation list;
   radius_used : int;
+  stats : stats;
 }
 
 type id_mode = [ `Random | `Sequential | `Fixed of int array ]
@@ -12,18 +26,26 @@ type id_mode = [ `Random | `Sequential | `Fixed of int array ]
 (** Run [algo] on [g] against [problem]. [n_declared] defaults to the
     true size; pass another value to "fool" an algorithm (as the
     order-invariance speedups do). [seed] drives both the identifier
-    assignment and the per-node randomness. *)
+    assignment and the per-node randomness.
+
+    [domains] sets the worker count of the deterministic parallel
+    engine (default: $LCL_DOMAINS, else 1 = sequential); the labeling
+    is bit-identical for every worker count. [memo] (default off)
+    caches algorithm outputs per canonical view
+    ([Graph.Ball.fingerprint]); sound only for deterministic
+    order-invariant algorithms (Def. 2.7). *)
 val run :
-  ?seed:int -> ?ids:id_mode -> ?n_declared:int -> problem:Lcl.Problem.t ->
-  Algorithm.t -> Graph.t -> outcome
+  ?seed:int -> ?ids:id_mode -> ?n_declared:int -> ?domains:int ->
+  ?memo:bool -> problem:Lcl.Problem.t -> Algorithm.t -> Graph.t -> outcome
 
 val succeeds :
-  ?seed:int -> ?ids:id_mode -> ?n_declared:int -> problem:Lcl.Problem.t ->
-  Algorithm.t -> Graph.t -> bool
+  ?seed:int -> ?ids:id_mode -> ?n_declared:int -> ?domains:int ->
+  ?memo:bool -> problem:Lcl.Problem.t -> Algorithm.t -> Graph.t -> bool
 
 (** Empirical *local* failure probability (Def. 2.4): over [trials]
     runs with fresh randomness, the maximum per-node/per-edge failure
-    frequency. *)
+    frequency. Handles every edge key the verifier can report,
+    including self-loops. *)
 val empirical_local_failure :
-  ?trials:int -> ?seed:int -> problem:Lcl.Problem.t -> Algorithm.t ->
-  Graph.t -> float
+  ?trials:int -> ?seed:int -> ?domains:int -> ?memo:bool ->
+  problem:Lcl.Problem.t -> Algorithm.t -> Graph.t -> float

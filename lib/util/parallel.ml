@@ -1,0 +1,78 @@
+(* Deterministic chunked parallel map over OCaml 5 domains.
+
+   The index range [0, n) is split into [domains] contiguous blocks;
+   each worker domain evaluates its block left to right and the results
+   are reassembled in index order, so for a pure per-index function the
+   output array is bit-identical to the sequential [Array.init] — the
+   property the simulation engine relies on to keep parallel runs
+   reproducible. Stdlib only: no dependency beyond [Domain]. *)
+
+let env_var = "LCL_DOMAINS"
+
+(** Worker domains the hardware can actually run:
+    [Domain.recommended_domain_count], i.e. the core count. *)
+let recommended () = Domain.recommended_domain_count ()
+
+(** Worker count used when [?domains] is omitted: the [LCL_DOMAINS]
+    environment variable capped at [recommended ()] (oversubscribing
+    cores only adds minor-GC synchronization barriers), else 1 (fully
+    sequential). Values below 1 or unparsable values fall back to 1.
+    An explicit [?domains] argument is honored uncapped. *)
+let default_domains () =
+  match Sys.getenv_opt env_var with
+  | None -> 1
+  | Some s -> ( match int_of_string_opt (String.trim s) with
+    | Some d when d >= 1 -> min d (recommended ())
+    | _ -> 1)
+
+let resolve domains =
+  match domains with Some d -> max 1 d | None -> default_domains ()
+
+(* Evaluate block [b] of [d] blocks over [0, n): indices
+   [b*n/d, (b+1)*n/d). Contiguous blocks keep each worker's memory
+   traffic local and make the decomposition independent of timing. *)
+let block_bounds ~n ~d b = ((b * n / d), ((b + 1) * n / d))
+
+let sequential_init n f = Array.init n f
+
+(** [init ?domains n f] is [Array.init n f] evaluated on [domains]
+    worker domains (default: [default_domains ()]), assembled in index
+    order. [f] must be pure per index (it may read shared immutable
+    data; any shared mutable state must be synchronized by the
+    caller). With 1 domain no domain is spawned. Exceptions raised by
+    [f] are re-raised after all workers have been joined. *)
+let init ?domains n f =
+  if n < 0 then invalid_arg "Parallel.init: negative length";
+  let d = min (resolve domains) (max 1 n) in
+  if d <= 1 then sequential_init n f
+  else begin
+    let work b =
+      let lo, hi = block_bounds ~n ~d b in
+      match Array.init (hi - lo) (fun i -> f (lo + i)) with
+      | a -> Ok a
+      | exception e -> Error e
+    in
+    let workers =
+      Array.init (d - 1) (fun b -> Domain.spawn (fun () -> work (b + 1)))
+    in
+    let parts = Array.make d (Ok [||]) in
+    parts.(0) <- work 0;
+    Array.iteri (fun i w -> parts.(i + 1) <- Domain.join w) workers;
+    let first_error =
+      Array.fold_left
+        (fun acc p -> match (acc, p) with None, Error e -> Some e | _ -> acc)
+        None parts
+    in
+    match first_error with
+    | Some e -> raise e
+    | None ->
+      Array.concat
+        (Array.to_list
+           (Array.map (function Ok a -> a | Error _ -> assert false) parts))
+  end
+
+(** [map ?domains f arr] — parallel [Array.map], index order. *)
+let map ?domains f arr = init ?domains (Array.length arr) (fun i -> f arr.(i))
+
+(** [iter ?domains f n] — run [f] on every index for its effects. *)
+let iter ?domains n f = ignore (init ?domains n (fun i : unit -> f i))

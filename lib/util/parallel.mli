@@ -1,0 +1,29 @@
+(** Deterministic chunked parallel map over OCaml 5 domains: the index
+    range is split into contiguous blocks, one per worker, and results
+    are reassembled in index order — for a pure per-index function the
+    output is bit-identical to the sequential [Array.init]. *)
+
+(** Environment variable consulted by [default_domains] ("LCL_DOMAINS"). *)
+val env_var : string
+
+(** Worker domains the hardware can run: the core count
+    ([Domain.recommended_domain_count]). *)
+val recommended : unit -> int
+
+(** Worker count used when [?domains] is omitted: [$LCL_DOMAINS] capped
+    at [recommended ()], else 1 (sequential). An explicit [?domains]
+    is honored uncapped. *)
+val default_domains : unit -> int
+
+(** [init ?domains n f] = [Array.init n f] on [domains] workers
+    (default [default_domains ()]; 1 means no domain is spawned).
+    [f] must be pure per index up to caller-synchronized shared state.
+    Worker exceptions are re-raised after all domains are joined.
+    @raise Invalid_argument on negative [n]. *)
+val init : ?domains:int -> int -> (int -> 'a) -> 'a array
+
+(** Parallel [Array.map], index order preserved. *)
+val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+
+(** Run [f] on every index of [0, n) for its effects. *)
+val iter : ?domains:int -> int -> (int -> unit) -> unit

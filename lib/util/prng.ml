@@ -30,10 +30,23 @@ let split t =
 (** [bits t] returns 62 nonnegative random bits as an int. *)
 let bits t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
 
-(** [int t bound] is uniform in [0, bound). Requires [bound > 0]. *)
+(** [int t bound] is uniform in [0, bound). Requires [bound > 0].
+
+    Rejection sampling: [bits t mod bound] alone is biased whenever
+    [bound] does not divide 2^62 (low values would be up to one part in
+    2^62/bound likelier), so draws above the largest multiple of
+    [bound] are redrawn. [bits] is uniform on [0, max_int] with
+    [max_int] = 2^62 - 1, hence [rem] below is 2^62 mod bound and at
+    most half of the range is ever rejected. *)
 let int t bound =
   if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
-  bits t mod bound
+  let rem = ((max_int mod bound) + 1) mod bound in
+  let cutoff = max_int - rem in
+  let rec draw () =
+    let v = bits t in
+    if v <= cutoff then v mod bound else draw ()
+  in
+  draw ()
 
 (** [bool t] is a fair coin flip. *)
 let bool t = Int64.logand (next_int64 t) 1L = 1L

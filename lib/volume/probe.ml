@@ -76,26 +76,28 @@ type outcome = {
 }
 
 (** Run the algorithm for every node under the given identifier
-    assignment and verify the assembled labeling against [problem]. *)
-let run_with_ids ?n_declared ~problem (a : t) g ~ids =
+    assignment and verify the assembled labeling against [problem].
+    Per-node queries are independent (the probe loop only reads the
+    host graph), so they run on the deterministic parallel engine:
+    [domains] as in [Local.Runner.run] (default $LCL_DOMAINS), with
+    outputs and probe counts identical for every worker count. *)
+let run_with_ids ?n_declared ?domains ~problem (a : t) g ~ids =
   let n = Graph.n g in
-  let max_probes = ref 0 and total = ref 0 in
-  let labeling =
-    Array.init n (fun v ->
-        let out, probes = query ?n_declared a g ~ids v in
-        max_probes := max !max_probes probes;
-        total := !total + probes;
-        out)
+  let answers =
+    Util.Parallel.init ?domains n (fun v -> query ?n_declared a g ~ids v)
   in
+  let labeling = Array.map fst answers in
+  let max_probes = Array.fold_left (fun m (_, p) -> max m p) 0 answers in
+  let total_probes = Array.fold_left (fun t (_, p) -> t + p) 0 answers in
   {
     labeling;
     violations = Lcl.Verify.violations problem g labeling;
-    max_probes = !max_probes;
-    total_probes = !total;
+    max_probes;
+    total_probes;
   }
 
 (** Same with fresh random identifiers from a cubic range. *)
-let run ?(seed = 0xBEEF) ?n_declared ~problem (a : t) g =
+let run ?(seed = 0xBEEF) ?n_declared ?domains ~problem (a : t) g =
   let rng = Util.Prng.create ~seed in
   let ids = Graph.Ids.random rng (Graph.n g) in
-  run_with_ids ?n_declared ~problem a g ~ids
+  run_with_ids ?n_declared ?domains ~problem a g ~ids

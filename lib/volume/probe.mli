@@ -36,12 +36,15 @@ type outcome = {
 }
 
 (** Run the algorithm for every node under the given identifiers and
-    verify the assembled labeling. *)
+    verify the assembled labeling. Queries are answered on the
+    deterministic parallel engine ([domains] as in [Local.Runner.run],
+    default $LCL_DOMAINS); results are identical for any worker
+    count. *)
 val run_with_ids :
-  ?n_declared:int -> problem:Lcl.Problem.t -> t -> Graph.t ->
+  ?n_declared:int -> ?domains:int -> problem:Lcl.Problem.t -> t -> Graph.t ->
   ids:int array -> outcome
 
 (** Same with fresh random identifiers from a cubic range. *)
 val run :
-  ?seed:int -> ?n_declared:int -> problem:Lcl.Problem.t -> t -> Graph.t ->
-  outcome
+  ?seed:int -> ?n_declared:int -> ?domains:int -> problem:Lcl.Problem.t ->
+  t -> Graph.t -> outcome

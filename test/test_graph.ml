@@ -226,7 +226,37 @@ let prop_sub_matches_direct =
       let direct, _ =
         Graph.Ball.extract g ~ids ~rand ~n_declared:n hosts.(w) ~radius:inner
       in
-      Graph.Ball.equal_deterministic sub direct)
+      Graph.Ball.equal_deterministic sub direct
+      && sub.Graph.Ball.rand = direct.Graph.Ball.rand)
+
+let test_self_loops () =
+  (* opt-in loops: one loop occupies two consecutive ports of its node,
+     contributes 2 to the degree, and is listed once by [edges] *)
+  let g =
+    Graph.of_edges ~self_loops:true ~n:3 ~delta:3 [ (0, 0); (0, 1); (1, 2) ]
+  in
+  check bool "well-formed" true (Graph.Check.well_formed g);
+  check bool "not simple" false (Graph.Check.simple g);
+  check int "loop node degree" 3 (Graph.degree g 0);
+  check int "num_edges counts the loop once" 3 (Graph.num_edges g);
+  check bool "edges lists the loop once" true
+    (List.filter (fun e -> e = (0, 0)) (Graph.edges g) = [ (0, 0) ]);
+  (* the two half-edges of the loop point at each other *)
+  check bool "loop ports paired" true
+    (Graph.neighbor g 0 0 = 0 && Graph.neighbor g 0 1 = 0
+    && Graph.neighbor_port g 0 0 = 1
+    && Graph.neighbor_port g 0 1 = 0);
+  (* rejected by default, exactly as before *)
+  Alcotest.check_raises "self-loop rejected by default"
+    (Invalid_argument "Graph.of_edges: self-loop") (fun () ->
+      ignore (Graph.of_edges ~n:2 ~delta:2 [ (0, 0) ]))
+
+let prop_num_edges_matches_list =
+  QCheck.Test.make ~name:"num_edges = |edges|" ~count:100
+    QCheck.(pair Helpers.seed_arb (int_range 1 40))
+    (fun (seed, n) ->
+      let g = Helpers.random_tree seed ~delta:3 n in
+      Graph.num_edges g = List.length (Graph.edges g))
 
 let test_shortcut_path () =
   let g, is_path = Graph.Builder.shortcut_path 64 in
@@ -256,6 +286,7 @@ let suites =
         Alcotest.test_case "ball radius zero" `Quick test_ball_radius_zero;
         Alcotest.test_case "ball sub" `Quick test_ball_sub;
         Alcotest.test_case "order type" `Quick test_order_type;
+        Alcotest.test_case "self-loops" `Quick test_self_loops;
         Alcotest.test_case "shortcut path" `Quick test_shortcut_path;
       ] );
     Helpers.qsuite "graph.prop"
@@ -266,5 +297,6 @@ let suites =
         prop_ids_distinct;
         prop_with_order_preserves_order;
         prop_sub_matches_direct;
+        prop_num_edges_matches_list;
       ];
   ]

@@ -185,6 +185,32 @@ let test_torus_rejects_small_sides () =
     | exception Invalid_argument _ -> true
     | _ -> false)
 
+let test_degenerate_torus_self_loops () =
+  (* a side-1 dimension degenerates to a self-loop at every node *)
+  let t = Grid.Torus.make [| 1; 5 |] in
+  let g = Grid.Torus.graph t in
+  check int "n" 5 (Graph.n g);
+  check bool "well-formed" true (Graph.Check.well_formed g);
+  check bool "not simple" false (Graph.Check.simple g);
+  check bool "4-regular" true
+    (List.for_all (fun v -> Graph.degree g v = 4) (List.init 5 Fun.id));
+  (* 5 loops + 5 dim-1 cycle edges, each counted once *)
+  check int "num_edges" 10 (Graph.num_edges g);
+  check int "edge list length" 10 (List.length (Graph.edges g))
+
+let test_self_loop_failure_probe () =
+  (* regression: [empirical_local_failure] raised Not_found on graphs
+     with self-loops (the verifier reports the loop edge as (v, v),
+     which the per-edge failure counter never registered) *)
+  let t = Grid.Problems.mark_tag_inputs (Grid.Torus.make [| 1; 5 |]) in
+  let g = Grid.Torus.graph t in
+  let f =
+    Local.Runner.empirical_local_failure ~trials:3 ~seed:7
+      ~problem:(Grid.Problems.dimension_echo ~d:2)
+      Grid.Algorithms.dimension_echo g
+  in
+  check bool "failure frequency in [0,1]" true (f >= 0. && f <= 1.)
+
 let suites =
   [
     ( "grid.unit",
@@ -201,6 +227,10 @@ let suites =
         Alcotest.test_case "fooled coloring" `Quick test_fooled_grid_coloring;
         Alcotest.test_case "1d torus" `Quick test_torus_1d;
         Alcotest.test_case "small sides rejected" `Quick test_torus_rejects_small_sides;
+        Alcotest.test_case "degenerate torus self-loops" `Quick
+          test_degenerate_torus_self_loops;
+        Alcotest.test_case "self-loop failure probe" `Quick
+          test_self_loop_failure_probe;
       ] );
     Helpers.qsuite "grid.prop" [ prop_torus_coloring_random_sides ];
   ]

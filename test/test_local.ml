@@ -289,6 +289,73 @@ let test_empirical_failure_rate () =
   in
   check bool "rate in (0,1)" true (rate > 0.05 && rate < 0.95)
 
+let test_engine_bit_identical () =
+  (* the parallel engine and the memo must never change a labeling:
+     identical outcomes at 1, 2 and 4 domains, with and without memo *)
+  let cyc = Graph.Builder.oriented_cycle 96 in
+  let p = Lcl.Zoo.coloring ~k:3 ~delta:2 in
+  let base =
+    Local.Runner.run ~seed:11 ~domains:1 ~problem:p
+      Local.Cole_vishkin.three_coloring cyc
+  in
+  List.iter
+    (fun d ->
+      let o =
+        Local.Runner.run ~seed:11 ~domains:d ~problem:p
+          Local.Cole_vishkin.three_coloring cyc
+      in
+      check bool
+        (Printf.sprintf "cv3 labeling identical at %d domains" d)
+        true
+        (o.Local.Runner.labeling = base.Local.Runner.labeling))
+    [ 2; 4 ];
+  let t = Grid.Problems.mark_tag_inputs (Grid.Torus.make [| 4; 4 |]) in
+  let tg = Grid.Torus.graph t in
+  let ids = `Fixed (Grid.Torus.prod_ids t).Grid.Torus.packed in
+  let ep = Grid.Problems.dimension_echo ~d:2 in
+  let b =
+    Local.Runner.run ~ids ~domains:1 ~problem:ep Grid.Algorithms.dimension_echo
+      tg
+  in
+  List.iter
+    (fun (d, memo) ->
+      let o =
+        Local.Runner.run ~ids ~domains:d ~memo ~problem:ep
+          Grid.Algorithms.dimension_echo tg
+      in
+      check bool
+        (Printf.sprintf "echo identical (domains %d, memo %b)" d memo)
+        true
+        (o.Local.Runner.labeling = b.Local.Runner.labeling);
+      check int
+        (Printf.sprintf "no violations (domains %d, memo %b)" d memo)
+        0
+        (List.length o.Local.Runner.violations);
+      if memo then begin
+        check bool "memo cache hit" true
+          (o.Local.Runner.stats.Local.Runner.cache_hits > 0);
+        check bool "distinct views tracked" true
+          (o.Local.Runner.stats.Local.Runner.distinct_views > 0)
+      end)
+    [ (1, true); (2, true); (4, true); (4, false) ]
+
+let test_engine_stats () =
+  let g = Graph.Builder.cycle 30 in
+  let o =
+    Local.Runner.run ~seed:1 ~domains:2
+      ~problem:(Lcl.Zoo.coloring ~k:3 ~delta:2)
+      Local.Cole_vishkin.three_coloring g
+  in
+  let s = o.Local.Runner.stats in
+  check int "one ball per node" 30 s.Local.Runner.balls_extracted;
+  check int "memo off: no cache" 0 s.Local.Runner.cache_hits;
+  check int "domains recorded" 2 s.Local.Runner.domains_used;
+  check bool "phase times consistent" true
+    (s.Local.Runner.simulate_seconds >= 0.
+    && s.Local.Runner.verify_seconds >= 0.
+    && s.Local.Runner.total_seconds
+       >= s.Local.Runner.simulate_seconds +. s.Local.Runner.verify_seconds)
+
 let suites =
   [
     ( "local.unit",
@@ -313,6 +380,8 @@ let suites =
         Alcotest.test_case "sync luby large" `Quick test_sync_luby_large;
         Alcotest.test_case "runner arity" `Quick test_runner_rejects_bad_arity;
         Alcotest.test_case "empirical failure" `Quick test_empirical_failure_rate;
+        Alcotest.test_case "engine bit-identical" `Quick test_engine_bit_identical;
+        Alcotest.test_case "engine stats" `Quick test_engine_stats;
       ] );
     Helpers.qsuite "local.prop"
       [

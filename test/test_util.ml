@@ -88,6 +88,66 @@ let prop_sample_distinct =
       List.length (List.sort_uniq compare l) = count
       && List.for_all (fun v -> v >= 0 && v < 100) l)
 
+let test_prng_rejection_unbiased () =
+  (* bound = 3·2^60 does not divide the 2^62 range of [bits]: the naive
+     [bits mod bound] lands in [0, 2^60) with probability 1/2 (both
+     quotient classes of the fold-over hit it); rejection sampling must
+     give the uniform 1/3. *)
+  let bound = 3 * (1 lsl 60) in
+  let rng = Util.Prng.create ~seed:5 in
+  let trials = 20_000 in
+  let low = ref 0 in
+  for _ = 1 to trials do
+    if Util.Prng.int rng bound < 1 lsl 60 then incr low
+  done;
+  let freq = float_of_int !low /. float_of_int trials in
+  check bool "P(v < 2^60) is 1/3, not the biased 1/2" true
+    (freq > 0.30 && freq < 0.37)
+
+(* -- Parallel -------------------------------------------------------- *)
+
+let test_parallel_matches_sequential () =
+  let f i = (i * 31) lxor (i lsr 2) in
+  let expect = Array.init 1000 f in
+  List.iter
+    (fun d ->
+      check bool
+        (Printf.sprintf "init at %d domains = Array.init" d)
+        true
+        (Util.Parallel.init ~domains:d 1000 f = expect))
+    [ 1; 2; 3; 4; 7 ];
+  check bool "empty range" true (Util.Parallel.init ~domains:4 0 f = [||]);
+  check bool "singleton range" true
+    (Util.Parallel.init ~domains:4 1 f = [| f 0 |]);
+  check bool "map" true
+    (Util.Parallel.map ~domains:3 string_of_int [| 1; 2; 3 |]
+    = [| "1"; "2"; "3" |])
+
+exception Boom of int
+
+let test_parallel_exception () =
+  Alcotest.check_raises "worker exception propagates" (Boom 57) (fun () ->
+      ignore
+        (Util.Parallel.init ~domains:4 100 (fun i ->
+             if i = 57 then raise (Boom 57) else i)))
+
+let test_parallel_env_default () =
+  let restore =
+    let old = Sys.getenv_opt Util.Parallel.env_var in
+    fun () -> Unix.putenv Util.Parallel.env_var (Option.value old ~default:"")
+  in
+  Fun.protect ~finally:restore (fun () ->
+      Unix.putenv Util.Parallel.env_var "64";
+      check int "env default capped at core count"
+        (min 64 (Util.Parallel.recommended ()))
+        (Util.Parallel.default_domains ());
+      Unix.putenv Util.Parallel.env_var "garbage";
+      check int "unparsable env falls back to 1" 1
+        (Util.Parallel.default_domains ());
+      Unix.putenv Util.Parallel.env_var "";
+      check int "empty env falls back to 1" 1
+        (Util.Parallel.default_domains ()))
+
 (* -- Multiset -------------------------------------------------------- *)
 
 let test_multiset_canonical () =
@@ -192,6 +252,13 @@ let suites =
         Alcotest.test_case "tower" `Quick test_tower;
         Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
         Alcotest.test_case "prng split" `Quick test_prng_split_independent;
+        Alcotest.test_case "prng rejection unbiased" `Quick
+          test_prng_rejection_unbiased;
+        Alcotest.test_case "parallel = sequential" `Quick
+          test_parallel_matches_sequential;
+        Alcotest.test_case "parallel exception" `Quick test_parallel_exception;
+        Alcotest.test_case "parallel env default" `Quick
+          test_parallel_env_default;
         Alcotest.test_case "multiset canonical" `Quick test_multiset_canonical;
         Alcotest.test_case "multiset ops" `Quick test_multiset_ops;
         Alcotest.test_case "multiset enumerate" `Quick test_multiset_enumerate_count;
