@@ -7,6 +7,8 @@
      eliminate  apply k round elimination steps and print the result
      simulate   run a named algorithm on a generated graph and verify
      zoo        list the built-in problems
+     lint       static diagnostics over problem files (Analysis.Lint)
+     sanitize   check an algorithm's claimed radius / order-invariance
 
    Problems are given either as a file in the [Lcl.Parse] format or as
    the name of a zoo problem (see `lcl_tool zoo`). *)
@@ -42,7 +44,10 @@ let load_problem spec =
     match In_channel.with_open_text spec In_channel.input_all with
     | text -> (
       try Ok (Lcl.Parse.of_string text) with
-      | Lcl.Parse.Parse_error m -> Error (Printf.sprintf "parse error: %s" m))
+      | Lcl.Parse.Parse_error { message; line } ->
+        Error
+          (Printf.sprintf "parse error: %s"
+             (Lcl.Parse.error_to_string ~message ~line)))
     | exception Sys_error m -> Error m)
 
 let problem_arg =
@@ -218,6 +223,110 @@ let volume_cmd =
     (Cmd.info "volume" ~doc:"Run a VOLUME (probe) algorithm on a cycle")
     Term.(const run $ n_arg $ volume_algo_arg $ const ())
 
+(* -- lint ---------------------------------------------------------------- *)
+
+let lint_cmd =
+  let files_arg =
+    let doc = "Problem files (.lcl) to lint." in
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc)
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON output.")
+  in
+  let strict_arg =
+    Arg.(
+      value & flag
+      & info [ "strict" ] ~doc:"Non-zero exit on warnings, not only errors.")
+  in
+  let fast_arg =
+    Arg.(
+      value & flag
+      & info [ "fast" ]
+          ~doc:
+            "Structural checks only: skip the 0-round-solvability and \
+             degree-2 classification cross-checks.")
+  in
+  let run files json strict fast () =
+    let diags =
+      List.concat_map (fun f -> Analysis.Lint.file ~deep:(not fast) f) files
+      |> List.sort Analysis.Diagnostic.compare
+    in
+    let errors = Analysis.Diagnostic.count Analysis.Diagnostic.Error diags in
+    let warnings = Analysis.Diagnostic.count Analysis.Diagnostic.Warning diags in
+    if json then print_endline (Analysis.Diagnostic.list_to_json diags)
+    else begin
+      List.iter
+        (fun d -> Fmt.pr "%a@." Analysis.Diagnostic.pp d)
+        diags;
+      Fmt.pr "%d file%s linted: %d error%s, %d warning%s, %d info%s@."
+        (List.length files)
+        (if List.length files = 1 then "" else "s")
+        errors
+        (if errors = 1 then "" else "s")
+        warnings
+        (if warnings = 1 then "" else "s")
+        (Analysis.Diagnostic.count Analysis.Diagnostic.Info diags)
+        (if Analysis.Diagnostic.count Analysis.Diagnostic.Info diags = 1 then
+           ""
+         else "s")
+    end;
+    if errors > 0 || (strict && warnings > 0) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically analyze problem files: structural diagnostics \
+          (unusable labels, empty degree rows, degenerate g-images, pruned \
+          normal form) plus 0-round-triviality and degree-2 classification \
+          notes")
+    Term.(const run $ files_arg $ json_arg $ strict_arg $ fast_arg $ const ())
+
+(* -- sanitize ------------------------------------------------------------ *)
+
+let sanitize_cmd =
+  let algo_arg =
+    let doc =
+      "Algorithm to sanitize: cv-coloring, mis, matching, luby, or \
+       radius-cheater (a negative control claiming radius 1 while reading \
+       radius 2)."
+    in
+    Arg.(value & opt string "cv-coloring" & info [ "algo" ] ~doc)
+  in
+  let order_arg =
+    Arg.(
+      value & flag
+      & info [ "order-invariant" ]
+          ~doc:"Also check a claim of order-invariance (Def. 2.7).")
+  in
+  let run n algo_name order () =
+    let algo =
+      match algo_name with
+      | "cv-coloring" -> Local.Cole_vishkin.three_coloring
+      | "mis" -> Local.Mis.algorithm
+      | "matching" -> Local.Matching.algorithm
+      | "luby" -> Local.Luby.algorithm
+      | "radius-cheater" -> Analysis.Sanitizer.radius_cheater
+      | other ->
+        Fmt.epr "unknown algorithm %s@." other;
+        exit 2
+    in
+    let g = Graph.Builder.oriented_cycle n in
+    let r =
+      Analysis.Sanitizer.check_local ~claims_order_invariance:order algo g
+    in
+    List.iter
+      (fun d -> Fmt.pr "%a@." Analysis.Diagnostic.pp d)
+      r.Analysis.Sanitizer.diagnostics;
+    if Analysis.Diagnostic.has_errors r.Analysis.Sanitizer.diagnostics then
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "sanitize"
+       ~doc:
+         "Check that an algorithm honors its claimed radius (and optionally \
+          order-invariance) on sampled views of an oriented cycle")
+    Term.(const run $ n_arg $ algo_arg $ order_arg $ const ())
+
 (* -- bench-runner ------------------------------------------------------- *)
 
 (* Timed series over the simulation engine, one JSON object per line —
@@ -322,6 +431,6 @@ let main =
     (Cmd.info "lcl_tool" ~version:"1.0"
        ~doc:"LCL landscape toolkit (PODC 2022 reproduction)")
     [ show_cmd; zoo_cmd; classify_cmd; gap_cmd; eliminate_cmd; simulate_cmd;
-      volume_cmd; bench_runner_cmd ]
+      volume_cmd; lint_cmd; sanitize_cmd; bench_runner_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,7 @@
+(* Facade of the [analysis] library: static diagnostics over LCL
+   problems ([Lint]) and dynamic locality sanitizing of LOCAL/VOLUME
+   algorithms ([Sanitizer]), both reporting through [Diagnostic]. *)
+
+module Diagnostic = Diagnostic
+module Lint = Lint
+module Sanitizer = Sanitizer

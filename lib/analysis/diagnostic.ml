@@ -1,0 +1,89 @@
+(* Diagnostics with stable codes, severities and source spans — the
+   common output of the problem linter and the algorithm sanitizer.
+   Codes are namespaced: L1xx structural problem lints, L2xx
+   cross-checks against the relim/classify machinery, Sxxx sanitizer
+   findings (see the table in DESIGN.md). *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  code : string;
+  severity : severity;
+  message : string;
+  file : string option;
+  line : int option;
+}
+
+let v ?file ?line severity ~code message =
+  { code; severity; message; file; line }
+
+let f ?file ?line severity ~code fmt =
+  Printf.ksprintf (fun message -> v ?file ?line severity ~code message) fmt
+
+let severity_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let compare a b =
+  let c = compare a.file b.file in
+  if c <> 0 then c
+  else
+    (* position-less findings (whole-file) lead *)
+    let line d = Option.value ~default:0 d.line in
+    let c = compare (line a) (line b) in
+    if c <> 0 then c
+    else
+      let c = compare (severity_rank a.severity) (severity_rank b.severity) in
+      if c <> 0 then c
+      else Stdlib.compare (a.code, a.message) (b.code, b.message)
+
+let count sev ds = List.length (List.filter (fun d -> d.severity = sev) ds)
+let has_errors ds = List.exists (fun d -> d.severity = Error) ds
+
+let pp ppf d =
+  (match (d.file, d.line) with
+  | Some f, Some l -> Fmt.pf ppf "%s:%d: " f l
+  | Some f, None -> Fmt.pf ppf "%s: " f
+  | None, Some l -> Fmt.pf ppf "line %d: " l
+  | None, None -> ());
+  Fmt.pf ppf "%s[%s]: %s" (severity_string d.severity) d.code d.message
+
+let to_string d = Fmt.str "%a" pp d
+
+(* -- JSON (hand-rolled: no JSON library in the dependency set) -------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json d =
+  Printf.sprintf
+    "{\"code\":\"%s\",\"severity\":\"%s\",\"message\":\"%s\",\"file\":%s,\"line\":%s}"
+    (json_escape d.code)
+    (severity_string d.severity)
+    (json_escape d.message)
+    (match d.file with
+    | None -> "null"
+    | Some f -> Printf.sprintf "\"%s\"" (json_escape f))
+    (match d.line with None -> "null" | Some l -> string_of_int l)
+
+let list_to_json ds =
+  Printf.sprintf
+    "{\"diagnostics\":[%s],\"errors\":%d,\"warnings\":%d,\"infos\":%d}"
+    (String.concat "," (List.map to_json ds))
+    (count Error ds) (count Warning ds) (count Info ds)

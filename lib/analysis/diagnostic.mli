@@ -1,0 +1,48 @@
+(** Diagnostics: the currency of the static-analysis layer. A finding
+    has a stable code ([L101]-style, see DESIGN.md for the table), a
+    severity, a message, and an optional source position (file and
+    1-based line, as tracked by [Lcl.Parse]). Renderers produce the
+    [file:line: severity[code]: message] human format and a JSON
+    encoding for tooling. *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  code : string;          (** stable, e.g. ["L101"] *)
+  severity : severity;
+  message : string;
+  file : string option;
+  line : int option;      (** 1-based source line *)
+}
+
+(** Build a diagnostic; [v] takes the message directly, [f] is
+    [Printf]-style. *)
+val v : ?file:string -> ?line:int -> severity -> code:string -> string -> t
+
+val f :
+  ?file:string -> ?line:int -> severity -> code:string ->
+  ('a, unit, string, t) format4 -> 'a
+
+val severity_string : severity -> string
+
+(** Sort key: file, then line (position-less findings first), then
+    severity (errors first), then code. *)
+val compare : t -> t -> int
+
+val count : severity -> t list -> int
+val has_errors : t list -> bool
+
+(** ["problems/p.lcl:4: error[L101]: …"]; the file and line prefixes
+    are omitted when unknown. *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+(** One JSON object per diagnostic:
+    [{"code":…,"severity":…,"message":…,"file":…,"line":…}] with
+    [null] for missing positions. *)
+val to_json : t -> string
+
+(** The full report:
+    [{"diagnostics":[…],"errors":n,"warnings":n,"infos":n}]. *)
+val list_to_json : t list -> string

@@ -1,0 +1,225 @@
+(* The LCL problem linter. Structural checks work off the public
+   [Lcl.Problem] API (pruning, configuration and g accessors); deep
+   checks reuse [Relim.Zero_round] (Thm. 3.10's 0-round decision) and
+   [Classify.Cycle_path] (the decidable degree-2 landscape), so a lint
+   run reports "this problem is O(1), here is the witness" next to
+   syntax-level findings. Source positions come from
+   [Lcl.Parse.of_string_with_spans]. *)
+
+module Problem = Lcl.Problem
+module Alphabet = Lcl.Alphabet
+
+(* -- source positions -------------------------------------------------- *)
+
+type where =
+  | Header
+  | Out_section
+  | Node_row of int
+  | Edge_section
+  | G_row of string
+
+let line_of spans where =
+  match spans with
+  | None -> None
+  | Some (s : Lcl.Parse.spans) -> (
+    let line (sp : Lcl.Parse.span) = Some sp.Lcl.Parse.line in
+    match where with
+    | Header -> line s.header
+    | Out_section -> line s.out_span
+    | Edge_section -> line s.edge_span
+    | Node_row d -> (
+      match List.assoc_opt d s.node_spans with
+      | Some sp -> line sp
+      | None -> line s.header)
+    | G_row name -> (
+      match List.assoc_opt name s.g_spans with
+      | Some sp -> line sp
+      | None -> Option.fold ~none:(line s.header) ~some:line s.in_span))
+
+(* -- structural facts -------------------------------------------------- *)
+
+(* Per-label presence in node rows / edge configurations / g-images:
+   the three legs of [Problem.usable_labels], kept separate so messages
+   can say which leg is missing. *)
+let presence p =
+  let k = Alphabet.size (Problem.sigma_out p) in
+  let in_node = Array.make k false
+  and in_edge = Array.make k false
+  and in_g = Array.make k false in
+  for d = 1 to Problem.delta p do
+    List.iter
+      (fun c -> List.iter (fun l -> in_node.(l) <- true) (Util.Multiset.to_list c))
+      (Problem.node_configs p ~degree:d)
+  done;
+  List.iter
+    (fun c -> List.iter (fun l -> in_edge.(l) <- true) (Util.Multiset.to_list c))
+    (Problem.edge_configs p);
+  List.iter
+    (fun i -> Util.Bitset.iter (fun l -> in_g.(l) <- true) (Problem.g_set p i))
+    (Alphabet.all (Problem.sigma_in p));
+  (in_node, in_edge, in_g)
+
+let input_free p =
+  Alphabet.equal (Problem.sigma_in p) Problem.input_free_alphabet
+
+(* -- deep-check helpers ------------------------------------------------ *)
+
+(* The cross-checks enumerate configurations / search for cliques;
+   cap the problem size they run on. *)
+let deep_budget p =
+  Alphabet.size (Problem.sigma_out p) <= 24 && Problem.num_node_configs p <= 5000
+
+let witness_summary p w =
+  let out l = Alphabet.name (Problem.sigma_out p) l in
+  let inp l = Alphabet.name (Problem.sigma_in p) l in
+  let entries = Relim.Zero_round.witness_assignments w in
+  let shown = List.filteri (fun i _ -> i < 4) entries in
+  let render ((d, inputs), cfg) =
+    let outputs = String.concat " " (List.map out cfg) in
+    if input_free p then Printf.sprintf "deg %d -> %s" d outputs
+    else
+      Printf.sprintf "deg %d [%s] -> %s" d
+        (String.concat " " (List.map inp inputs))
+        outputs
+  in
+  String.concat "; " (List.map render shown)
+  ^ if List.length entries > List.length shown then "; ..." else ""
+
+(* -- the linter -------------------------------------------------------- *)
+
+let problem ?file ?spans ?(deep = true) p =
+  let diags = ref [] in
+  let add ?line severity ~code fmt =
+    Printf.ksprintf
+      (fun m -> diags := Diagnostic.v ?file ?line severity ~code m :: !diags)
+      fmt
+  in
+  let at where = line_of spans where in
+  let out_name l = Alphabet.name (Problem.sigma_out p) l in
+  let in_node, in_edge, in_g = presence p in
+  (* L101 / L106: labels dropped by pruning, and pruned normal form *)
+  let _, surviving = Problem.prune_with_map p in
+  let survives = Array.make (Alphabet.size (Problem.sigma_out p)) false in
+  Array.iter (fun l -> survives.(l) <- true) surviving;
+  let dropped =
+    List.filter
+      (fun l -> not survives.(l))
+      (Alphabet.all (Problem.sigma_out p))
+  in
+  List.iter
+    (fun l ->
+      let missing =
+        List.filter_map
+          (fun (seen, leg) -> if seen.(l) then None else Some leg)
+          [ (in_node, "node configuration");
+            (in_edge, "edge configuration");
+            (in_g, "g-image") ]
+      in
+      if missing = [] then
+        add ?line:(at Out_section) Diagnostic.Error ~code:"L101"
+          "output label '%s' is unusable: it only occurs in configurations \
+           together with labels that are themselves unusable"
+          (out_name l)
+      else
+        add ?line:(at Out_section) Diagnostic.Error ~code:"L101"
+          "output label '%s' is unusable: it occurs in no %s" (out_name l)
+          (String.concat " and no " missing))
+    dropped;
+  if dropped <> [] then
+    add ?line:(at Header) Diagnostic.Info ~code:"L106"
+      "not in pruned normal form: pruning removes %d of %d output labels \
+       (%s); round elimination runs on the pruned problem"
+      (List.length dropped)
+      (Alphabet.size (Problem.sigma_out p))
+      (String.concat " " (List.map out_name dropped));
+  (* L102: degree rows with no configurations *)
+  for d = 1 to Problem.delta p do
+    if Problem.node_configs p ~degree:d = [] then
+      add ?line:(at (Node_row d)) Diagnostic.Warning ~code:"L102"
+        "no configuration for degree-%d nodes: the problem is unsolvable on \
+         every graph containing one"
+        d
+  done;
+  (* L103 / L104: degenerate g-images (meaningful only with inputs) *)
+  if not (input_free p) then
+    List.iter
+      (fun i ->
+        let name = Alphabet.name (Problem.sigma_in p) i in
+        let image = Problem.g_set p i in
+        if Util.Bitset.is_empty image then
+          add ?line:(at (G_row name)) Diagnostic.Error ~code:"L103"
+            "input label '%s' admits no output: any half-edge carrying it is \
+             unlabelable"
+            name
+        else if
+          not (List.exists (fun l -> survives.(l)) (Util.Bitset.to_list image))
+        then
+          add ?line:(at (G_row name)) Diagnostic.Warning ~code:"L104"
+            "every output allowed under input '%s' (%s) is unusable" name
+            (String.concat " "
+               (List.map out_name (Util.Bitset.to_list image))))
+      (Alphabet.all (Problem.sigma_in p));
+  (* L105: edge configurations that can never be realized *)
+  List.iter
+    (fun c ->
+      match
+        List.find_opt (fun l -> not in_node.(l)) (Util.Multiset.distinct c)
+      with
+      | Some l ->
+        add ?line:(at Edge_section) Diagnostic.Warning ~code:"L105"
+          "edge configuration {%s} can never occur: label '%s' appears in no \
+           node configuration"
+          (String.concat " " (List.map out_name (Util.Multiset.to_list c)))
+          (out_name l)
+      | None -> ())
+    (Problem.edge_configs p);
+  (* deep cross-checks against the relim / classify machinery *)
+  if deep then begin
+    if not (deep_budget p) then
+      add ?line:(at Header) Diagnostic.Info ~code:"L204"
+        "deep analyses skipped: %d output labels / %d node configurations \
+         exceed the lint budget"
+        (Alphabet.size (Problem.sigma_out p))
+        (Problem.num_node_configs p)
+    else begin
+      (* L201: 0-round triviality (Thm. 3.10) *)
+      (match Relim.Zero_round.solve p with
+      | Some w ->
+        add ?line:(at Header) Diagnostic.Info ~code:"L201"
+          "0-round solvable (Thm. 3.10), hence O(1); witness: %s"
+          (witness_summary p w)
+      | None -> ());
+      (* L202 / L203: the decidable degree-2 landscape *)
+      if Problem.delta p = 2 && input_free p then begin
+        match
+          ( Classify.Cycle_path.classify_cycle p,
+            Classify.Cycle_path.classify_path p )
+        with
+        | on_cycles, on_paths ->
+          add ?line:(at Header) Diagnostic.Info ~code:"L202"
+            "degree-2 classification: %s on oriented cycles, %s on oriented \
+             paths"
+            (Classify.Cycle_path.verdict_string on_cycles)
+            (Classify.Cycle_path.verdict_string on_paths);
+          if on_cycles = Classify.Cycle_path.Unsolvable then
+            add ?line:(at Header) Diagnostic.Warning ~code:"L203"
+              "unsolvable on all sufficiently long cycles"
+        | exception e ->
+          add ?line:(at Header) Diagnostic.Info ~code:"L204"
+            "degree-2 classification skipped: %s" (Printexc.to_string e)
+      end
+    end
+  end;
+  List.sort Diagnostic.compare !diags
+
+let source ?file ?deep text =
+  match Lcl.Parse.of_string_with_spans text with
+  | p, spans -> problem ?file ~spans ?deep p
+  | exception Lcl.Parse.Parse_error { message; line } ->
+    [ Diagnostic.v ?file ?line Diagnostic.Error ~code:"L001" message ]
+
+let file ?deep path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> source ~file:path ?deep text
+  | exception Sys_error m ->
+    [ Diagnostic.f ~file:path Diagnostic.Error ~code:"L001" "cannot read: %s" m ]

@@ -1,0 +1,37 @@
+(** Static analysis of LCL problems: the front-end validation pass run
+    by [lcl_tool lint] over [problems/*.lcl] and by the test suite over
+    the zoo. Structural checks catch degenerate problems before they
+    reach [Relim.Eliminate] (where they would fail with an unhelpful
+    [Invalid_argument]) or silently yield vacuous landscape entries;
+    cross-checks reuse [Relim.Zero_round] and [Classify.Cycle_path] to
+    report known complexities alongside syntax-level findings.
+
+    Codes (full table in DESIGN.md):
+    - [L001] error — unreadable or unparsable source;
+    - [L101] error — unusable output label (dropped by [Problem.prune]);
+    - [L102] warning — degree row with no configurations;
+    - [L103] error — empty [g]-image;
+    - [L104] warning — [g]-image containing only unusable labels;
+    - [L105] warning — edge configuration never realizable (mentions a
+      label absent from every node configuration);
+    - [L106] info — not in pruned normal form;
+    - [L201] info — 0-round solvable (Thm. 3.10 witness shown);
+    - [L202] info — degree-2 cycle/path classification;
+    - [L203] warning — unsolvable on all large cycles;
+    - [L204] info — deep analyses skipped (problem too large). *)
+
+(** Lint a problem. [spans] (from [Lcl.Parse.of_string_with_spans])
+    attaches source lines to findings; [deep] (default [true]) enables
+    the 0-round / classification cross-checks, which are skipped with
+    an [L204] note when the problem is too large for them. Results are
+    sorted with [Diagnostic.compare]. *)
+val problem :
+  ?file:string -> ?spans:Lcl.Parse.spans -> ?deep:bool -> Lcl.Problem.t ->
+  Diagnostic.t list
+
+(** Parse and lint a problem text; parse failures become a single
+    [L001] error carrying the offending line. *)
+val source : ?file:string -> ?deep:bool -> string -> Diagnostic.t list
+
+(** [source] on a file's contents; unreadable files yield [L001]. *)
+val file : ?deep:bool -> string -> Diagnostic.t list

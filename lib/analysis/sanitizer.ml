@@ -1,0 +1,213 @@
+(* Sanitizer wiring for locality claims. LOCAL algorithms are pure
+   functions of an extracted view, so "what did it read" is measured
+   behaviorally: run the algorithm on nested sub-views (Ball.sub) of
+   one wide extraction and find where the output stabilizes. Reading
+   beyond the claimed radius shows up as an output change on a widened
+   view; a loose claim shows up as stability far below it. VOLUME
+   probes are measured by uncapping the budget and counting the probes
+   a query actually spends. Sampling refutes claims; it never
+   certifies them. *)
+
+type local_report = {
+  algo : string;
+  claimed_radius : int;
+  effective_radius : int;
+  overread_radius : int option;
+  order_invariant : bool option;
+  samples : int;
+  diagnostics : Diagnostic.t list;
+}
+
+let sample_nodes rng ~n ~samples =
+  if n <= samples then Array.init n Fun.id
+  else Util.Prng.sample_distinct rng ~bound:n ~count:samples
+
+let check_local ?(samples = 8) ?(slack = 2) ?(seed = 7)
+    ?(claims_order_invariance = false) (algo : Local.Algorithm.t) g =
+  let n = Graph.n g in
+  let rng = Util.Prng.create ~seed in
+  let ids = Graph.Ids.random rng n in
+  let rand = Array.init n (fun _ -> Util.Prng.next_int64 rng) in
+  let claimed = algo.Local.Algorithm.radius ~n in
+  let wide = claimed + max 1 slack in
+  let centers = sample_nodes rng ~n ~samples in
+  let effective = ref 0 and overread = ref None in
+  let crashed = ref None in
+  Array.iter
+    (fun v ->
+      let ball, _ =
+        Graph.Ball.extract g ~ids ~rand ~n_declared:n v ~radius:wide
+      in
+      (* An exception is an observation, not a sanitizer failure: an
+         algorithm that asserts invariants of its full view (MIS does)
+         "reads" every shell its assertion needs. *)
+      let out_at r =
+        match
+          algo.Local.Algorithm.run (Graph.Ball.sub ball ~center:0 ~radius:r)
+        with
+        | out -> Ok out
+        | exception e -> Error (Printexc.to_string e)
+      in
+      let reference = out_at claimed in
+      (match reference with
+      | Error m when !crashed = None -> crashed := Some m
+      | _ -> ());
+      if Result.is_ok reference then begin
+        (* radius actually read: peel shells off while the output holds *)
+        let r = ref claimed in
+        while !r > 0 && out_at (!r - 1) = reference do
+          decr r
+        done;
+        if !r > !effective then effective := !r;
+        (* radius violation: widen the view past the claim *)
+        for r' = claimed + 1 to wide do
+          if out_at r' <> reference && !overread = None then overread := Some r'
+        done
+      end)
+    centers;
+  let order_invariant =
+    if claims_order_invariance then
+      Some (Local.Order_invariant.check ~trials:4 ~seed algo g)
+    else None
+  in
+  let name = algo.Local.Algorithm.name in
+  let diagnostics =
+    List.concat
+      [
+        (match !crashed with
+        | Some m ->
+          [
+            Diagnostic.f Diagnostic.Error ~code:"S004"
+              "algorithm '%s' raised on its claimed radius-%d view: %s" name
+              claimed m;
+          ]
+        | None -> []);
+        (match !overread with
+        | Some r ->
+          [
+            Diagnostic.f Diagnostic.Error ~code:"S001"
+              "algorithm '%s' claims radius %d but its output depends on \
+               data at distance %d on a sampled view"
+              name claimed r;
+          ]
+        | None -> []);
+        (match order_invariant with
+        | Some false ->
+          [
+            Diagnostic.f Diagnostic.Error ~code:"S002"
+              "algorithm '%s' claims order-invariance (Def. 2.7) but two \
+               order-isomorphic identifier assignments produced different \
+               outputs"
+              name;
+          ]
+        | _ -> []);
+        [
+          Diagnostic.f Diagnostic.Info ~code:"S003"
+            "algorithm '%s': claimed radius %d, radius read on %d sampled \
+             views: %d%s"
+            name claimed (Array.length centers) !effective
+            (if !overread = None && !effective < claimed then
+               " (claim is loose; sampling cannot certify it)"
+             else "");
+        ];
+      ]
+  in
+  {
+    algo = name;
+    claimed_radius = claimed;
+    effective_radius = !effective;
+    overread_radius = !overread;
+    order_invariant;
+    samples = Array.length centers;
+    diagnostics;
+  }
+
+type volume_report = {
+  algo : string;
+  claimed_budget : int;
+  max_probes : int;
+  total_probes : int;
+  order_invariant : bool option;
+  samples : int;
+  diagnostics : Diagnostic.t list;
+}
+
+let check_volume ?(samples = 8) ?(seed = 7) ?(claims_order_invariance = false)
+    ~problem (probe : Volume.Probe.t) g =
+  let n = Graph.n g in
+  let rng = Util.Prng.create ~seed in
+  let ids = Graph.Ids.random rng n in
+  let claimed = probe.Volume.Probe.budget ~n in
+  (* uncap the budget: overdraws surface as measurements, not crashes *)
+  let uncapped = { probe with Volume.Probe.budget = (fun ~n:_ -> max_int / 2) } in
+  let centers = sample_nodes rng ~n ~samples in
+  let max_probes = ref 0 and total_probes = ref 0 in
+  let probe_errors = ref [] in
+  Array.iter
+    (fun v ->
+      match Volume.Probe.query ~n_declared:n uncapped g ~ids v with
+      | _, probes ->
+        max_probes := max !max_probes probes;
+        total_probes := !total_probes + probes
+      | exception Volume.Probe.Bad_probe m ->
+        if !probe_errors = [] then probe_errors := [ m ])
+    centers;
+  let order_invariant =
+    if claims_order_invariance then
+      Some (Volume.Order_invariant.check ~trials:3 ~seed ~problem probe g)
+    else None
+  in
+  let name = probe.Volume.Probe.name in
+  let diagnostics =
+    List.concat
+      [
+        (match !probe_errors with
+        | m :: _ ->
+          [
+            Diagnostic.f Diagnostic.Error ~code:"S104"
+              "probe algorithm '%s' issued an invalid probe: %s" name m;
+          ]
+        | [] -> []);
+        (if !max_probes > claimed then
+           [
+             Diagnostic.f Diagnostic.Error ~code:"S101"
+               "probe algorithm '%s' claims budget %d but a sampled query \
+                spent %d probes (would raise Budget_exceeded in production)"
+               name claimed !max_probes;
+           ]
+         else []);
+        (match order_invariant with
+        | Some false ->
+          [
+            Diagnostic.f Diagnostic.Error ~code:"S102"
+              "probe algorithm '%s' claims order-invariance (Def. 2.10) but \
+               an order-preserving identifier re-assignment changed the \
+               labeling"
+              name;
+          ]
+        | _ -> []);
+        [
+          Diagnostic.f Diagnostic.Info ~code:"S103"
+            "probe algorithm '%s': claimed budget %d, probes spent on %d \
+             sampled queries: max %d, total %d"
+            name claimed (Array.length centers) !max_probes !total_probes;
+        ];
+      ]
+  in
+  {
+    algo = name;
+    claimed_budget = claimed;
+    max_probes = !max_probes;
+    total_probes = !total_probes;
+    order_invariant;
+    samples = Array.length centers;
+    diagnostics;
+  }
+
+(* Negative control: output the view size, which grows when the view is
+   widened past the claimed radius — exactly the violation S001 exists
+   to catch. *)
+let radius_cheater =
+  Local.Algorithm.constant ~name:"radius-cheater" ~radius:1 (fun ball ->
+      let deg = Array.length ball.Graph.Ball.adj.(ball.Graph.Ball.center) in
+      Array.make deg ball.Graph.Ball.size)

@@ -1,0 +1,67 @@
+(** Algorithm sanitizer: instrumented execution that checks a LOCAL
+    algorithm / VOLUME probe actually honors its claimed locality —
+    the load-bearing hypotheses of Thm. 2.11 and Lemma 4.2 — in the
+    spirit of a race detector for locality.
+
+    Soundness caveat (see DESIGN.md): everything here is sampling. A
+    flagged claim is {e refuted} (a concrete view/query witnesses the
+    violation); an unflagged claim is {e not certified} — the sampled
+    inputs simply failed to expose one.
+
+    Codes: [S001] radius violation, [S002] order-invariance refuted,
+    [S004] crash on the claimed view (LOCAL); [S101] probe-budget
+    overdraw, [S102] order-invariance refuted, [S104] probe error
+    (VOLUME); [S003]/[S103] info summaries. An algorithm that raises on
+    a narrowed sub-view (e.g. MIS asserting an invariant of its full
+    view) is simply recorded as reading that shell. *)
+
+(** Result of sanitizing a LOCAL algorithm on one host graph. *)
+type local_report = {
+  algo : string;
+  claimed_radius : int;       (** [radius ~n] at the host's size *)
+  effective_radius : int;
+      (** smallest r with output stable on all sampled sub-views of
+          radius r..claimed — the radius actually read *)
+  overread_radius : int option;
+      (** [Some r]: some sampled output changed when the view was
+          widened to radius [r > claimed_radius] — a radius violation *)
+  order_invariant : bool option;
+      (** [Some false]: order-invariance was refuted; [None]: claim not
+          checked *)
+  samples : int;              (** sampled centers *)
+  diagnostics : Diagnostic.t list;
+}
+
+(** Sample [samples] centers of [g]; around each, compare the
+    algorithm's output on its claimed-radius view against sub-views of
+    every radius up to claimed and widened views up to
+    [claimed + slack]. With [claims_order_invariance], additionally
+    run the Def. 2.7 property test ([Local.Order_invariant.check]). *)
+val check_local :
+  ?samples:int -> ?slack:int -> ?seed:int -> ?claims_order_invariance:bool ->
+  Local.Algorithm.t -> Graph.t -> local_report
+
+(** Result of sanitizing a VOLUME probe algorithm on one host graph. *)
+type volume_report = {
+  algo : string;
+  claimed_budget : int;       (** [budget ~n] at the host's size *)
+  max_probes : int;           (** max probes over the sampled queries,
+                                  measured with the budget uncapped *)
+  total_probes : int;
+  order_invariant : bool option;
+  samples : int;
+  diagnostics : Diagnostic.t list;
+}
+
+(** Sample queries with the budget uncapped and compare the probes
+    actually spent against the claimed budget: an overdraw that would
+    raise [Budget_exceeded] in production surfaces as [S101] here. *)
+val check_volume :
+  ?samples:int -> ?seed:int -> ?claims_order_invariance:bool ->
+  problem:Lcl.Problem.t -> Volume.Probe.t -> Graph.t -> volume_report
+
+(** A deliberately broken algorithm: claims radius 1 but outputs the
+    size of whatever view it is handed, so it "reads" distance 2
+    whenever the view is wider than claimed. Negative control for the
+    sanitizer (and the CLI's [sanitize] demo). *)
+val radius_cheater : Local.Algorithm.t

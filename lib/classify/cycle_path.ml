@@ -32,6 +32,8 @@ let pp_verdict ppf = function
   | Global -> Fmt.string ppf "Theta(n)"
   | Unsolvable -> Fmt.string ppf "unsolvable"
 
+let verdict_string v = Fmt.str "%a" pp_verdict v
+
 let input_free p =
   Lcl.Alphabet.size (Lcl.Problem.sigma_in p) = 1
 

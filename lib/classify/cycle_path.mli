@@ -11,6 +11,9 @@ type verdict =
 
 val pp_verdict : Format.formatter -> verdict -> unit
 
+(** [pp_verdict] as a string (["O(1)"], ["Theta(log* n)"], …). *)
+val verdict_string : verdict -> string
+
 (** Classify on oriented cycles.
     @raise Invalid_argument on problems with inputs (classification
     with inputs is PSPACE-hard; see the paper's Section 1.4). *)

@@ -13,7 +13,9 @@
      g any: c0 c1 c2
      g no0: c1 c2
 
-   [to_string] and [of_string] round-trip. *)
+   [to_string] and [of_string] round-trip. Parsing keeps the 1-based
+   line of every section (comments and blanks count) so errors and
+   lint diagnostics can point at source positions. *)
 
 let split_words s =
   String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
@@ -22,46 +24,98 @@ let split_alternatives s =
   String.split_on_char '|' s |> List.map String.trim
   |> List.filter (fun w -> w <> "")
 
-exception Parse_error of string
+type span = { line : int }
 
-let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+type spans = {
+  header : span;
+  out_span : span;
+  in_span : span option;
+  node_spans : (int * span) list;
+  edge_span : span;
+  g_spans : (string * span) list;
+}
 
-let of_string text =
+exception Parse_error of { message : string; line : int option }
+
+let error_to_string ~message ~line =
+  match line with
+  | None -> message
+  | Some l -> Printf.sprintf "line %d: %s" l message
+
+let fail ?line fmt =
+  Printf.ksprintf (fun m -> raise (Parse_error { message = m; line })) fmt
+
+(* [Alphabet.find] reports unknown labels as [Invalid_argument]; give
+   the failure the line it came from. *)
+let find_label ~line alphabet name =
+  match Alphabet.find_opt alphabet name with
+  | Some l -> l
+  | None -> fail ~line "unknown label %S" name
+
+let of_string_with_spans text =
   let lines =
     String.split_on_char '\n' text
-    |> List.map String.trim
-    |> List.filter (fun l -> l <> "" && not (String.length l > 0 && l.[0] = '#'))
+    |> List.mapi (fun i l -> (i + 1, String.trim l))
+    |> List.filter (fun (_, l) ->
+           l <> "" && not (String.length l > 0 && l.[0] = '#'))
   in
   let name = ref "unnamed" and delta = ref 0 in
+  let header_line = ref None in
   let out_names = ref [] and in_names = ref [] in
+  let out_line = ref None and in_line = ref None in
+  (* node rows as (line, degree, alternatives); several rows for the
+     same degree extend each other *)
   let node_lines = ref [] and edge_line = ref None and g_lines = ref [] in
+  let dup ~line what prev =
+    fail ~line "duplicate %s (first given on line %d)" what prev
+  in
   List.iter
-    (fun line ->
+    (fun (ln, line) ->
       match String.index_opt line ':' with
       | None -> (
         match split_words line with
         | [ "problem"; n; "delta"; d ] -> (
+          (match !header_line with
+          | Some prev -> dup ~line:ln "'problem' header" prev
+          | None -> header_line := Some ln);
           name := n;
           match int_of_string_opt d with
           | Some d when d >= 1 -> delta := d
-          | _ -> fail "bad delta %S" d)
-        | _ -> fail "unrecognized line %S" line)
+          | _ -> fail ~line:ln "bad delta %S" d)
+        | _ -> fail ~line:ln "unrecognized line %S" line)
       | Some i ->
         let key = String.trim (String.sub line 0 i) in
         let rest =
           String.trim (String.sub line (i + 1) (String.length line - i - 1))
         in
         (match split_words key with
-        | [ "out" ] -> out_names := split_words rest
-        | [ "in" ] -> in_names := split_words rest
+        | [ "out" ] ->
+          (match !out_line with
+          | Some prev -> dup ~line:ln "'out:' section" prev
+          | None -> out_line := Some ln);
+          out_names := split_words rest
+        | [ "in" ] ->
+          (match !in_line with
+          | Some prev -> dup ~line:ln "'in:' section" prev
+          | None -> in_line := Some ln);
+          in_names := split_words rest
         | [ "node"; d ] -> (
           match int_of_string_opt d with
           | Some d when d >= 1 ->
-            node_lines := (d, split_alternatives rest) :: !node_lines
-          | _ -> fail "bad node degree %S" d)
-        | [ "edge" ] -> edge_line := Some (split_alternatives rest)
-        | [ "g"; inp ] -> g_lines := (inp, split_words rest) :: !g_lines
-        | _ -> fail "unrecognized key %S" key))
+            node_lines := (ln, d, split_alternatives rest) :: !node_lines
+          | _ -> fail ~line:ln "bad node degree %S" d)
+        | [ "edge" ] ->
+          (match !edge_line with
+          | Some (prev, _) -> dup ~line:ln "'edge:' section" prev
+          | None -> edge_line := Some (ln, split_alternatives rest))
+        | [ "g"; inp ] ->
+          (match
+             List.find_opt (fun (_, i, _) -> i = inp) !g_lines
+           with
+          | Some (prev, _, _) ->
+            dup ~line:ln (Printf.sprintf "'g %s:' line" inp) prev
+          | None -> g_lines := (ln, inp, split_words rest) :: !g_lines)
+        | _ -> fail ~line:ln "unrecognized key %S" key))
     lines;
   if !delta = 0 then fail "missing 'problem <name> delta <d>' header";
   if !out_names = [] then fail "missing 'out:' alphabet";
@@ -70,41 +124,74 @@ let of_string text =
     if !in_names = [] then Problem.input_free_alphabet
     else Alphabet.of_names !in_names
   in
-  let parse_cfg s =
-    Util.Multiset.of_list (List.map (Alphabet.find sigma_out) (split_words s))
+  let parse_cfg ~line s =
+    Util.Multiset.of_list
+      (List.map (find_label ~line sigma_out) (split_words s))
   in
   let node_cfg = Array.make !delta [] in
   List.iter
-    (fun (d, alts) ->
-      if d > !delta then fail "node degree %d exceeds delta" d;
-      node_cfg.(d - 1) <- node_cfg.(d - 1) @ List.map parse_cfg alts)
+    (fun (ln, d, alts) ->
+      if d > !delta then fail ~line:ln "node degree %d exceeds delta" d;
+      node_cfg.(d - 1) <- node_cfg.(d - 1) @ List.map (parse_cfg ~line:ln) alts)
     (List.rev !node_lines);
   let edge_cfg =
     match !edge_line with
     | None -> fail "missing 'edge:' constraint"
-    | Some alts -> List.map parse_cfg alts
+    | Some (ln, alts) -> List.map (parse_cfg ~line:ln) alts
   in
   let g =
-    if !in_names = [] then [| Util.Bitset.full (Alphabet.size sigma_out) |]
+    if !in_names = [] then begin
+      (match !g_lines with
+      | (ln, _, _) :: _ -> fail ~line:ln "'g' line without an 'in:' section"
+      | [] -> ());
+      [| Util.Bitset.full (Alphabet.size sigma_out) |]
+    end
     else begin
       let g = Array.make (Alphabet.size sigma_in) Util.Bitset.empty in
       let mentioned = Array.make (Alphabet.size sigma_in) false in
       List.iter
-        (fun (inp, outs) ->
-          let i = Alphabet.find sigma_in inp in
+        (fun (ln, inp, outs) ->
+          let i = find_label ~line:ln sigma_in inp in
           mentioned.(i) <- true;
-          g.(i) <-
-            Util.Bitset.of_list (List.map (Alphabet.find sigma_out) outs))
+          g.(i) <- Util.Bitset.of_list (List.map (find_label ~line:ln sigma_out) outs))
         !g_lines;
       Array.iteri
         (fun i seen ->
-          if not seen then fail "missing g line for input %s" (Alphabet.name sigma_in i))
+          if not seen then
+            fail ?line:!in_line "missing g line for input %s"
+              (Alphabet.name sigma_in i))
         mentioned;
       g
     end
   in
-  Problem.make ~name:!name ~delta:!delta ~sigma_in ~sigma_out ~node_cfg
-    ~edge_cfg ~g
+  let problem =
+    try
+      Problem.make ~name:!name ~delta:!delta ~sigma_in ~sigma_out ~node_cfg
+        ~edge_cfg ~g
+    with Invalid_argument m -> fail ?line:!header_line "%s" m
+  in
+  let spans =
+    {
+      header = { line = Option.value ~default:1 !header_line };
+      out_span = { line = Option.value ~default:1 !out_line };
+      in_span = Option.map (fun line -> { line }) !in_line;
+      node_spans =
+        (* first line per degree, ascending *)
+        List.fold_left
+          (fun acc (ln, d, _) ->
+            if List.mem_assoc d acc then acc else (d, { line = ln }) :: acc)
+          []
+          (List.rev !node_lines)
+        |> List.sort compare;
+      edge_span =
+        { line = (match !edge_line with Some (ln, _) -> ln | None -> 1) };
+      g_spans =
+        List.rev_map (fun (ln, inp, _) -> (inp, { line = ln })) !g_lines;
+    }
+  in
+  (problem, spans)
+
+let of_string text = fst (of_string_with_spans text)
 
 let to_string p =
   let buf = Buffer.create 256 in

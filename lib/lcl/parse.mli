@@ -10,11 +10,41 @@
     v}
 
     Problems with inputs add [in:] and one [g <input>:] line per input
-    letter. [to_string] and [of_string] round-trip structurally. *)
+    letter. [to_string] and [of_string] round-trip structurally.
 
-exception Parse_error of string
+    Parsing tracks 1-based source lines: every [Parse_error] carries the
+    offending line when one is known, and [of_string_with_spans] returns
+    the line of each section so downstream diagnostics (see
+    [Analysis.Lint]) can point at real positions. *)
 
-(** @raise Parse_error on malformed input. *)
+(** A source position: 1-based line in the original text (comments and
+    blank lines count). *)
+type span = { line : int }
+
+(** Where each section of a parsed problem came from. [node_spans]
+    holds the first line for each degree that has a row; [g_spans] maps
+    input-label names to their [g] line. *)
+type spans = {
+  header : span;
+  out_span : span;
+  in_span : span option;
+  node_spans : (int * span) list;
+  edge_span : span;
+  g_spans : (string * span) list;
+}
+
+exception Parse_error of { message : string; line : int option }
+
+(** Render an error as ["line N: msg"] (or just [msg] without a line). *)
+val error_to_string : message:string -> line:int option -> string
+
+(** @raise Parse_error on malformed input: unknown keys or labels,
+    missing sections, and duplicated [out:]/[in:]/[edge:] lines or a
+    repeated [g] line for the same input label (a second [node d:] line
+    for the same degree extends the row instead). *)
 val of_string : string -> Problem.t
+
+(** [of_string] plus the source spans of every section. *)
+val of_string_with_spans : string -> Problem.t * spans
 
 val to_string : Problem.t -> string

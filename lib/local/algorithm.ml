@@ -44,7 +44,10 @@ module Iterative = struct
   let compile (spec : 'state spec) : t =
     let run (ball : Graph.Ball.t) =
       let open Graph.Ball in
-      let t = ball.radius in
+      (* A view wider than the declared round budget must not change
+         the output: simulate exactly the declared number of rounds
+         (the sanitizer probes algorithms with oversized views). *)
+      let t = min ball.radius (spec.rounds ~n:ball.n_declared) in
       let state =
         Array.init ball.size (fun u ->
             spec.init ~n:ball.n_declared ~id:ball.id.(u)

@@ -128,6 +128,13 @@ let solvable p = Option.is_some (solve p)
 
 let problem t = t.problem
 
+(** The witness's choices, (degree, sorted inputs) ascending — used by
+    diagnostics to show the 0-round algorithm instead of just claiming
+    one exists. *)
+let witness_assignments t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.table []
+  |> List.sort compare
+
 (** Output labels for a node with (ordered) input tuple [inputs]: the
     chosen configuration assigned to ports by a deterministic
     backtracking rule (a pure function of the input tuple, so all nodes

@@ -22,6 +22,11 @@ val solvable : Lcl.Problem.t -> bool
     degree/alphabet ranges. *)
 val outputs_for : t -> int array -> int array
 
+(** The witness table: the chosen output configuration per (degree,
+    sorted input multiset), ascending — the raw material for rendering
+    "here is the 0-round algorithm" in diagnostics. *)
+val witness_assignments : t -> ((int * int list) * int list) list
+
 (** {1 Exposed for tests} *)
 
 val input_multisets : Lcl.Problem.t -> int -> int list list

@@ -164,6 +164,63 @@ let test_sample_problem_files () =
         end)
       entries
 
+let test_parse_roundtrip_full_zoo () =
+  (* every zoo constructor, at each delta the CLI exposes *)
+  let all =
+    [
+      Lcl.Zoo.trivial ~delta:3;
+      Lcl.Zoo.free_choice ~delta:3;
+      Lcl.Zoo.edge_orientation ~delta:3;
+      Lcl.Zoo.edge_orientation ~delta:2;
+      Lcl.Zoo.echo_input ~delta:2;
+      Lcl.Zoo.coloring ~k:3 ~delta:2;
+      Lcl.Zoo.coloring ~k:2 ~delta:2;
+      Lcl.Zoo.coloring ~k:4 ~delta:3;
+      Lcl.Zoo.edge_coloring ~k:3 ~delta:2;
+      Lcl.Zoo.mis ~delta:2;
+      Lcl.Zoo.mis ~delta:3;
+      Lcl.Zoo.maximal_matching ~delta:2;
+      Lcl.Zoo.sinkless_orientation ~delta:3;
+      Lcl.Zoo.consistent_orientation;
+      Lcl.Zoo.period_pattern ~k:3;
+      Lcl.Zoo.forbidden_color_coloring;
+      Lcl.Zoo.weak_2_coloring ~delta:3 ();
+      Lcl.Zoo.weak_2_coloring ~delta:2 ();
+    ]
+  in
+  List.iter
+    (fun p ->
+      check bool
+        (Lcl.Problem.name p ^ " full-zoo roundtrip")
+        true
+        (Lcl.Problem.equal_structure p
+           (Lcl.Parse.of_string (Lcl.Parse.to_string p))))
+    all
+
+let test_fixture_files_roundtrip () =
+  let candidates =
+    [ "problems/fixtures"; "../problems/fixtures"; "../../problems/fixtures";
+      "../../../problems/fixtures" ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | None -> ()
+  | Some dir ->
+    let entries = Sys.readdir dir in
+    check bool "fixtures present" true (Array.length entries >= 2);
+    Array.iter
+      (fun f ->
+        if Filename.check_suffix f ".lcl" then begin
+          let text =
+            In_channel.with_open_text (Filename.concat dir f)
+              In_channel.input_all
+          in
+          let p = Lcl.Parse.of_string text in
+          check bool (f ^ " roundtrip") true
+            (Lcl.Problem.equal_structure p
+               (Lcl.Parse.of_string (Lcl.Parse.to_string p)))
+        end)
+      entries
+
 let prop_parse_roundtrip_random =
   QCheck.Test.make ~name:"parse roundtrip on random problems" ~count:60
     Helpers.seed_arb
@@ -172,12 +229,86 @@ let prop_parse_roundtrip_random =
       let p = Helpers.random_problem rng ~k:3 ~delta:3 in
       Lcl.Problem.equal_structure p (Lcl.Parse.of_string (Lcl.Parse.to_string p)))
 
+let expect_parse_error name ~line text =
+  match Lcl.Parse.of_string text with
+  | _ -> Alcotest.failf "%s: expected Parse_error" name
+  | exception Lcl.Parse.Parse_error { line = got; _ } ->
+    check (Alcotest.option Alcotest.int) (name ^ " line") line got
+
 let test_parse_errors () =
   let bad = "out: a b\nedge: a b" in
   check bool "missing header rejected" true
     (match Lcl.Parse.of_string bad with
     | exception Lcl.Parse.Parse_error _ -> true
     | _ -> false)
+
+let test_parse_error_lines () =
+  expect_parse_error "unknown label" ~line:(Some 3)
+    "problem p delta 1\nout: a\nnode 1: zzz\nedge: a a\n";
+  expect_parse_error "unknown label in edge" ~line:(Some 4)
+    "problem p delta 1\nout: a\nnode 1: a\nedge: a q\n";
+  expect_parse_error "g without in:" ~line:(Some 5)
+    "problem p delta 1\nout: a\nnode 1: a\nedge: a a\ng x: a\n";
+  (* comment and blank lines still count toward line numbers *)
+  expect_parse_error "comments counted" ~line:(Some 5)
+    "# banner\n\nproblem p delta 1\nout: a\nnode 1: zzz\nedge: a a\n";
+  check Alcotest.string "error rendering includes the line"
+    "line 3: unknown label \"zzz\""
+    (match
+       Lcl.Parse.of_string "problem p delta 1\nout: a\nnode 1: zzz\nedge: a a\n"
+     with
+    | _ -> "no error"
+    | exception Lcl.Parse.Parse_error { message; line } ->
+      Lcl.Parse.error_to_string ~message ~line)
+
+let test_parse_duplicate_sections () =
+  expect_parse_error "duplicate header" ~line:(Some 2)
+    "problem p delta 1\nproblem q delta 1\nout: a\nnode 1: a\nedge: a a\n";
+  expect_parse_error "duplicate out" ~line:(Some 3)
+    "problem p delta 1\nout: a\nout: a\nnode 1: a\nedge: a a\n";
+  expect_parse_error "duplicate in" ~line:(Some 4)
+    "problem p delta 1\nout: a\nin: i\nin: j\nnode 1: a\nedge: a a\ng i: a\n";
+  expect_parse_error "duplicate edge" ~line:(Some 5)
+    "problem p delta 1\nout: a\nnode 1: a\nedge: a a\nedge: a a\n";
+  expect_parse_error "duplicate g row" ~line:(Some 7)
+    "problem p delta 1\nout: a\nin: i\nnode 1: a\nedge: a a\ng i: a\ng i: a\n";
+  (* two node rows for the same degree are an accumulation, not a dup *)
+  let p =
+    Lcl.Parse.of_string
+      "problem p delta 1\nout: a b\nnode 1: a\nnode 1: b\nedge: a a | b b\n"
+  in
+  check Alcotest.int "node rows accumulate" 2 (Lcl.Problem.num_node_configs p)
+
+let test_parse_spans () =
+  let text =
+    "# a linted file\n\nproblem p delta 2\nout: a b\nin: i\nnode 1: a | b\n\
+     node 1: b\nnode 2: a a\nedge: a b\ng i: a b\n"
+  in
+  let _, spans = Lcl.Parse.of_string_with_spans text in
+  check Alcotest.int "header line" 3 spans.Lcl.Parse.header.Lcl.Parse.line;
+  check Alcotest.int "out line" 4 spans.Lcl.Parse.out_span.Lcl.Parse.line;
+  check
+    (Alcotest.option Alcotest.int)
+    "in line" (Some 5)
+    (Option.map
+       (fun (s : Lcl.Parse.span) -> s.Lcl.Parse.line)
+       spans.Lcl.Parse.in_span);
+  (* first row for the degree wins *)
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "node spans"
+    [ (1, 6); (2, 8) ]
+    (List.map
+       (fun (d, (s : Lcl.Parse.span)) -> (d, s.Lcl.Parse.line))
+       spans.Lcl.Parse.node_spans);
+  check Alcotest.int "edge line" 9 spans.Lcl.Parse.edge_span.Lcl.Parse.line;
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "g spans"
+    [ ("i", 10) ]
+    (List.map
+       (fun (x, (s : Lcl.Parse.span)) -> (x, s.Lcl.Parse.line))
+       spans.Lcl.Parse.g_spans)
 
 (* -- properties ------------------------------------------------------- *)
 
@@ -278,9 +409,17 @@ let suites =
         Alcotest.test_case "sinkless orientation" `Quick test_sinkless_orientation;
         Alcotest.test_case "weak 2-coloring" `Quick test_weak_2_coloring;
         Alcotest.test_case "parse roundtrip" `Quick test_parse_roundtrip;
+        Alcotest.test_case "full-zoo roundtrip" `Quick
+          test_parse_roundtrip_full_zoo;
         Alcotest.test_case "parse with inputs" `Quick test_parse_with_inputs;
         Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        Alcotest.test_case "parse error lines" `Quick test_parse_error_lines;
+        Alcotest.test_case "duplicate sections" `Quick
+          test_parse_duplicate_sections;
+        Alcotest.test_case "source spans" `Quick test_parse_spans;
         Alcotest.test_case "sample problem files" `Quick test_sample_problem_files;
+        Alcotest.test_case "fixture files roundtrip" `Quick
+          test_fixture_files_roundtrip;
       ] );
     ( "lcl.extra",
       [
