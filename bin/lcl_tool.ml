@@ -9,6 +9,7 @@
      zoo        list the built-in problems
      lint       static diagnostics over problem files (Analysis.Lint)
      sanitize   check an algorithm's claimed radius / order-invariance
+     faultsim   run a workload under a fault plan, report degradation
 
    Problems are given either as a file in the [Lcl.Parse] format or as
    the name of a zoo problem (see `lcl_tool zoo`). *)
@@ -162,8 +163,15 @@ let algo_arg =
   let doc = "Algorithm: cv-coloring, mis, matching, luby." in
   Arg.(value & opt string "cv-coloring" & info [ "algo" ] ~doc)
 
+let check_n ~cmd n =
+  if n < 3 then begin
+    Fmt.epr "%s: -n must be >= 3 (got %d)@." cmd n;
+    exit 2
+  end
+
 let simulate_cmd =
   let run n algo_name () =
+    check_n ~cmd:"simulate" n;
     let g = Graph.Builder.oriented_cycle n in
     let algo, problem =
       match algo_name with
@@ -194,6 +202,7 @@ let volume_algo_arg =
 
 let volume_cmd =
   let run n algo_name () =
+    check_n ~cmd:"volume" n;
     let algo, problem, g =
       match algo_name with
       | "cv-coloring" ->
@@ -299,6 +308,7 @@ let sanitize_cmd =
           ~doc:"Also check a claim of order-invariance (Def. 2.7).")
   in
   let run n algo_name order () =
+    check_n ~cmd:"sanitize" n;
     let algo =
       match algo_name with
       | "cv-coloring" -> Local.Cole_vishkin.three_coloring
@@ -326,6 +336,311 @@ let sanitize_cmd =
          "Check that an algorithm honors its claimed radius (and optionally \
           order-invariance) on sampled views of an oriented cycle")
     Term.(const run $ n_arg $ algo_arg $ order_arg $ const ())
+
+(* -- faultsim ------------------------------------------------------------ *)
+
+(* Chaos with a replay button: run a LOCAL algorithm, a VOLUME probe
+   algorithm, or the gap pipeline under an explicit fault plan and
+   emit a JSON degradation report. The plan comes from --plan (a file
+   written by an earlier run) or is drawn from --fault-seed and the
+   intensity flags and embedded verbatim in the report — so piping the
+   report's "plan" object back through --plan replays the exact run.
+   Reports carry no wall times: the same invocation prints the same
+   bytes at any worker count, which the CI chaos job diffs. *)
+
+let faultsim_plan_of_args ~plan_file ~fault_seed ~crash ~sever ~corrupt ~flip
+    ~probe_loss g =
+  match plan_file with
+  | Some f -> (
+    match In_channel.with_open_text f In_channel.input_all with
+    | exception Sys_error m -> Error (Fault.Error.f ~code:"F301" "%s" m)
+    | text -> (
+      match Fault.Plan.of_string text with
+      | Ok p -> Ok p
+      | Error e -> Error e))
+  | None ->
+    let spec =
+      Fault.Plan.spec ~crash ~sever ~corrupt ~flip ~probe:probe_loss ()
+    in
+    Ok (Fault.Plan.generate ~label:"faultsim" ~seed:fault_seed ~spec g)
+
+let faultsim_statuses_json (statuses : Fault.status array) =
+  let worst =
+    Array.to_list statuses
+    |> List.mapi (fun v s -> (v, s))
+    |> List.filter_map (fun (v, s) ->
+           match s with
+           | Fault.Errored e ->
+             Some (Fault.Json.Obj [ ("node", Int v); ("error", Fault.Error.to_json e) ])
+           | _ -> None)
+  in
+  (* cap the error detail so huge graphs keep reports readable *)
+  Fault.Json.List
+    (if List.length worst > 8 then
+       List.filteri (fun i _ -> i < 8) worst
+     else worst)
+
+let faultsim_local_report ~algo_name ~n (o : Local.Runner.resilient_outcome) =
+  let r = o.Local.Runner.report in
+  Fault.Json.Obj
+    [
+      ("faultsim", String "local");
+      ("algo", String algo_name);
+      ("n", Int n);
+      ("plan", Fault.Plan.to_json r.Local.Runner.applied);
+      ("radius", Int o.Local.Runner.r_radius_used);
+      ("ok", Int r.Local.Runner.ok_nodes);
+      ("crashed", Int r.Local.Runner.crashed_nodes);
+      ("starved", Int r.Local.Runner.starved_nodes);
+      ("errored", Int r.Local.Runner.errored_nodes);
+      ("severed_edges", Int r.Local.Runner.severed_edges);
+      ("retries_used", Int r.Local.Runner.retries_used);
+      ("healthy_violations", Int (List.length o.Local.Runner.healthy_violations));
+      ("errors", faultsim_statuses_json r.Local.Runner.statuses);
+    ]
+
+let faultsim_volume_report ~algo_name ~n (o : Volume.Probe.resilient_outcome) =
+  let r = o.Volume.Probe.report in
+  Fault.Json.Obj
+    [
+      ("faultsim", String "volume");
+      ("algo", String algo_name);
+      ("n", Int n);
+      ("plan", Fault.Plan.to_json r.Volume.Probe.applied);
+      ("max_probes", Int o.Volume.Probe.r_max_probes);
+      ("total_probes", Int o.Volume.Probe.r_total_probes);
+      ("ok", Int r.Volume.Probe.ok_nodes);
+      ("crashed", Int r.Volume.Probe.crashed_nodes);
+      ("starved", Int r.Volume.Probe.starved_nodes);
+      ("errored", Int r.Volume.Probe.errored_nodes);
+      ("retries_used", Int r.Volume.Probe.retries_used);
+      ("healthy_violations", Int (List.length o.Volume.Probe.healthy_violations));
+      ("errors", faultsim_statuses_json r.Volume.Probe.statuses);
+    ]
+
+let faultsim_verdict_string = function
+  | Relim.Pipeline.Constant { rounds; _ } ->
+    Printf.sprintf "constant:%d" rounds
+  | Relim.Pipeline.Lower_bound_log_star { fixed_point_at } ->
+    Printf.sprintf "log_star_lower_bound:%d" fixed_point_at
+  | Relim.Pipeline.Budget_exceeded { at_iteration; labels } ->
+    Printf.sprintf "budget_exceeded:%d:%d" at_iteration labels
+  | Relim.Pipeline.Deadline_exceeded { at_iteration; _ } ->
+    (* no elapsed time: reports must be byte-stable across runs *)
+    Printf.sprintf "deadline_exceeded:%d" at_iteration
+
+let faultsim_cmd =
+  let algo_arg =
+    let doc =
+      "Workload when no PROBLEM is given: a LOCAL algorithm (cv-coloring, \
+       mis, matching, luby) on an oriented cycle, or a VOLUME one \
+       (probe-cv-coloring, probe-walker, probe-const) on a cycle."
+    in
+    Arg.(value & opt string "cv-coloring" & info [ "algo" ] ~doc)
+  in
+  let plan_arg =
+    Arg.(
+      value & opt (some file) None
+      & info [ "plan" ] ~doc:"Fault plan JSON file (overrides generation).")
+  in
+  let fault_seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "fault-seed" ] ~doc:"Seed for drawing the fault plan.")
+  in
+  let rate name doc = Arg.(value & opt float 0. & info [ name ] ~doc) in
+  let crash_arg = rate "crash" "Crash-stop node fraction in [0,1]." in
+  let sever_arg = rate "sever" "Severed (message-loss) edge fraction." in
+  let corrupt_arg = rate "corrupt" "Corrupted-identifier node fraction." in
+  let flip_arg = rate "flip" "Randomness-bit-flip node fraction." in
+  let probe_loss_arg = rate "probe-loss" "Lost-probe fraction (VOLUME)." in
+  let retries_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~doc:"Re-attempts for failing nodes/runs.")
+  in
+  let deadline_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "deadline" ]
+          ~doc:"Pipeline wall-clock deadline in seconds (PROBLEM mode).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 0xC0FFEE & info [ "seed" ] ~doc:"Run seed.")
+  in
+  let problem_opt_arg =
+    let doc =
+      "Optional problem (zoo name or file): run the gap pipeline under \
+       --deadline and validate a Constant verdict's algorithm resiliently \
+       on a random forest."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"PROBLEM" ~doc)
+  in
+  let fail_error e =
+    Fmt.epr "error: %s@." (Fault.Error.to_string e);
+    exit 1
+  in
+  let with_plan ~plan_file ~fault_seed ~crash ~sever ~corrupt ~flip
+      ~probe_loss g k =
+    match
+      faultsim_plan_of_args ~plan_file ~fault_seed ~crash ~sever ~corrupt
+        ~flip ~probe_loss g
+    with
+    | Error e -> fail_error e
+    | Ok plan -> k plan
+  in
+  let run_local ~algo_name ~n ~plan ~retries ~seed =
+    let algo, problem =
+      match algo_name with
+      | "cv-coloring" ->
+        (Local.Cole_vishkin.three_coloring, Lcl.Zoo.coloring ~k:3 ~delta:2)
+      | "mis" -> (Local.Mis.algorithm, Lcl.Zoo.mis ~delta:2)
+      | "matching" ->
+        (Local.Matching.algorithm, Lcl.Zoo.maximal_matching ~delta:2)
+      | "luby" -> (Local.Luby.algorithm, Lcl.Zoo.mis ~delta:2)
+      | other ->
+        Fmt.epr "unknown algorithm %s@." other;
+        exit 2
+    in
+    let g = Graph.Builder.oriented_cycle n in
+    match
+      Local.Runner.run_resilient ~seed ~plan ~retries ~problem algo g
+    with
+    | Error e -> fail_error e
+    | Ok o ->
+      print_endline
+        (Fault.Json.to_string (faultsim_local_report ~algo_name ~n o))
+  in
+  let run_volume ~algo_name ~n ~plan ~retries ~seed =
+    let algo, problem, g =
+      match algo_name with
+      | "probe-cv-coloring" ->
+        ( Volume.Algorithms.cv_coloring,
+          Lcl.Zoo_oriented.coloring ~k:3,
+          Lcl.Zoo_oriented.mark_orientation_inputs
+            (Graph.Builder.oriented_cycle n) )
+      | "probe-walker" ->
+        ( Volume.Algorithms.two_coloring_walker,
+          Lcl.Zoo_oriented.coloring ~k:2,
+          Lcl.Zoo_oriented.mark_orientation_inputs
+            (Graph.Builder.oriented_cycle (2 * ((n + 1) / 2))) )
+      | "probe-const" ->
+        ( Volume.Algorithms.constant_choice ~name:"const" 0,
+          Lcl.Zoo.free_choice ~delta:2,
+          Graph.Builder.cycle n )
+      | other ->
+        Fmt.epr "unknown probe algorithm %s@." other;
+        exit 2
+    in
+    match
+      Volume.Probe.run_resilient ~seed ~plan ~retries ~problem algo g
+    with
+    | Error e -> fail_error e
+    | Ok o ->
+      print_endline
+        (Fault.Json.to_string
+           (faultsim_volume_report ~algo_name ~n:(Graph.n g) o))
+  in
+  let run_pipeline ~n ~plan_file ~fault_seed ~crash ~sever ~corrupt ~flip
+      ~probe_loss ~retries ~deadline ~seed spec =
+    with_problem
+      (fun p ->
+        match Relim.Pipeline.run_result ?deadline p with
+        | Error e -> fail_error e
+        | Ok r ->
+          let base =
+            [
+              ("faultsim", Fault.Json.String "pipeline");
+              ("problem", Fault.Json.String spec);
+              ("verdict",
+               Fault.Json.String
+                 (faultsim_verdict_string r.Relim.Pipeline.verdict));
+              ("iterations",
+               Fault.Json.Int (List.length r.Relim.Pipeline.trace));
+            ]
+          in
+          let extra =
+            match r.Relim.Pipeline.verdict with
+            | Relim.Pipeline.Constant { algo; _ } ->
+              (* validate the lifted algorithm resiliently on a random
+                 forest under the same fault machinery *)
+              let rng = Util.Prng.create ~seed:fault_seed in
+              let g =
+                Graph.Builder.random_forest rng
+                  ~delta:(Lcl.Problem.delta p)
+                  ~trees:(max 1 (n / 10))
+                  (max 2 n)
+              in
+              let wrapped =
+                {
+                  Local.Algorithm.name = "lifted-" ^ Lcl.Problem.name p;
+                  radius = (fun ~n:_ -> algo.Relim.Lift.radius);
+                  run = algo.Relim.Lift.run;
+                }
+              in
+              with_plan ~plan_file ~fault_seed ~crash ~sever ~corrupt ~flip
+                ~probe_loss g (fun plan ->
+                  match
+                    Local.Runner.run_resilient ~seed ~plan ~retries ~problem:p
+                      wrapped g
+                  with
+                  | Error e -> fail_error e
+                  | Ok o ->
+                    let rr = o.Local.Runner.report in
+                    [
+                      ("plan", Fault.Plan.to_json plan);
+                      ("validation_n", Fault.Json.Int (Graph.n g));
+                      ("ok", Fault.Json.Int rr.Local.Runner.ok_nodes);
+                      ("crashed", Fault.Json.Int rr.Local.Runner.crashed_nodes);
+                      ("starved", Fault.Json.Int rr.Local.Runner.starved_nodes);
+                      ("errored", Fault.Json.Int rr.Local.Runner.errored_nodes);
+                      ("healthy_violations",
+                       Fault.Json.Int
+                         (List.length o.Local.Runner.healthy_violations));
+                    ])
+            | Relim.Pipeline.Deadline_exceeded _ ->
+              (* a checkpoint would embed wall times via Marshal floats;
+                 report only its size so output stays byte-stable *)
+              let ck = Relim.Pipeline.checkpoint r in
+              [ ("checkpoint_bytes", Fault.Json.Int (String.length ck)) ]
+            | _ -> []
+          in
+          print_endline (Fault.Json.to_string (Fault.Json.Obj (base @ extra))))
+      spec
+  in
+  let run n algo_name plan_file fault_seed crash sever corrupt flip probe_loss
+      retries deadline seed problem_opt () =
+    check_n ~cmd:"faultsim" n;
+    match problem_opt with
+    | Some spec ->
+      run_pipeline ~n ~plan_file ~fault_seed ~crash ~sever ~corrupt ~flip
+        ~probe_loss ~retries ~deadline ~seed spec
+    | None ->
+      let volume = String.length algo_name >= 6 && String.sub algo_name 0 6 = "probe-" in
+      let g =
+        if volume then
+          (* mirror run_volume's graph sizes for plan generation *)
+          match algo_name with
+          | "probe-walker" -> Graph.Builder.cycle (2 * ((n + 1) / 2))
+          | _ -> Graph.Builder.cycle n
+        else Graph.Builder.oriented_cycle n
+      in
+      with_plan ~plan_file ~fault_seed ~crash ~sever ~corrupt ~flip
+        ~probe_loss g (fun plan ->
+          if volume then run_volume ~algo_name ~n ~plan ~retries ~seed
+          else run_local ~algo_name ~n ~plan ~retries ~seed)
+  in
+  Cmd.v
+    (Cmd.info "faultsim"
+       ~doc:
+         "Run a workload under an explicit fault plan (crash-stop nodes, \
+          severed edges, corrupted ids, randomness flips, lost probes) and \
+          print a deterministic JSON degradation report; plans replay \
+          bit-identically via --plan")
+    Term.(
+      const run $ n_arg $ algo_arg $ plan_arg $ fault_seed_arg $ crash_arg
+      $ sever_arg $ corrupt_arg $ flip_arg $ probe_loss_arg $ retries_arg
+      $ deadline_arg $ seed_arg $ problem_opt_arg $ const ())
 
 (* -- bench-runner ------------------------------------------------------- *)
 
@@ -431,6 +746,6 @@ let main =
     (Cmd.info "lcl_tool" ~version:"1.0"
        ~doc:"LCL landscape toolkit (PODC 2022 reproduction)")
     [ show_cmd; zoo_cmd; classify_cmd; gap_cmd; eliminate_cmd; simulate_cmd;
-      volume_cmd; lint_cmd; sanitize_cmd; bench_runner_cmd ]
+      volume_cmd; lint_cmd; sanitize_cmd; faultsim_cmd; bench_runner_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -43,6 +43,24 @@ let compare a b =
 let count sev ds = List.length (List.filter (fun d -> d.severity = sev) ds)
 let has_errors ds = List.exists (fun d -> d.severity = Error) ds
 
+(* Bridge from the fault subsystem: an F-coded runtime error becomes
+   an error diagnostic under the same stable code, with its node /
+   chunk context folded into the message (diagnostics carry file:line
+   positions, not graph coordinates). *)
+let of_fault_error ?file (e : Fault.Error.t) =
+  let context =
+    String.concat ""
+      [
+        (match e.Fault.Error.node with
+        | Some v -> Printf.sprintf " (node %d)" v
+        | None -> "");
+        (match e.Fault.Error.range with
+        | Some (lo, hi) -> Printf.sprintf " (chunk [%d,%d))" lo hi
+        | None -> "");
+      ]
+  in
+  v ?file Error ~code:e.Fault.Error.code (e.Fault.Error.message ^ context)
+
 let pp ppf d =
   (match (d.file, d.line) with
   | Some f, Some l -> Fmt.pf ppf "%s:%d: " f l

@@ -32,6 +32,11 @@ val compare : t -> t -> int
 val count : severity -> t list -> int
 val has_errors : t list -> bool
 
+(** An F-coded runtime error from the fault subsystem as an error
+    diagnostic under the same code, node/chunk context folded into the
+    message. *)
+val of_fault_error : ?file:string -> Fault.Error.t -> t
+
 (** ["problems/p.lcl:4: error[L101]: …"]; the file and line prefixes
     are omitted when unknown. *)
 val pp : Format.formatter -> t -> unit

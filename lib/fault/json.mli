@@ -1,0 +1,40 @@
+(** Minimal JSON tree (no external dependency): printer and parser for
+    fault plans and degradation reports. Strings are ASCII-oriented
+    ([\uXXXX] escapes above 127 degrade to ['?'] on parse); numbers
+    parse to [Int] when integral, [Float] otherwise. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(** Compact (single-line) rendering; keys and strings escaped. *)
+val to_string : t -> string
+
+(** @raise Parse_error on malformed input (message carries the byte
+    offset). *)
+val of_string : string -> t
+
+(** Field lookup on [Obj]; [None] for other constructors or missing
+    keys. *)
+val member : string -> t -> t option
+
+(** Field [key] of an object, [Null] when absent. *)
+val field : string -> t -> t
+
+val to_int : t -> int option
+val to_str : t -> string option
+val to_list : t -> t list option
+
+(** Checked accessors; [ctx] names the field in the [Parse_error].
+    @raise Parse_error on constructor mismatch. *)
+val get_int : ctx:string -> t -> int
+
+val get_str : ctx:string -> t -> string
+val get_list : ctx:string -> t -> t list

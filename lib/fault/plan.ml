@@ -1,0 +1,295 @@
+(* Fault plans: a reproducible description of everything that goes
+   wrong in one chaos run. A plan is plain data — explicit node sets
+   and edge sets, never probabilities — so that a run against a plan is
+   a pure function of (graph, plan, seed) and two executions (at any
+   worker count, on any machine) produce bit-identical partial
+   outcomes. Probabilistic chaos enters only through [generate], which
+   draws a concrete plan from a [spec] via [Util.Prng] — serialize the
+   plan once and replay it forever.
+
+   Fault classes (the crash-stop catalogue of SNIPPETS.md, adapted to
+   the paper's models):
+   - [crashed]      crash-stop nodes: produce no output, exchange no
+                    messages; Def. 2.4 verification happens on the
+                    subgraph they leave behind.
+   - [severed]      per-edge message loss: the edge stays physically
+                    present (ports keep their numbers) but no
+                    information crosses it in either direction.
+   - [corrupt_ids]  adversarial identifier reassignment: the node runs
+                    with the attacker-chosen id (uniqueness is NOT
+                    guaranteed — that is the attack).
+   - [rand_flips]   randomness-bit flips: the node's random seed is
+                    XOR-ed with a mask before the run.
+   - [probe_faults] VOLUME probe faults: the k-th probe issued by a
+                    query at that node is lost (Def. 2.8 probes).
+
+   All arrays are sorted and deduplicated, so structural equality is
+   canonical and the JSON encoding is deterministic. *)
+
+type t = {
+  label : string;                  (* free-form provenance tag *)
+  seed : int;                      (* seed [generate] drew from; 0 = manual *)
+  crashed : int array;             (* sorted distinct node indices *)
+  severed : (int * int) array;     (* sorted distinct (min u v, max u v) *)
+  corrupt_ids : (int * int) array; (* (node, adversarial id), node-sorted *)
+  rand_flips : (int * int64) array;(* (node, xor mask), node-sorted *)
+  probe_faults : (int * int) array;(* (node, 1-based probe ordinal), sorted *)
+}
+
+let empty =
+  {
+    label = "empty";
+    seed = 0;
+    crashed = [||];
+    severed = [||];
+    corrupt_ids = [||];
+    rand_flips = [||];
+    probe_faults = [||];
+  }
+
+let is_empty p =
+  p.crashed = [||] && p.severed = [||] && p.corrupt_ids = [||]
+  && p.rand_flips = [||] && p.probe_faults = [||]
+
+let sort_u cmp a =
+  let l = List.sort_uniq cmp (Array.to_list a) in
+  Array.of_list l
+
+(* first-binding-wins union keyed on the node (for id/mask patches) *)
+let merge_keyed a b =
+  let tbl = Hashtbl.create 16 in
+  Array.iter (fun (v, x) -> if not (Hashtbl.mem tbl v) then Hashtbl.add tbl v x) a;
+  Array.iter (fun (v, x) -> if not (Hashtbl.mem tbl v) then Hashtbl.add tbl v x) b;
+  let out = Hashtbl.fold (fun v x acc -> (v, x) :: acc) tbl [] in
+  Array.of_list (List.sort compare out)
+
+let normalize p =
+  {
+    p with
+    crashed = sort_u compare p.crashed;
+    severed =
+      sort_u compare (Array.map (fun (u, v) -> (min u v, max u v)) p.severed);
+    corrupt_ids = merge_keyed p.corrupt_ids [||];
+    rand_flips = merge_keyed p.rand_flips [||];
+    probe_faults = sort_u compare p.probe_faults;
+  }
+
+let make ?(label = "manual") ?(seed = 0) ?(crashed = [||]) ?(severed = [||])
+    ?(corrupt_ids = [||]) ?(rand_flips = [||]) ?(probe_faults = [||]) () =
+  normalize
+    { label; seed; crashed; severed; corrupt_ids; rand_flips; probe_faults }
+
+(** Union of two plans ([a]'s label/seed win; for conflicting id or
+    mask patches on the same node, [a]'s binding wins). *)
+let compose a b =
+  normalize
+    {
+      label = a.label;
+      seed = a.seed;
+      crashed = Array.append a.crashed b.crashed;
+      severed = Array.append a.severed b.severed;
+      corrupt_ids = merge_keyed a.corrupt_ids b.corrupt_ids;
+      rand_flips = merge_keyed a.rand_flips b.rand_flips;
+      probe_faults = Array.append a.probe_faults b.probe_faults;
+    }
+
+let counts p =
+  [
+    ("crashed", Array.length p.crashed);
+    ("severed", Array.length p.severed);
+    ("corrupt_ids", Array.length p.corrupt_ids);
+    ("rand_flips", Array.length p.rand_flips);
+    ("probe_faults", Array.length p.probe_faults);
+  ]
+
+(* -- generation -------------------------------------------------------- *)
+
+(** Fault intensities, all in [0, 1] (fractions of nodes/edges hit).
+    [probe_depth] bounds the ordinal of a lost probe. *)
+type spec = {
+  crash : float;
+  sever : float;
+  corrupt : float;
+  flip : float;
+  probe : float;
+  probe_depth : int;
+}
+
+let spec ?(crash = 0.) ?(sever = 0.) ?(corrupt = 0.) ?(flip = 0.)
+    ?(probe = 0.) ?(probe_depth = 8) () =
+  { crash; sever; corrupt; flip; probe; probe_depth }
+
+(** Draw a concrete plan for [g] from [spec]: each fault class is
+    sampled in a fixed pass order (crash, sever, corrupt, flip, probe)
+    from a single [seed]-derived stream, so the plan is a deterministic
+    function of (graph, seed, spec). *)
+let generate ?(label = "generated") ~seed ~spec g =
+  let rng = Util.Prng.create ~seed in
+  let n = Graph.n g in
+  let pick p = Util.Prng.float rng < p in
+  let crashed =
+    Array.of_list
+      (List.filter (fun _v -> pick spec.crash) (List.init n Fun.id))
+  in
+  let severed =
+    Array.of_list (List.filter (fun _e -> pick spec.sever) (Graph.edges g))
+  in
+  let corrupt_ids =
+    Array.of_list
+      (List.filter_map
+         (fun v ->
+           if pick spec.corrupt then Some (v, Util.Prng.bits rng) else None)
+         (List.init n Fun.id))
+  in
+  let rand_flips =
+    Array.of_list
+      (List.filter_map
+         (fun v ->
+           if pick spec.flip then Some (v, Util.Prng.next_int64 rng) else None)
+         (List.init n Fun.id))
+  in
+  let probe_faults =
+    Array.of_list
+      (List.filter_map
+         (fun v ->
+           if pick spec.probe then
+             Some (v, 1 + Util.Prng.int rng (max 1 spec.probe_depth))
+           else None)
+         (List.init n Fun.id))
+  in
+  normalize
+    { label; seed; crashed; severed; corrupt_ids; rand_flips; probe_faults }
+
+(** All node indices the plan mentions are within [0, n)?
+    Severing a non-existent edge is a harmless no-op and is not
+    checked; out-of-range nodes are a malformed plan (F301). *)
+let validate p ~n =
+  let bad v = v < 0 || v >= n in
+  let check what v =
+    if bad v then
+      Stdlib.Error
+        (Error.f ~node:v ~code:"F301"
+           "fault plan %s: %s references node %d outside [0,%d)" p.label what
+           v n)
+    else Ok ()
+  in
+  let ( let* ) = Result.bind in
+  let rec all f = function
+    | [] -> Ok ()
+    | x :: rest ->
+      let* () = f x in
+      all f rest
+  in
+  let* () = all (check "crash set") (Array.to_list p.crashed) in
+  let* () =
+    all
+      (fun (u, v) ->
+        let* () = check "severed edge" u in
+        check "severed edge" v)
+      (Array.to_list p.severed)
+  in
+  let* () = all (fun (v, _) -> check "id patch" v) (Array.to_list p.corrupt_ids) in
+  let* () = all (fun (v, _) -> check "rand flip" v) (Array.to_list p.rand_flips) in
+  all (fun (v, _) -> check "probe fault" v) (Array.to_list p.probe_faults)
+
+(* -- JSON -------------------------------------------------------------- *)
+
+let mask_to_hex m = Printf.sprintf "0x%Lx" m
+
+let mask_of_hex ~ctx s =
+  match Int64.of_string_opt s with
+  | Some m -> m
+  | None -> raise (Json.Parse_error (ctx ^ ": invalid 64-bit hex mask"))
+
+let pair_json (a, b) = Json.List [ Json.Int a; Json.Int b ]
+
+let to_json p =
+  Json.Obj
+    [
+      ("plan", Json.String "lcl-fault-plan");
+      ("version", Json.Int 1);
+      ("label", Json.String p.label);
+      ("seed", Json.Int p.seed);
+      ( "crashed",
+        Json.List (Array.to_list (Array.map (fun v -> Json.Int v) p.crashed)) );
+      ("severed", Json.List (Array.to_list (Array.map pair_json p.severed)));
+      ( "corrupt_ids",
+        Json.List (Array.to_list (Array.map pair_json p.corrupt_ids)) );
+      ( "rand_flips",
+        Json.List
+          (Array.to_list
+             (Array.map
+                (fun (v, m) ->
+                  Json.List [ Json.Int v; Json.String (mask_to_hex m) ])
+                p.rand_flips)) );
+      ( "probe_faults",
+        Json.List (Array.to_list (Array.map pair_json p.probe_faults)) );
+    ]
+
+let pair_of_json ~ctx v =
+  match Json.get_list ~ctx v with
+  | [ a; b ] -> (Json.get_int ~ctx a, Json.get_int ~ctx b)
+  | _ -> raise (Json.Parse_error (ctx ^ ": expected a [int, int] pair"))
+
+let of_json v =
+  try
+    (match Json.member "plan" v with
+    | Some (Json.String "lcl-fault-plan") -> ()
+    | _ ->
+      raise (Json.Parse_error "missing {\"plan\":\"lcl-fault-plan\"} header"));
+    (match Json.member "version" v with
+    | Some (Json.Int 1) | None -> ()
+    | _ -> raise (Json.Parse_error "unsupported fault-plan version"));
+    let ints ctx j =
+      Array.of_list
+        (List.map (Json.get_int ~ctx) (Json.get_list ~ctx j))
+    in
+    let pairs ctx j =
+      Array.of_list (List.map (pair_of_json ~ctx) (Json.get_list ~ctx j))
+    in
+    let arr key f =
+      match Json.member key v with None -> [||] | Some j -> f key j
+    in
+    Ok
+      (normalize
+         {
+           label =
+             (match Json.member "label" v with
+             | Some (Json.String s) -> s
+             | _ -> "unlabeled");
+           seed =
+             (match Json.member "seed" v with Some (Json.Int s) -> s | _ -> 0);
+           crashed = arr "crashed" ints;
+           severed = arr "severed" pairs;
+           corrupt_ids = arr "corrupt_ids" pairs;
+           rand_flips =
+             arr "rand_flips" (fun ctx j ->
+                 Array.of_list
+                   (List.map
+                      (fun item ->
+                        match Json.get_list ~ctx item with
+                        | [ n; m ] ->
+                          ( Json.get_int ~ctx n,
+                            mask_of_hex ~ctx (Json.get_str ~ctx m) )
+                        | _ ->
+                          raise
+                            (Json.Parse_error
+                               (ctx ^ ": expected [node, \"0x…\"] pairs")))
+                      (Json.get_list ~ctx j)));
+           probe_faults = arr "probe_faults" pairs;
+         })
+  with Json.Parse_error m -> Stdlib.Error (Error.v ~code:"F301" m)
+
+let to_string p = Json.to_string (to_json p)
+
+let of_string s =
+  match Json.of_string s with
+  | v -> of_json v
+  | exception Json.Parse_error m -> Stdlib.Error (Error.v ~code:"F301" m)
+
+let pp ppf p =
+  Fmt.pf ppf "plan %s (seed %d):%s" p.label p.seed
+    (String.concat ""
+       (List.filter_map
+          (fun (k, c) -> if c = 0 then None else Some (Printf.sprintf " %s=%d" k c))
+          (counts p)))

@@ -1,0 +1,68 @@
+(** Fault plans: reproducible chaos. A plan is plain data — explicit
+    crash-stop node sets, severed (message-loss) edges, adversarial
+    identifier patches, randomness-bit flips and VOLUME probe faults —
+    so a run against a plan is a pure function of (graph, plan, seed)
+    and replays bit-identically at any worker count. Probabilistic
+    chaos lives only in [generate]; serialize the drawn plan and replay
+    it forever. *)
+
+type t = {
+  label : string;                   (** free-form provenance tag *)
+  seed : int;                       (** seed [generate] drew from; 0 = manual *)
+  crashed : int array;              (** sorted distinct crash-stop nodes *)
+  severed : (int * int) array;      (** message-loss edges, [(min, max)] *)
+  corrupt_ids : (int * int) array;  (** (node, adversarial id) *)
+  rand_flips : (int * int64) array; (** (node, xor mask on its seed) *)
+  probe_faults : (int * int) array; (** (node, 1-based lost-probe ordinal) *)
+}
+
+val empty : t
+val is_empty : t -> bool
+
+(** Build a normalized plan (sorted, deduplicated; later duplicate
+    id/mask bindings for a node are dropped). *)
+val make :
+  ?label:string -> ?seed:int -> ?crashed:int array ->
+  ?severed:(int * int) array -> ?corrupt_ids:(int * int) array ->
+  ?rand_flips:(int * int64) array -> ?probe_faults:(int * int) array ->
+  unit -> t
+
+(** Union; the first plan's label, seed and conflicting per-node
+    bindings win. *)
+val compose : t -> t -> t
+
+(** [(class, cardinality)] summary, stable order. *)
+val counts : t -> (string * int) list
+
+(** Fault intensities in [0,1]; [probe_depth] bounds lost-probe
+    ordinals. *)
+type spec = {
+  crash : float;
+  sever : float;
+  corrupt : float;
+  flip : float;
+  probe : float;
+  probe_depth : int;
+}
+
+val spec :
+  ?crash:float -> ?sever:float -> ?corrupt:float -> ?flip:float ->
+  ?probe:float -> ?probe_depth:int -> unit -> spec
+
+(** Draw a concrete plan for a graph: deterministic in (graph, seed,
+    spec) — fixed pass order over one [Util.Prng] stream. *)
+val generate : ?label:string -> seed:int -> spec:spec -> Graph.t -> t
+
+(** Check every referenced node index against [0, n) (severed
+    non-edges are harmless no-ops and not checked). F301 on failure. *)
+val validate : t -> n:int -> (unit, Error.t) result
+
+(** {1 JSON round-trip}
+    [of_json (to_json p)] = [Ok p]; 64-bit masks travel as ["0x…"]
+    strings. Decoding failures are F301 errors. *)
+
+val to_json : t -> Json.t
+val of_json : Json.t -> (t, Error.t) result
+val to_string : t -> string
+val of_string : string -> (t, Error.t) result
+val pp : Format.formatter -> t -> unit

@@ -122,6 +122,85 @@ let extract g ~ids ~rand ~n_declared v ~radius =
       id; rand; n_declared },
     hosts )
 
+(** [extract_restricted] — fault-aware variant of [extract]: BFS never
+    crosses a half-edge for which [blocked u p] holds and such edges
+    appear as [None] in the view (the port keeps its number: the link
+    is physically present but mute). [blocked] must be symmetric
+    ([blocked u p] iff [blocked] holds at the opposite half-edge) so no
+    information leaks across a dead link from either side.
+
+    The third component is the degradation flag: [true] iff the
+    restricted view differs from what [extract] would have produced —
+    exactly when a blocked edge was incident to a visited node within
+    distance [radius - 1] (such an edge would have been traversed or
+    visible). A separate copy of the BFS rather than a predicate
+    parameter on [extract]: the pristine path is the simulation
+    engine's hot loop and stays branch-free. *)
+let extract_restricted g ~blocked ~ids ~rand ~n_declared v ~radius =
+  if radius < 0 then invalid_arg "Ball.extract_restricted: negative radius";
+  let s = Domain.DLS.get scratch_key in
+  ensure_scratch s (Base.n g);
+  let gen = s.gen + 1 in
+  s.gen <- gen;
+  let index = s.index and hdist = s.hdist and mark = s.mark in
+  let queue = s.queue in
+  mark.(v) <- gen;
+  index.(v) <- 0;
+  hdist.(v) <- 0;
+  queue.(0) <- v;
+  let head = ref 0 and count = ref 1 in
+  let degraded = ref false in
+  while !head < !count do
+    let u = queue.(!head) in
+    incr head;
+    let du = hdist.(u) in
+    if du < radius then
+      for p = 0 to Base.degree g u - 1 do
+        if blocked u p then degraded := true
+        else begin
+          let w = Base.neighbor g u p in
+          if mark.(w) <> gen then begin
+            mark.(w) <- gen;
+            index.(w) <- !count;
+            hdist.(w) <- du + 1;
+            queue.(!count) <- w;
+            incr count
+          end
+        end
+      done
+  done;
+  let size = !count in
+  let hosts = Array.sub queue 0 size in
+  let dist = Array.init size (fun u -> hdist.(hosts.(u))) in
+  let degree = Array.init size (fun u -> Base.degree g hosts.(u)) in
+  let adj =
+    Array.init size (fun u ->
+        let h = hosts.(u) in
+        let du = dist.(u) in
+        Array.init degree.(u) (fun p ->
+            if radius = 0 || blocked h p then None
+            else
+              let w = Base.neighbor g h p in
+              if mark.(w) = gen
+                 && (du <= radius - 1 || hdist.(w) <= radius - 1)
+              then Some (index.(w), Base.neighbor_port g h p)
+              else None))
+  in
+  let input =
+    Array.init size (fun u ->
+        Array.init degree.(u) (fun p -> Base.input g hosts.(u) p))
+  in
+  let edge_tag =
+    Array.init size (fun u ->
+        Array.init degree.(u) (fun p -> Base.edge_tag g hosts.(u) p))
+  in
+  let id = Array.map (fun h -> ids.(h)) hosts in
+  let rand = Array.map (fun h -> rand.(h)) hosts in
+  ( { size; radius; center = 0; dist; degree; adj; input; edge_tag;
+      id; rand; n_declared },
+    hosts,
+    !degraded )
+
 (** [sub ball ~center ~radius] re-extracts a smaller view from an
     existing one: the radius-[radius] ball around ball node [center].
     Correct whenever [ball.radius >= radius + dist(ball.center,

@@ -32,6 +32,17 @@ val extract :
   Base.t -> ids:int array -> rand:int64 array -> n_declared:int -> int ->
   radius:int -> t * int array
 
+(** Fault-aware [extract]: BFS never crosses a half-edge for which
+    [blocked u p] holds (the predicate must be symmetric across each
+    edge), and blocked edges appear as [None] in the view — the port
+    keeps its number, the link is mute. The third component is [true]
+    iff the restricted view differs from the pristine one (a blocked
+    edge was incident to a visited node within distance radius-1). *)
+val extract_restricted :
+  Base.t -> blocked:(int -> int -> bool) -> ids:int array ->
+  rand:int64 array -> n_declared:int -> int -> radius:int ->
+  t * int array * bool
+
 (** Re-extract a smaller view around view node [center]; sound whenever
     [ball.radius >= radius + dist(center)] (raises [Invalid_argument]
     otherwise). The second component maps new indices to old. *)

@@ -117,8 +117,280 @@ let run ?(seed = 0xC0FFEE) ?(ids = `Random) ?n_declared ?domains
   in
   { labeling; violations; radius_used = radius; stats }
 
-let succeeds ?seed ?ids ?n_declared ?domains ?memo ~problem algo g =
-  (run ?seed ?ids ?n_declared ?domains ?memo ~problem algo g).violations = []
+(* -- resilient execution ------------------------------------------------ *)
+
+(* Running against a [Fault.Plan]: crashed nodes produce no output,
+   surviving nodes see views truncated at blocked edges, per-node
+   failures become [Errored] statuses instead of tearing the run down,
+   and the partial labeling is verified on the healthy subgraph only.
+
+   Everything stays a pure function of (graph, plan, seed): retry
+   randomness is derived per (node randomness, attempt) with a
+   splitmix64 finalizer — no shared retry budget, no draw-order
+   dependence — so the outcome is bit-identical at any worker count. *)
+
+type fault_report = {
+  applied : Fault.Plan.t;
+  statuses : Fault.status array;   (* per host node *)
+  ok_nodes : int;
+  crashed_nodes : int;
+  starved_nodes : int;
+  errored_nodes : int;
+  severed_edges : int;             (* severed edges present in the graph *)
+  retries_used : int;              (* extra attempts summed over nodes *)
+}
+
+type resilient_outcome = {
+  partial : int array array;       (* [||] rows at Crashed/Errored nodes *)
+  healthy_violations : Lcl.Verify.violation list; (* host coordinates *)
+  r_radius_used : int;
+  r_stats : stats;
+  report : fault_report;
+}
+
+(* splitmix64 finalizer: derive the attempt-[a] randomness of a node
+   from its base randomness, purely and collision-resistantly. *)
+let remix r a =
+  if a = 0 then r
+  else begin
+    let z = Int64.add r (Int64.mul (Int64.of_int a) 0x9E3779B97F4A7C15L) in
+    let z = Int64.logxor z (Int64.shift_right_logical z 30) in
+    let z = Int64.mul z 0xBF58476D1CE4E5B9L in
+    let z = Int64.logxor z (Int64.shift_right_logical z 27) in
+    let z = Int64.mul z 0x94D049BB133111EBL in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+  end
+
+let summarize_statuses applied ~severed_edges ~retries_used statuses =
+  let ok = ref 0 and cr = ref 0 and st = ref 0 and er = ref 0 in
+  Array.iter
+    (function
+      | Fault.Ok -> incr ok
+      | Fault.Crashed -> incr cr
+      | Fault.Starved -> incr st
+      | Fault.Errored _ -> incr er)
+    statuses;
+  {
+    applied;
+    statuses;
+    ok_nodes = !ok;
+    crashed_nodes = !cr;
+    starved_nodes = !st;
+    errored_nodes = !er;
+    severed_edges;
+    retries_used;
+  }
+
+(** Run [algo] on [g] under fault [plan]. Nothing raises across the
+    parallel engine: every per-node failure is caught and becomes an
+    [Errored] status (with [retries] fresh-randomness re-attempts
+    first), crashed nodes are skipped, and the labeling is verified on
+    the healthy subgraph. Plan/graph mismatches return [Error] (F301). *)
+let run_resilient ?(seed = 0xC0FFEE) ?(ids = `Random) ?n_declared ?domains
+    ?(memo = false) ?(plan = Fault.Plan.empty) ?(retries = 0) ~problem
+    (algo : Algorithm.t) g =
+  let t_start = Unix.gettimeofday () in
+  let n = Graph.n g in
+  let n_declared = Option.value n_declared ~default:n in
+  match Fault.Inject.compile plan g with
+  | Error e -> Error e
+  | Ok compiled ->
+    let rng = Util.Prng.create ~seed in
+    let ids = Fault.Inject.apply_ids compiled (assign_ids rng ids n) in
+    let rand =
+      Fault.Inject.apply_rand compiled
+        (Array.init n (fun _ -> Util.Prng.next_int64 rng))
+    in
+    let radius = algo.Algorithm.radius ~n:n_declared in
+    let domains_used = min (resolve_domains domains) (max 1 n) in
+    let cache =
+      if memo then Some (Mutex.create (), Hashtbl.create 256) else None
+    in
+    let hits = Atomic.make 0 in
+    let extra_attempts = Atomic.make 0 in
+    let blocked = Fault.Inject.is_blocked compiled in
+    let any_blocked = compiled.Fault.Inject.any_blocked in
+    (* direct load, not a cross-module call: this test runs per node *)
+    let crashed = compiled.Fault.Inject.crashed in
+    (* Statuses are published by side effect: workers own disjoint index
+       chunks and the join in [Util.Parallel] orders their writes before
+       any read here, so this costs one shared array instead of a
+       per-node (status, row) tuple plus two map passes. *)
+    let statuses = Array.make n Fault.Ok in
+    let arity_error v k =
+      raise_notrace
+        (Fault.Error.E
+           (Fault.Error.f ~node:v ~code:"F102"
+              "%s returned %d outputs at degree-%d node"
+              algo.Algorithm.name k (Graph.degree g v)))
+    in
+    let errored v e =
+      statuses.(v) <- Fault.Errored (Fault.Error.of_exn ~node:v e);
+      [||]
+    in
+    let invoke ~attempt ball =
+      let ball =
+        if attempt = 0 then ball
+        else
+          { ball with
+            Graph.Ball.rand =
+              Array.map (fun r -> remix r attempt) ball.Graph.Ball.rand }
+      in
+      match (cache, attempt) with
+      | Some (lock, table), 0 -> (
+        let key = Graph.Ball.fingerprint ball in
+        match Mutex.protect lock (fun () -> Hashtbl.find_opt table key) with
+        | Some out ->
+          Atomic.incr hits;
+          Array.copy out
+        | None ->
+          let out = algo.Algorithm.run ball in
+          Mutex.protect lock (fun () ->
+              if not (Hashtbl.mem table key) then
+                Hashtbl.add table key (Array.copy out));
+          out)
+      | _ -> algo.Algorithm.run ball
+    in
+    (* Pristine specialization: nothing blocked, no memo, no retries.
+       Its loop body matches [run]'s instruction for instruction (plus
+       the crash test and the exception fence), because the "faults
+       off" overhead budget of bench E11 eats any difference. *)
+    let simulate_pristine v =
+      if crashed.(v) then begin
+        statuses.(v) <- Fault.Crashed;
+        [||]
+      end
+      else
+        match
+          let ball, _hosts =
+            Graph.Ball.extract g ~ids ~rand ~n_declared v ~radius
+          in
+          let out = algo.Algorithm.run ball in
+          if Array.length out <> Graph.degree g v then
+            arity_error v (Array.length out);
+          out
+        with
+        | out -> out
+        | exception e -> errored v e
+    in
+    let simulate v =
+      if crashed.(v) then begin
+        statuses.(v) <- Fault.Crashed;
+        [||]
+      end
+      else
+        match
+          let ball, degraded =
+            if any_blocked then begin
+              let ball, _hosts, degraded =
+                Graph.Ball.extract_restricted g ~blocked ~ids ~rand
+                  ~n_declared v ~radius
+              in
+              (ball, degraded)
+            end
+            else begin
+              let ball, _hosts =
+                Graph.Ball.extract g ~ids ~rand ~n_declared v ~radius
+              in
+              (ball, false)
+            end
+          in
+          if degraded then statuses.(v) <- Fault.Starved;
+          let deg = Graph.degree g v in
+          let rec attempt a =
+            match invoke ~attempt:a ball with
+            | out when Array.length out = deg -> out
+            | out -> arity_error v (Array.length out)
+            | exception e ->
+              if a < retries then begin
+                Atomic.incr extra_attempts;
+                attempt (a + 1)
+              end
+              else raise e
+          in
+          attempt 0
+        with
+        | out -> out
+        | exception e -> errored v e
+    in
+    let body =
+      if (not any_blocked) && retries = 0 && not memo then simulate_pristine
+      else simulate
+    in
+    let partial = Util.Parallel.init ~domains:domains_used n body in
+    let t_simulated = Unix.gettimeofday () in
+    let has_output v = Fault.Inject.status_ok statuses.(v) in
+    let healthy_violations =
+      Fault.Inject.verify_healthy compiled g ~problem ~labeling:partial
+        ~has_output
+    in
+    let t_end = Unix.gettimeofday () in
+    let report =
+      summarize_statuses plan
+        ~severed_edges:compiled.Fault.Inject.severed_live
+        ~retries_used:(Atomic.get extra_attempts) statuses
+    in
+    let r_stats =
+      {
+        balls_extracted = n - report.crashed_nodes;
+        cache_hits = Atomic.get hits;
+        distinct_views =
+          (match cache with
+          | None -> 0
+          | Some (_, table) -> Hashtbl.length table);
+        domains_used;
+        simulate_seconds = t_simulated -. t_start;
+        verify_seconds = t_end -. t_simulated;
+        total_seconds = t_end -. t_start;
+      }
+    in
+    Ok { partial; healthy_violations; r_radius_used = radius; r_stats; report }
+
+(** One point of a degradation curve: a plan, the statuses it induced,
+    and how badly the surviving labeling fails. *)
+type degradation_point = {
+  point_plan : Fault.Plan.t;
+  point_report : fault_report;
+  point_violations : int;
+}
+
+(** Evaluate [algo] under each plan in turn (shared seed: the fault-free
+    baseline of every point is the same run). First compile error
+    aborts. *)
+let degradation ?seed ?ids ?n_declared ?domains ?memo ?retries ~plans
+    ~problem algo g =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | plan :: rest -> (
+      match
+        run_resilient ?seed ?ids ?n_declared ?domains ?memo ~plan ?retries
+          ~problem algo g
+      with
+      | Error e -> Error e
+      | Ok o ->
+        go
+          ({
+             point_plan = plan;
+             point_report = o.report;
+             point_violations = List.length o.healthy_violations;
+           }
+           :: acc)
+          rest)
+  in
+  go [] plans
+
+let succeeds ?seed ?ids ?n_declared ?domains ?memo ?plan ?retries ~problem
+    algo g =
+  match plan with
+  | None ->
+    (run ?seed ?ids ?n_declared ?domains ?memo ~problem algo g).violations = []
+  | Some plan -> (
+    match
+      run_resilient ?seed ?ids ?n_declared ?domains ?memo ~plan ?retries
+        ~problem algo g
+    with
+    | Error _ -> false
+    | Ok o -> o.healthy_violations = [] && o.report.errored_nodes = 0)
 
 (** Empirical *local* failure probability (Def. 2.4): over [trials]
     independent runs (fresh randomness and IDs), the maximum over
@@ -126,8 +398,8 @@ let succeeds ?seed ?ids ?n_declared ?domains ?memo ~problem algo g =
     Failure counts use defaulting lookups, so edge keys the verifier
     reports beyond the pre-registered edge list (e.g. self-loops keyed
     as [(v, v)]) are counted instead of raising [Not_found]. *)
-let empirical_local_failure ?(trials = 100) ?(seed = 7) ?domains ?memo
-    ~problem algo g =
+let empirical_local_failure ?(trials = 100) ?(seed = 7) ?domains ?memo ?plan
+    ?retries ~problem algo g =
   let n = Graph.n g in
   let node_fails = Array.make n 0 in
   let edge_fails = Hashtbl.create 64 in
@@ -135,11 +407,42 @@ let empirical_local_failure ?(trials = 100) ?(seed = 7) ?domains ?memo
     Hashtbl.replace edge_fails e
       (1 + Option.value (Hashtbl.find_opt edge_fails e) ~default:0)
   in
+  (* Under a fault plan the Def. 2.4 events are restricted to the
+     healthy subgraph: [Errored] nodes and healthy-subgraph violations
+     count as failures, crashed nodes impose nothing. A plan the graph
+     rejects (F301) fails everywhere by convention. *)
+  let resilient_trial plan trial =
+    match
+      run_resilient ~seed:(seed + (trial * 7919)) ?domains ?memo ~plan
+        ?retries ~problem algo g
+    with
+    | Error _ ->
+      Array.iteri (fun v c -> node_fails.(v) <- c + 1) node_fails
+    | Ok o ->
+      let node_fail = Array.make n false in
+      Array.iteri
+        (fun v s -> match s with Fault.Errored _ -> node_fail.(v) <- true | _ -> ())
+        o.report.statuses;
+      List.iter
+        (fun viol ->
+          match viol with
+          | Lcl.Verify.Bad_node v -> node_fail.(v) <- true
+          | Lcl.Verify.Bad_edge (v, p) | Lcl.Verify.Bad_g (v, p) ->
+            let u = Graph.neighbor g v p in
+            count (min v u, max v u))
+        o.healthy_violations;
+      Array.iteri
+        (fun v f -> if f then node_fails.(v) <- node_fails.(v) + 1)
+        node_fail
+  in
   for trial = 0 to trials - 1 do
-    let o = run ~seed:(seed + (trial * 7919)) ?domains ?memo ~problem algo g in
-    let node_fail, edge_fail = Lcl.Verify.failure_events problem g o.labeling in
-    Array.iteri (fun v f -> if f then node_fails.(v) <- node_fails.(v) + 1) node_fail;
-    Hashtbl.iter (fun e () -> count e) edge_fail
+    match plan with
+    | Some p -> resilient_trial p trial
+    | None ->
+      let o = run ~seed:(seed + (trial * 7919)) ?domains ?memo ~problem algo g in
+      let node_fail, edge_fail = Lcl.Verify.failure_events problem g o.labeling in
+      Array.iteri (fun v f -> if f then node_fails.(v) <- node_fails.(v) + 1) node_fail;
+      Hashtbl.iter (fun e () -> count e) edge_fail
   done;
   let worst = ref 0 in
   Array.iter (fun c -> worst := max !worst c) node_fails;

@@ -38,14 +38,76 @@ val run :
   ?seed:int -> ?ids:id_mode -> ?n_declared:int -> ?domains:int ->
   ?memo:bool -> problem:Lcl.Problem.t -> Algorithm.t -> Graph.t -> outcome
 
+(** {1 Resilient execution under a fault plan} *)
+
+(** Per-node outcomes of one resilient run, summarized. *)
+type fault_report = {
+  applied : Fault.Plan.t;
+  statuses : Fault.status array;  (** per host node *)
+  ok_nodes : int;
+  crashed_nodes : int;
+  starved_nodes : int;
+  errored_nodes : int;
+  severed_edges : int;  (** severed edges actually present in the graph *)
+  retries_used : int;   (** extra attempts summed over nodes *)
+}
+
+type resilient_outcome = {
+  partial : int array array;
+      (** partial labeling; [[||]] rows at Crashed/Errored nodes *)
+  healthy_violations : Lcl.Verify.violation list;
+      (** violations on the healthy subgraph, in host coordinates *)
+  r_radius_used : int;
+  r_stats : stats;
+  report : fault_report;
+}
+
+(** Run [algo] on [g] under fault [plan] (default: no faults). Crashed
+    nodes produce no output; surviving nodes see views truncated at
+    blocked edges (and are [Starved] when that truncation is visible);
+    a per-node failure is retried up to [retries] times with fresh
+    purely-derived randomness and then becomes an [Errored] status —
+    nothing raises across the parallel engine. The partial labeling is
+    verified on the healthy subgraph only. Pure in (graph, plan, seed):
+    bit-identical at any worker count. [Error] (F301) iff the plan
+    references nodes outside the graph. *)
+val run_resilient :
+  ?seed:int -> ?ids:id_mode -> ?n_declared:int -> ?domains:int ->
+  ?memo:bool -> ?plan:Fault.Plan.t -> ?retries:int ->
+  problem:Lcl.Problem.t -> Algorithm.t -> Graph.t ->
+  (resilient_outcome, Fault.Error.t) result
+
+(** One point of a degradation curve. *)
+type degradation_point = {
+  point_plan : Fault.Plan.t;
+  point_report : fault_report;
+  point_violations : int;
+}
+
+(** Evaluate [algo] under each plan in turn with a shared seed (so the
+    fault-free baseline is common to every point). *)
+val degradation :
+  ?seed:int -> ?ids:id_mode -> ?n_declared:int -> ?domains:int ->
+  ?memo:bool -> ?retries:int -> plans:Fault.Plan.t list ->
+  problem:Lcl.Problem.t -> Algorithm.t -> Graph.t ->
+  (degradation_point list, Fault.Error.t) result
+
+(** Without [?plan]: the [run] outcome has no violations. With a plan:
+    the resilient run has no healthy-subgraph violations and no
+    [Errored] node (crashing/starving gracefully still succeeds). *)
 val succeeds :
   ?seed:int -> ?ids:id_mode -> ?n_declared:int -> ?domains:int ->
-  ?memo:bool -> problem:Lcl.Problem.t -> Algorithm.t -> Graph.t -> bool
+  ?memo:bool -> ?plan:Fault.Plan.t -> ?retries:int ->
+  problem:Lcl.Problem.t -> Algorithm.t -> Graph.t -> bool
 
 (** Empirical *local* failure probability (Def. 2.4): over [trials]
     runs with fresh randomness, the maximum per-node/per-edge failure
     frequency. Handles every edge key the verifier can report,
-    including self-loops. *)
+    including self-loops. Under [?plan] the events are restricted to
+    the healthy subgraph — [Errored] nodes and surviving-subgraph
+    violations count, crashed nodes impose nothing — so the result
+    reports degradation instead of crashing. *)
 val empirical_local_failure :
   ?trials:int -> ?seed:int -> ?domains:int -> ?memo:bool ->
+  ?plan:Fault.Plan.t -> ?retries:int ->
   problem:Lcl.Problem.t -> Algorithm.t -> Graph.t -> float

@@ -17,7 +17,16 @@
       paper points out after Theorem 3.4; exceeding it is reported as
       inconclusive (in practice the Θ(log* n) zoo problems either hit a
       fixed point or exceed the budget while O(1) problems collapse
-      within a couple of iterations). *)
+      within a couple of iterations).
+
+   Long runs are interruptible: an optional wall-clock [deadline]
+   yields a [Deadline_exceeded] verdict, and every result carries the
+   loop state at its final iteration, so [checkpoint]/[resume] can
+   park a run and pick it up later (in another process: checkpoints
+   are self-contained strings). The algorithm of a [Constant] verdict
+   holds closures and is deliberately *not* serialized — a resumed run
+   re-derives it from the stored pure-data steps, which is
+   deterministic. *)
 
 type trace_entry = {
   iteration : int;
@@ -31,18 +40,35 @@ type verdict =
   | Constant of { rounds : int; algo : Lift.algo }
   | Lower_bound_log_star of { fixed_point_at : int }
   | Budget_exceeded of { at_iteration : int; labels : int }
+  | Deadline_exceeded of { at_iteration : int; elapsed : float }
 
-type result = { verdict : verdict; trace : trace_entry list }
+(* Loop state at the entry of an iteration — everything needed to
+   re-execute that iteration and continue: the original problem (for
+   the Lemma 3.9 lift and the label translation), the current f^k(Π),
+   the steps taken so far, the reversed trace *without* the current
+   iteration's entry (so resumption re-executes the interrupted
+   iteration exactly once), and the wall time already consumed (so a
+   resumed deadline keeps counting). All fields are pure data:
+   problems and steps are closure-free and [Marshal]-safe. *)
+type state = {
+  ck_original : Lcl.Problem.t;
+  ck_k : int;
+  ck_current : Lcl.Problem.t;
+  ck_steps : (Lcl.Problem.t * Eliminate.step) list;
+  ck_trace : trace_entry list;       (* reversed *)
+  ck_elapsed : float;
+}
+
+type result = { verdict : verdict; trace : trace_entry list; state : state }
 
 let default_max_iterations = 6
 let default_max_labels = 500
 
-(** Run the pipeline. When the verdict is [Constant], the carried
-    algorithm provably solves Π (its construction follows Lemma 3.9),
-    and callers can additionally validate it on the LOCAL simulator. *)
-let run ?(max_iterations = default_max_iterations)
-    ?(max_labels = default_max_labels) original =
-  let pi, label_map = Lcl.Problem.prune_with_map original in
+let run_core ~max_iterations ~max_labels ~deadline st0 =
+  let t_start = Unix.gettimeofday () in
+  let elapsed () = st0.ck_elapsed +. (Unix.gettimeofday () -. t_start) in
+  let original = st0.ck_original in
+  let _pruned, label_map = Lcl.Problem.prune_with_map original in
   let lift_back steps z =
     (* steps are in application order: step_1 produced f(Π) from Π …;
        the innermost algorithm speaks the *pruned* problem's labels, so
@@ -58,44 +84,129 @@ let run ?(max_iterations = default_max_iterations)
       run = (fun ball -> Array.map (fun l -> label_map.(l)) (pruned_algo.Lift.run ball));
     }
   in
-  let rec go k current steps trace =
-    let labels = Lcl.Alphabet.size (Lcl.Problem.sigma_out current) in
-    match Zero_round.solve current with
-    | Some z ->
-      let entry =
-        { iteration = k; problem = current; step = None; labels;
-          zero_round = true }
-      in
-      let algo = lift_back steps z in
-      { verdict = Constant { rounds = k; algo };
-        trace = List.rev (entry :: trace) }
-    | None ->
-      let entry =
-        { iteration = k; problem = current; step = None; labels;
-          zero_round = false }
-      in
-      if labels > max_labels then
-        { verdict = Budget_exceeded { at_iteration = k; labels };
-          trace = List.rev (entry :: trace) }
-      else if k >= max_iterations then
-        { verdict = Budget_exceeded { at_iteration = k; labels };
-          trace = List.rev (entry :: trace) }
-      else begin
-        match Eliminate.speedup_step current with
-        | exception Eliminate.Too_large _ ->
-          { verdict = Budget_exceeded { at_iteration = k; labels };
-            trace = List.rev (entry :: trace) }
-        | s ->
-          let next = s.Eliminate.after.Eliminate.problem in
-          if Fixpoint.isomorphic next current then
-            { verdict = Lower_bound_log_star { fixed_point_at = k };
-              trace = List.rev (entry :: trace) }
-          else
-            go (k + 1) next ((current, s) :: steps)
-              ({ entry with step = Some s } :: trace)
-      end
+  let finish st verdict trace =
+    { verdict; trace; state = { st with ck_elapsed = elapsed () } }
   in
-  go 0 pi [] []
+  let rec go st =
+    let k = st.ck_k and current = st.ck_current in
+    let over_deadline =
+      match deadline with None -> false | Some d -> elapsed () >= d
+    in
+    if over_deadline then
+      finish st
+        (Deadline_exceeded { at_iteration = k; elapsed = elapsed () })
+        (List.rev st.ck_trace)
+    else begin
+      let labels = Lcl.Alphabet.size (Lcl.Problem.sigma_out current) in
+      match Zero_round.solve current with
+      | Some z ->
+        let entry =
+          { iteration = k; problem = current; step = None; labels;
+            zero_round = true }
+        in
+        finish st
+          (Constant { rounds = k; algo = lift_back st.ck_steps z })
+          (List.rev (entry :: st.ck_trace))
+      | None ->
+        let entry =
+          { iteration = k; problem = current; step = None; labels;
+            zero_round = false }
+        in
+        if labels > max_labels || k >= max_iterations then
+          finish st
+            (Budget_exceeded { at_iteration = k; labels })
+            (List.rev (entry :: st.ck_trace))
+        else begin
+          match Eliminate.speedup_step current with
+          | exception Eliminate.Too_large _ ->
+            finish st
+              (Budget_exceeded { at_iteration = k; labels })
+              (List.rev (entry :: st.ck_trace))
+          | s ->
+            let next = s.Eliminate.after.Eliminate.problem in
+            if Fixpoint.isomorphic next current then
+              finish st
+                (Lower_bound_log_star { fixed_point_at = k })
+                (List.rev (entry :: st.ck_trace))
+            else
+              go
+                { st with
+                  ck_k = k + 1;
+                  ck_current = next;
+                  ck_steps = (current, s) :: st.ck_steps;
+                  ck_trace = { entry with step = Some s } :: st.ck_trace }
+        end
+    end
+  in
+  go st0
+
+(** Run the pipeline. When the verdict is [Constant], the carried
+    algorithm provably solves Π (its construction follows Lemma 3.9),
+    and callers can additionally validate it on the LOCAL simulator.
+    [deadline] bounds wall-clock seconds: when it strikes, the verdict
+    is [Deadline_exceeded] and the result's state checkpoints the
+    interrupted iteration. *)
+let run ?(max_iterations = default_max_iterations)
+    ?(max_labels = default_max_labels) ?deadline original =
+  let pi, _ = Lcl.Problem.prune_with_map original in
+  run_core ~max_iterations ~max_labels ~deadline
+    {
+      ck_original = original;
+      ck_k = 0;
+      ck_current = pi;
+      ck_steps = [];
+      ck_trace = [];
+      ck_elapsed = 0.0;
+    }
+
+(** [run] with escaped exceptions (malformed problems raise
+    [Invalid_argument] in a few constructors) folded into a typed
+    error. *)
+let run_result ?max_iterations ?max_labels ?deadline original =
+  match run ?max_iterations ?max_labels ?deadline original with
+  | r -> Stdlib.Ok r
+  | exception e -> Stdlib.Error (Fault.Error.of_exn e)
+
+(* -- checkpointing ------------------------------------------------------- *)
+
+(* A checkpoint is a magic tag plus the hex-encoded [Marshal] image of
+   the state. Hex keeps it printable (logs, JSON strings, shell
+   pipes); the magic tag carries a format version so a stale
+   checkpoint fails loudly as F302 instead of deserializing
+   garbage. *)
+
+let magic = "LCLCKPT1:"
+
+let to_hex s =
+  let b = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents b
+
+let of_hex s =
+  if String.length s mod 2 <> 0 then invalid_arg "odd hex length";
+  String.init (String.length s / 2) (fun i ->
+      Char.chr (int_of_string ("0x" ^ String.sub s (2 * i) 2)))
+
+(** Serialize the loop state of [r]'s final iteration. [resume] of the
+    string re-executes that iteration and continues — for a finished
+    verdict it simply re-derives it. *)
+let checkpoint r = magic ^ to_hex (Marshal.to_string r.state [])
+
+(** Decode a checkpoint and continue the run under (possibly new)
+    budgets. F302 on anything that is not a well-formed checkpoint. *)
+let resume ?(max_iterations = default_max_iterations)
+    ?(max_labels = default_max_labels) ?deadline s =
+  let fail msg = Stdlib.Error (Fault.Error.f ~code:"F302" "%s" msg) in
+  let mlen = String.length magic in
+  if String.length s < mlen || String.sub s 0 mlen <> magic then
+    fail "corrupt checkpoint: bad magic (expected LCLCKPT1)"
+  else
+    match of_hex (String.sub s mlen (String.length s - mlen)) with
+    | exception _ -> fail "corrupt checkpoint: invalid hex payload"
+    | bytes -> (
+      match (Marshal.from_string bytes 0 : state) with
+      | exception _ -> fail "corrupt checkpoint: undecodable state"
+      | st -> Stdlib.Ok (run_core ~max_iterations ~max_labels ~deadline st))
 
 let pp_verdict ppf = function
   | Constant { rounds; _ } ->
@@ -107,3 +218,7 @@ let pp_verdict ppf = function
     Fmt.pf ppf
       "inconclusive (stopped at iteration %d with %d labels) — consistent with Omega(log* n)"
       at_iteration labels
+  | Deadline_exceeded { at_iteration; elapsed } ->
+    Fmt.pf ppf
+      "interrupted (deadline after %.2fs at iteration %d) — checkpoint and resume"
+      elapsed at_iteration

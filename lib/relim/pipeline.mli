@@ -22,15 +22,46 @@ type verdict =
   | Budget_exceeded of { at_iteration : int; labels : int }
       (** Inconclusive: the doubly-exponential label growth exceeded
           the budget — consistent with Ω(log* n). *)
+  | Deadline_exceeded of { at_iteration : int; elapsed : float }
+      (** Interrupted by the wall-clock deadline; the result's state
+          checkpoints the interrupted iteration. *)
 
-type result = { verdict : verdict; trace : trace_entry list }
+(** The loop state at the result's final iteration — pure data, the
+    payload of [checkpoint]. *)
+type state
+
+type result = { verdict : verdict; trace : trace_entry list; state : state }
 
 val default_max_iterations : int
 val default_max_labels : int
 
 (** Run the pipeline. Sound in both definite directions: a [Constant]
     verdict carries a correct-by-construction algorithm; a
-    [Lower_bound_log_star] verdict carries a genuine fixed point. *)
-val run : ?max_iterations:int -> ?max_labels:int -> Lcl.Problem.t -> result
+    [Lower_bound_log_star] verdict carries a genuine fixed point.
+    [deadline] bounds wall-clock seconds; when it strikes the verdict
+    is [Deadline_exceeded] and the run can be checkpointed and resumed
+    (resuming re-executes the interrupted iteration, so the eventual
+    verdict and trace equal the uninterrupted run's). *)
+val run :
+  ?max_iterations:int -> ?max_labels:int -> ?deadline:float ->
+  Lcl.Problem.t -> result
+
+(** [run] with escaped exceptions (e.g. [Invalid_argument] from
+    malformed problems) folded into a typed F-coded error. *)
+val run_result :
+  ?max_iterations:int -> ?max_labels:int -> ?deadline:float ->
+  Lcl.Problem.t -> (result, Fault.Error.t) Stdlib.result
+
+(** Serialize the loop state of [r]'s final iteration as a printable,
+    self-contained string (a [Constant] verdict's algorithm holds
+    closures and is not stored; a resumed run re-derives it from the
+    stored pure-data steps — deterministically). *)
+val checkpoint : result -> string
+
+(** Decode a checkpoint and continue under (possibly new) budgets.
+    F302 on anything that is not a well-formed checkpoint. *)
+val resume :
+  ?max_iterations:int -> ?max_labels:int -> ?deadline:float -> string ->
+  (result, Fault.Error.t) Stdlib.result
 
 val pp_verdict : Format.formatter -> verdict -> unit

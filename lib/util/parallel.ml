@@ -35,12 +35,32 @@ let block_bounds ~n ~d b = ((b * n / d), ((b + 1) * n / d))
 
 let sequential_init n f = Array.init n f
 
+(** A worker-domain failure with its provenance: the exact index whose
+    evaluation raised and the contiguous chunk the worker owned. A bare
+    [Domain.join] re-raise loses both, which makes multi-thousand-node
+    simulation failures undebuggable; resilient runners unwrap this to
+    attach node context to their [Fault.Error]s. *)
+exception
+  Worker_error of { lo : int; hi : int; index : int; error : exn }
+
+let () =
+  Printexc.register_printer (function
+    | Worker_error { lo; hi; index; error } ->
+      Some
+        (Printf.sprintf "Parallel.Worker_error at index %d (chunk [%d,%d)): %s"
+           index lo hi (Printexc.to_string error))
+    | _ -> None)
+
 (** [init ?domains n f] is [Array.init n f] evaluated on [domains]
     worker domains (default: [default_domains ()]), assembled in index
     order. [f] must be pure per index (it may read shared immutable
     data; any shared mutable state must be synchronized by the
-    caller). With 1 domain no domain is spawned. Exceptions raised by
-    [f] are re-raised after all workers have been joined. *)
+    caller). With 1 domain no domain is spawned and exceptions from
+    [f] propagate raw (the caller's backtrace already has the
+    context); with more, a worker failure is re-raised as
+    [Worker_error] carrying the failing index and chunk — after all
+    domains have been joined. The lowest failing index wins when
+    several workers fail. *)
 let init ?domains n f =
   if n < 0 then invalid_arg "Parallel.init: negative length";
   let d = min (resolve domains) (max 1 n) in
@@ -48,9 +68,14 @@ let init ?domains n f =
   else begin
     let work b =
       let lo, hi = block_bounds ~n ~d b in
-      match Array.init (hi - lo) (fun i -> f (lo + i)) with
+      let at = ref lo in
+      match
+        Array.init (hi - lo) (fun i ->
+            at := lo + i;
+            f (lo + i))
+      with
       | a -> Ok a
-      | exception e -> Error e
+      | exception e -> Error (Worker_error { lo; hi; index = !at; error = e })
     in
     let workers =
       Array.init (d - 1) (fun b -> Domain.spawn (fun () -> work (b + 1)))

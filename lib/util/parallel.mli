@@ -15,10 +15,18 @@ val recommended : unit -> int
     is honored uncapped. *)
 val default_domains : unit -> int
 
+(** A worker-domain failure: the exact index whose evaluation raised
+    ([error] is the original exception) and the chunk [\[lo, hi)] the
+    worker owned. *)
+exception
+  Worker_error of { lo : int; hi : int; index : int; error : exn }
+
 (** [init ?domains n f] = [Array.init n f] on [domains] workers
     (default [default_domains ()]; 1 means no domain is spawned).
     [f] must be pure per index up to caller-synchronized shared state.
-    Worker exceptions are re-raised after all domains are joined.
+    With 1 worker, exceptions from [f] propagate raw; with more, a
+    worker failure is re-raised as [Worker_error] (lowest failing
+    index wins) after all domains are joined.
     @raise Invalid_argument on negative [n]. *)
 val init : ?domains:int -> int -> (int -> 'a) -> 'a array
 

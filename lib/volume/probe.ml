@@ -101,3 +101,157 @@ let run ?(seed = 0xBEEF) ?n_declared ?domains ~problem (a : t) g =
   let rng = Util.Prng.create ~seed in
   let ids = Graph.Ids.random rng (Graph.n g) in
   run_with_ids ?n_declared ?domains ~problem a g ~ids
+
+(* -- resilient probing --------------------------------------------------- *)
+
+(* VOLUME under faults. A probe is *lost* when it crosses a blocked
+   edge (severed, or a crashed endpoint — the compiled table is
+   symmetric) or when the plan lists its 1-based ordinal for the
+   querying node. A lost probe starves the query: the adaptive loop has
+   no way to proceed without the answer, which is exactly the
+   crash-stop/message-loss semantics — so VOLUME [Starved] nodes carry
+   no output row, unlike LOCAL ones (where a degraded view still
+   yields an output). Budget overruns and malformed probes become
+   [Errored] statuses (F201/F202), algorithm exceptions F103; nothing
+   raises across the parallel engine. *)
+
+(** Answer one query under compiled faults: the status, the output row
+    ([[||]] unless [Ok]) and the probes spent (lost ones included). *)
+let query_resilient ?(n_declared = -1) compiled (a : t) g ~ids v =
+  if Fault.Inject.is_crashed compiled v then (Fault.Crashed, [||], 0)
+  else
+    let n = if n_declared >= 0 then n_declared else Graph.n g in
+    let budget = a.budget ~n in
+    let discovered = ref [ (v, tuple_of g ~ids v) ] in
+    let count = ref 0 in
+    let rec loop () =
+      let tuples = Array.of_list (List.rev_map snd !discovered) in
+      match a.decide ~n tuples with
+      | Output out ->
+        if Array.length out <> Graph.degree g v then
+          (Fault.Errored
+             (Fault.Error.f ~node:v ~code:"F202"
+                "%s: wrong output arity (%d at degree-%d node)" a.name
+                (Array.length out) (Graph.degree g v)),
+           [||], !count)
+        else (Fault.Ok, out, !count)
+      | Probe (j, p) ->
+        incr count;
+        if !count > budget then
+          (Fault.Errored
+             (Fault.Error.f ~node:v ~code:"F201"
+                "%s: probe budget %d exceeded" a.name budget),
+           [||], !count)
+        else begin
+          let nodes = Array.of_list (List.rev_map fst !discovered) in
+          if j < 0 || j >= Array.length nodes then
+            (Fault.Errored
+               (Fault.Error.f ~node:v ~code:"F202"
+                  "%s: probe of unknown node %d" a.name j),
+             [||], !count)
+          else
+            let u = nodes.(j) in
+            if p < 0 || p >= Graph.degree g u then
+              (Fault.Errored
+                 (Fault.Error.f ~node:v ~code:"F202"
+                    "%s: probe of nonexistent port %d of node %d" a.name p u),
+               [||], !count)
+            else if
+              Fault.Inject.is_blocked compiled u p
+              || Fault.Inject.probe_fails compiled ~node:v ~ordinal:!count
+            then (Fault.Starved, [||], !count)
+            else begin
+              let w = Graph.neighbor g u p in
+              discovered := (w, tuple_of g ~ids w) :: !discovered;
+              loop ()
+            end
+        end
+    in
+    (try loop () with
+     | Fault.Error.E err -> (Fault.Errored err, [||], !count)
+     | e ->
+       (Fault.Errored
+          (Fault.Error.f ~node:v ~code:"F103" "%s raised: %s" a.name
+             (Printexc.to_string e)),
+        [||], !count))
+
+type fault_report = {
+  applied : Fault.Plan.t;
+  statuses : Fault.status array;  (* per host node *)
+  ok_nodes : int;
+  crashed_nodes : int;
+  starved_nodes : int;
+  errored_nodes : int;
+  retries_used : int;             (* whole-run re-attempts consumed *)
+}
+
+type resilient_outcome = {
+  partial : int array array;      (* [||] rows unless the status is Ok *)
+  healthy_violations : Lcl.Verify.violation list; (* host coordinates *)
+  r_max_probes : int;
+  r_total_probes : int;
+  report : fault_report;
+}
+
+(** Run every query under fault [plan] and verify the surviving outputs
+    on the healthy subgraph. Retrying is run-level (VOLUME queries have
+    no per-node randomness — only the identifier assignment is random):
+    when some node [Errored] and attempts remain, the whole run repeats
+    with a fresh identifier seed. Deterministic in (graph, plan, seed)
+    at any worker count. [Error] (F301) iff the plan does not fit the
+    graph. *)
+let run_resilient ?(seed = 0xBEEF) ?n_declared ?domains
+    ?(plan = Fault.Plan.empty) ?(retries = 0) ~problem (a : t) g =
+  match Fault.Inject.compile plan g with
+  | Error e -> Error e
+  | Ok compiled ->
+    let n = Graph.n g in
+    let attempt k =
+      let rng = Util.Prng.create ~seed:(seed + (k * 7919)) in
+      let ids = Fault.Inject.apply_ids compiled (Graph.Ids.random rng n) in
+      Util.Parallel.init ?domains n (fun v ->
+          query_resilient ?n_declared compiled a g ~ids v)
+    in
+    let rec go k =
+      let answers = attempt k in
+      let errored =
+        Array.exists (fun (s, _, _) -> match s with Fault.Errored _ -> true | _ -> false)
+          answers
+      in
+      if errored && k < retries then go (k + 1) else (answers, k)
+    in
+    let answers, attempts = go 0 in
+    let statuses = Array.map (fun (s, _, _) -> s) answers in
+    let partial = Array.map (fun (_, out, _) -> out) answers in
+    let ok = ref 0 and cr = ref 0 and st = ref 0 and er = ref 0 in
+    Array.iter
+      (function
+        | Fault.Ok -> incr ok
+        | Fault.Crashed -> incr cr
+        | Fault.Starved -> incr st
+        | Fault.Errored _ -> incr er)
+      statuses;
+    let has_output v = statuses.(v) = Fault.Ok in
+    let healthy_violations =
+      Fault.Inject.verify_healthy compiled g ~problem ~labeling:partial
+        ~has_output
+    in
+    Ok
+      {
+        partial;
+        healthy_violations;
+        r_max_probes =
+          Array.fold_left (fun m (_, _, p) -> max m p) 0 answers;
+        r_total_probes =
+          Array.fold_left (fun t (_, _, p) -> t + p) 0 answers;
+        report =
+          {
+            applied = plan;
+            statuses;
+            ok_nodes = !ok;
+            crashed_nodes = !cr;
+            starved_nodes = !st;
+            errored_nodes = !er;
+            retries_used = attempts;
+          };
+      }

@@ -48,3 +48,48 @@ val run_with_ids :
 val run :
   ?seed:int -> ?n_declared:int -> ?domains:int -> problem:Lcl.Problem.t ->
   t -> Graph.t -> outcome
+
+(** {1 Resilient probing under a fault plan}
+
+    A probe is lost when it crosses a blocked edge (severed or with a
+    crashed endpoint) or when its 1-based ordinal is listed for the
+    querying node in the plan; a lost probe starves the query, so
+    VOLUME [Starved] nodes carry no output row. Budget overruns and
+    malformed probes become [Errored] (F201/F202), algorithm
+    exceptions F103 — nothing raises. *)
+
+(** One query under compiled faults: status, output row ([[||]] unless
+    [Ok]) and probes spent, lost ones included. *)
+val query_resilient :
+  ?n_declared:int -> Fault.Inject.compiled -> t -> Graph.t ->
+  ids:int array -> int -> Fault.status * int array * int
+
+type fault_report = {
+  applied : Fault.Plan.t;
+  statuses : Fault.status array;  (** per host node *)
+  ok_nodes : int;
+  crashed_nodes : int;
+  starved_nodes : int;
+  errored_nodes : int;
+  retries_used : int;             (** whole-run re-attempts consumed *)
+}
+
+type resilient_outcome = {
+  partial : int array array;   (** [[||]] rows unless the status is Ok *)
+  healthy_violations : Lcl.Verify.violation list;
+      (** violations on the healthy subgraph, in host coordinates *)
+  r_max_probes : int;
+  r_total_probes : int;
+  report : fault_report;
+}
+
+(** Run every query under [plan] and verify the surviving outputs on
+    the healthy subgraph. Retrying is run-level — VOLUME queries have
+    no per-node randomness, so a retry redraws the identifier
+    assignment for the whole run when some node [Errored].
+    Deterministic in (graph, plan, seed) at any worker count. [Error]
+    (F301) iff the plan does not fit the graph. *)
+val run_resilient :
+  ?seed:int -> ?n_declared:int -> ?domains:int -> ?plan:Fault.Plan.t ->
+  ?retries:int -> problem:Lcl.Problem.t -> t -> Graph.t ->
+  (resilient_outcome, Fault.Error.t) result

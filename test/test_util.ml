@@ -126,10 +126,34 @@ let test_parallel_matches_sequential () =
 exception Boom of int
 
 let test_parallel_exception () =
-  Alcotest.check_raises "worker exception propagates" (Boom 57) (fun () ->
+  (* parallel path: wrapped with the failing index and owning chunk *)
+  (match
+     Util.Parallel.init ~domains:4 100 (fun i ->
+         if i = 57 then raise (Boom 57) else i)
+   with
+  | _ -> Alcotest.fail "worker exception swallowed"
+  | exception Util.Parallel.Worker_error { lo; hi; index; error } ->
+    check int "failing index" 57 index;
+    check bool "index inside chunk" true (lo <= 57 && 57 < hi);
+    check bool "original exception carried" true (error = Boom 57)
+  | exception e ->
+    Alcotest.failf "expected Worker_error, got %s" (Printexc.to_string e));
+  (* two failing workers: the lowest failing index wins *)
+  (match
+     Util.Parallel.init ~domains:4 100 (fun i ->
+         if i = 20 || i = 80 then raise (Boom i) else i)
+   with
+  | _ -> Alcotest.fail "worker exception swallowed"
+  | exception Util.Parallel.Worker_error { index; error; _ } ->
+    check int "lowest failing index" 20 index;
+    check bool "its exception" true (error = Boom 20)
+  | exception e ->
+    Alcotest.failf "expected Worker_error, got %s" (Printexc.to_string e));
+  (* sequential path: raw propagation, caller keeps its backtrace *)
+  Alcotest.check_raises "sequential exception raw" (Boom 3) (fun () ->
       ignore
-        (Util.Parallel.init ~domains:4 100 (fun i ->
-             if i = 57 then raise (Boom 57) else i)))
+        (Util.Parallel.init ~domains:1 10 (fun i ->
+             if i = 3 then raise (Boom 3) else i)))
 
 let test_parallel_env_default () =
   let restore =
