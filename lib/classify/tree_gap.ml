@@ -12,8 +12,13 @@ type validation = {
 
 (** Run the Lemma 3.9-lifted algorithm on random forests of the given
     sizes and verify every output with [Lcl.Verify]. *)
+let m_runs = Obs.Metrics.counter "classify.runs"
+let m_validations = Obs.Metrics.counter "classify.validations"
+
 let validate ?(seed = 42) ?(sizes = [ 8; 20; 50; 120 ]) ?domains ?memo
     ~problem (algo : Relim.Lift.algo) =
+  Obs.Span.with_ "classify.validate" @@ fun () ->
+  Obs.Metrics.incr m_validations;
   let rng = Util.Prng.create ~seed in
   let wrapped =
     {
@@ -48,6 +53,8 @@ type outcome = {
 
 (** Classify and, for O(1) verdicts, validate. *)
 let run ?max_iterations ?max_labels ?seed ?sizes ?domains ?memo p =
+  Obs.Span.with_ "classify.run" @@ fun () ->
+  Obs.Metrics.incr m_runs;
   let result = Relim.Pipeline.run ?max_iterations ?max_labels p in
   let validation =
     match result.Relim.Pipeline.verdict with

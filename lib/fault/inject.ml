@@ -46,7 +46,12 @@ type compiled = {
     (no crashes, no severed edges) skips the O(n·Δ) table entirely —
     the resilient runners must cost next to nothing when faults are
     off, and that table build would dominate small workloads. *)
+let m_compiled = Obs.Metrics.counter "fault.plans_compiled"
+let m_verifications = Obs.Metrics.counter "fault.healthy_verifications"
+
 let compile plan g =
+  Obs.Span.with_ "fault.compile" @@ fun () ->
+  Obs.Metrics.incr m_compiled;
   match Plan.validate plan ~n:(Graph.n g) with
   | Error e -> Error e
   | Ok () ->
@@ -234,6 +239,8 @@ let verify_healthy_sub c g ~problem ~labeling ~has_output =
     reported in host-graph coordinates. Rows of nodes without output
     are ignored. *)
 let verify_healthy c g ~problem ~labeling ~has_output =
+  Obs.Span.with_ "fault.verify_healthy" @@ fun () ->
+  Obs.Metrics.incr m_verifications;
   (* Identity fast path: nothing cut and every node produced output
      means H = g, so verify in place — building the induced copy would
      double the allocation of a fault-free resilient run. *)

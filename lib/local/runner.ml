@@ -38,6 +38,34 @@ type outcome = {
 
 type id_mode = [ `Random | `Sequential | `Fixed of int array ]
 
+(* Observability handles (see DESIGN.md, observability section).
+   Everything is recorded as per-run aggregates after the parallel
+   section — never per node — so the disabled path adds a handful of
+   gated atomic reads per *run*, which is what keeps bench E12's
+   <2% overhead budget trivially satisfiable. *)
+let m_runs = Obs.Metrics.counter "runner.runs"
+let m_nodes = Obs.Metrics.counter "runner.nodes"
+let m_algo = Obs.Metrics.counter "runner.algo_invocations"
+let m_hits = Obs.Metrics.counter "runner.cache_hits"
+let m_views = Obs.Metrics.counter "runner.distinct_views"
+let m_retries = Obs.Metrics.counter "runner.retries"
+let m_ok = Obs.Metrics.counter "runner.nodes_ok"
+let m_crashed = Obs.Metrics.counter "runner.nodes_crashed"
+let m_starved = Obs.Metrics.counter "runner.nodes_starved"
+let m_errored = Obs.Metrics.counter "runner.nodes_errored"
+
+(* A canonical-view cache that outlives one run: pass it back to
+   [run] to reuse every memoized view — a second run of the same
+   graph then invokes the algorithm zero times (the trace-shape
+   regression tests assert exactly that). Soundness caveats are the
+   same as [?memo]'s. *)
+type memo_cache = {
+  mc_lock : Mutex.t;
+  mc_tbl : (string, int array) Hashtbl.t;
+}
+
+let memo_cache () = { mc_lock = Mutex.create (); mc_tbl = Hashtbl.create 256 }
+
 let assign_ids rng mode n =
   match mode with
   | `Random -> Graph.Ids.random rng n
@@ -59,7 +87,8 @@ let resolve_domains domains =
     worker count. [memo] enables the canonical-view cache — only sound
     for deterministic order-invariant algorithms. *)
 let run ?(seed = 0xC0FFEE) ?(ids = `Random) ?n_declared ?domains
-    ?(memo = false) ~problem (algo : Algorithm.t) g =
+    ?(memo = false) ?cache ~problem (algo : Algorithm.t) g =
+  Obs.Span.with_ "runner.run" @@ fun () ->
   let t_start = Unix.gettimeofday () in
   let n = Graph.n g in
   let n_declared = Option.value n_declared ~default:n in
@@ -69,7 +98,10 @@ let run ?(seed = 0xC0FFEE) ?(ids = `Random) ?n_declared ?domains
   let radius = algo.Algorithm.radius ~n:n_declared in
   let domains_used = min (resolve_domains domains) (max 1 n) in
   let cache =
-    if memo then Some (Mutex.create (), Hashtbl.create 256) else None
+    match cache with
+    | Some c -> Some (c.mc_lock, c.mc_tbl)
+    | None ->
+      if memo then Some (Mutex.create (), Hashtbl.create 256) else None
   in
   let hits = Atomic.make 0 in
   let check_arity v out =
@@ -99,9 +131,15 @@ let run ?(seed = 0xC0FFEE) ?(ids = `Random) ?n_declared ?domains
               Hashtbl.add table key (Array.copy out));
         out)
   in
-  let labeling = Util.Parallel.init ~domains:domains_used n simulate in
+  let labeling =
+    Obs.Span.with_ "runner.simulate" (fun () ->
+        Util.Parallel.init ~domains:domains_used n simulate)
+  in
   let t_simulated = Unix.gettimeofday () in
-  let violations = Lcl.Verify.violations problem g labeling in
+  let violations =
+    Obs.Span.with_ "runner.verify" (fun () ->
+        Lcl.Verify.violations problem g labeling)
+  in
   let t_end = Unix.gettimeofday () in
   let stats =
     {
@@ -115,6 +153,11 @@ let run ?(seed = 0xC0FFEE) ?(ids = `Random) ?n_declared ?domains
       total_seconds = t_end -. t_start;
     }
   in
+  Obs.Metrics.incr m_runs;
+  Obs.Metrics.add m_nodes n;
+  Obs.Metrics.add m_hits stats.cache_hits;
+  Obs.Metrics.add m_views stats.distinct_views;
+  Obs.Metrics.add m_algo (n - stats.cache_hits);
   { labeling; violations; radius_used = radius; stats }
 
 (* -- resilient execution ------------------------------------------------ *)
@@ -189,6 +232,7 @@ let summarize_statuses applied ~severed_edges ~retries_used statuses =
 let run_resilient ?(seed = 0xC0FFEE) ?(ids = `Random) ?n_declared ?domains
     ?(memo = false) ?(plan = Fault.Plan.empty) ?(retries = 0) ~problem
     (algo : Algorithm.t) g =
+  Obs.Span.with_ "runner.run_resilient" @@ fun () ->
   let t_start = Unix.gettimeofday () in
   let n = Graph.n g in
   let n_declared = Option.value n_declared ~default:n in
@@ -317,12 +361,16 @@ let run_resilient ?(seed = 0xC0FFEE) ?(ids = `Random) ?n_declared ?domains
       if (not any_blocked) && retries = 0 && not memo then simulate_pristine
       else simulate
     in
-    let partial = Util.Parallel.init ~domains:domains_used n body in
+    let partial =
+      Obs.Span.with_ "runner.simulate" (fun () ->
+          Util.Parallel.init ~domains:domains_used n body)
+    in
     let t_simulated = Unix.gettimeofday () in
     let has_output v = Fault.Inject.status_ok statuses.(v) in
     let healthy_violations =
-      Fault.Inject.verify_healthy compiled g ~problem ~labeling:partial
-        ~has_output
+      Obs.Span.with_ "runner.verify" (fun () ->
+          Fault.Inject.verify_healthy compiled g ~problem ~labeling:partial
+            ~has_output)
     in
     let t_end = Unix.gettimeofday () in
     let report =
@@ -344,6 +392,18 @@ let run_resilient ?(seed = 0xC0FFEE) ?(ids = `Random) ?n_declared ?domains
         total_seconds = t_end -. t_start;
       }
     in
+    Obs.Metrics.incr m_runs;
+    Obs.Metrics.add m_nodes n;
+    Obs.Metrics.add m_hits r_stats.cache_hits;
+    Obs.Metrics.add m_views r_stats.distinct_views;
+    (* invocations = surviving nodes minus memo hits, plus re-attempts *)
+    Obs.Metrics.add m_algo
+      (n - report.crashed_nodes - r_stats.cache_hits + report.retries_used);
+    Obs.Metrics.add m_retries report.retries_used;
+    Obs.Metrics.add m_ok report.ok_nodes;
+    Obs.Metrics.add m_crashed report.crashed_nodes;
+    Obs.Metrics.add m_starved report.starved_nodes;
+    Obs.Metrics.add m_errored report.errored_nodes;
     Ok { partial; healthy_violations; r_radius_used = radius; r_stats; report }
 
 (** One point of a degradation curve: a plan, the statuses it induced,

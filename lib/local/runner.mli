@@ -23,6 +23,14 @@ type outcome = {
 
 type id_mode = [ `Random | `Sequential | `Fixed of int array ]
 
+(** A canonical-view memo cache that outlives one run: create it once
+    with [memo_cache] and pass it to several [run]s to share memoized
+    views — a repeat run of the same graph then invokes the algorithm
+    zero times. Same soundness caveats as [?memo]. *)
+type memo_cache
+
+val memo_cache : unit -> memo_cache
+
 (** Run [algo] on [g] against [problem]. [n_declared] defaults to the
     true size; pass another value to "fool" an algorithm (as the
     order-invariance speedups do). [seed] drives both the identifier
@@ -33,10 +41,12 @@ type id_mode = [ `Random | `Sequential | `Fixed of int array ]
     is bit-identical for every worker count. [memo] (default off)
     caches algorithm outputs per canonical view
     ([Graph.Ball.fingerprint]); sound only for deterministic
-    order-invariant algorithms (Def. 2.7). *)
+    order-invariant algorithms (Def. 2.7). [cache] supplies a
+    cross-run cache and implies [memo]. *)
 val run :
   ?seed:int -> ?ids:id_mode -> ?n_declared:int -> ?domains:int ->
-  ?memo:bool -> problem:Lcl.Problem.t -> Algorithm.t -> Graph.t -> outcome
+  ?memo:bool -> ?cache:memo_cache ->
+  problem:Lcl.Problem.t -> Algorithm.t -> Graph.t -> outcome
 
 (** {1 Resilient execution under a fault plan} *)
 

@@ -1,0 +1,132 @@
+(* Trace and metrics exporters.
+
+   [chrome]: the Chrome-trace JSON object format ("X" complete
+   events), loadable in chrome://tracing and Perfetto. Timestamps are
+   microseconds relative to the earliest span, so the numbers are
+   small and the file diffs meaningfully — but they are wall times,
+   so this export is NOT byte-stable.
+
+   [jsonl]: one event per line, no timestamps — the byte-stable log:
+   two same-seed runs of the same workload print identical bytes
+   (span streams are deterministic after the collect-time domain
+   renaming, metric values are pure counts). The chaos-style CI diff
+   and the exporter-agreement tests rely on this.
+
+   [summary]: a plain-text digest for humans (per-name span counts
+   and total self-inclusive time, then the metrics). *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 32 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(** Chrome-trace JSON ({"traceEvents": [...]}) of the spans. *)
+let chrome events =
+  let t0 =
+    List.fold_left (fun m (e : Span.event) -> min m e.t_start) infinity events
+  in
+  let t0 = if t0 = infinity then 0.0 else t0 in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  List.iteri
+    (fun i (e : Span.event) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"lcl\",\"ph\":\"X\",\"pid\":0,\
+            \"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"seq\":%d,\
+            \"depth\":%d}}"
+           (escape e.name) e.domain
+           ((e.t_start -. t0) *. 1e6)
+           ((e.t_stop -. e.t_start) *. 1e6)
+           e.seq e.depth))
+    events;
+  Buffer.add_string b "],\"displayTimeUnit\":\"ms\"}";
+  Buffer.contents b
+
+let metric_line b name (v : Metrics.value) =
+  match v with
+  | Metrics.Counter_v n ->
+    Buffer.add_string b
+      (Printf.sprintf "{\"ev\":\"counter\",\"name\":\"%s\",\"value\":%d}\n"
+         (escape name) n)
+  | Metrics.Gauge_v n ->
+    Buffer.add_string b
+      (Printf.sprintf "{\"ev\":\"gauge\",\"name\":\"%s\",\"value\":%d}\n"
+         (escape name) n)
+  | Metrics.Histogram_v { count; sum; max; buckets } ->
+    Buffer.add_string b
+      (Printf.sprintf
+         "{\"ev\":\"histogram\",\"name\":\"%s\",\"count\":%d,\"sum\":%d,\
+          \"max\":%d,\"buckets\":[%s]}\n"
+         (escape name) count sum max
+         (String.concat ","
+            (List.map (fun (lo, c) -> Printf.sprintf "[%d,%d]" lo c) buckets)))
+
+(** Byte-stable JSONL: span lines (in (domain, seq) order, no
+    timestamps) followed by the nonzero metrics (in name order). *)
+let jsonl events metrics =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun (e : Span.event) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"ev\":\"span\",\"name\":\"%s\",\"domain\":%d,\"seq\":%d,\
+            \"depth\":%d}\n"
+           (escape e.name) e.domain e.seq e.depth))
+    events;
+  List.iter
+    (fun (name, v) -> if not (Metrics.is_zero v) then metric_line b name v)
+    metrics;
+  Buffer.contents b
+
+(** Plain-text digest: per-name span count and total wall time, then
+    the nonzero metrics. *)
+let summary events metrics =
+  let b = Buffer.create 1024 in
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (e : Span.event) ->
+      let dur = e.t_stop -. e.t_start in
+      match Hashtbl.find_opt tbl e.name with
+      | Some (c, t) -> Hashtbl.replace tbl e.name (c + 1, t +. dur)
+      | None ->
+        Hashtbl.add tbl e.name (1, dur);
+        order := e.name :: !order)
+    events;
+  Buffer.add_string b "spans:\n";
+  if !order = [] then Buffer.add_string b "  (none recorded)\n";
+  List.iter
+    (fun name ->
+      let c, t = Hashtbl.find tbl name in
+      Buffer.add_string b
+        (Printf.sprintf "  %-28s %8d  %10.3f ms\n" name c (t *. 1e3)))
+    (List.sort compare !order);
+  Buffer.add_string b "metrics:\n";
+  let live = List.filter (fun (_, v) -> not (Metrics.is_zero v)) metrics in
+  if live = [] then Buffer.add_string b "  (none recorded)\n";
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Metrics.Counter_v n ->
+        Buffer.add_string b (Printf.sprintf "  %-28s %d\n" name n)
+      | Metrics.Gauge_v n ->
+        Buffer.add_string b (Printf.sprintf "  %-28s %d (gauge)\n" name n)
+      | Metrics.Histogram_v { count; sum; max; _ } ->
+        Buffer.add_string b
+          (Printf.sprintf "  %-28s count=%d sum=%d max=%d\n" name count sum
+             max))
+    live;
+  Buffer.contents b

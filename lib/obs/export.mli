@@ -1,0 +1,16 @@
+(** Exporters for collected spans and metric snapshots. *)
+
+(** Chrome-trace JSON ([{"traceEvents": [...]}], "X" complete events,
+    microsecond timestamps relative to the earliest span) — loadable
+    in chrome://tracing / Perfetto. Carries wall times, so it is not
+    byte-stable across runs. *)
+val chrome : Span.event list -> string
+
+(** Byte-stable JSONL event log: one span line per event in (domain,
+    seq) order — no timestamps — followed by the nonzero metrics in
+    name order. Two same-seed runs print identical bytes. *)
+val jsonl : Span.event list -> (string * Metrics.value) list -> string
+
+(** Plain-text digest: per-name span counts and total times, then the
+    nonzero metrics. *)
+val summary : Span.event list -> (string * Metrics.value) list -> string

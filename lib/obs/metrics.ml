@@ -1,0 +1,133 @@
+(* Process-wide registry of named counters, gauges and histograms.
+
+   Handles are created once (typically at module initialization) and
+   then updated with atomic operations — no lock on the update path.
+   Every update is gated on [Gate.enabled], so with observability off
+   a counter bump costs one atomic read and a branch.
+
+   Values are integers throughout: the simulators count things (cache
+   hits, probes, retries, iterations), they don't measure continuous
+   quantities — wall times live in spans. Histograms bucket by powers
+   of two, which matches the quantities observed (probes per query,
+   labels per iteration: what matters is the order of magnitude).
+
+   [reset] zeroes values but keeps registrations, so handles held by
+   instrumented modules stay valid across traces. *)
+
+type kind = Counter | Gauge | Histogram
+
+(* Histogram cell layout: 0 = count, 1 = sum, 2 = max, 3+b = count of
+   bucket b. Bucket 0 holds values <= 0; bucket b >= 1 holds values in
+   [2^(b-1), 2^b). 63 buckets cover the full int range. *)
+let hist_cells = 3 + 63
+
+type t = { name : string; kind : kind; cells : int Atomic.t array }
+
+type value =
+  | Counter_v of int
+  | Gauge_v of int
+  | Histogram_v of {
+      count : int;
+      sum : int;
+      max : int;
+      buckets : (int * int) list;  (* (bucket lower bound, count), nonzero *)
+    }
+
+let lock = Mutex.create ()
+let registry : (string, t) Hashtbl.t = Hashtbl.create 64
+
+let kind_string = function
+  | Counter -> "counter"
+  | Gauge -> "gauge"
+  | Histogram -> "histogram"
+
+let register name kind ncells =
+  Mutex.protect lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some m ->
+        if m.kind <> kind then
+          invalid_arg
+            (Printf.sprintf "Obs.Metrics: %s is a %s, not a %s" name
+               (kind_string m.kind) (kind_string kind));
+        m
+      | None ->
+        let m =
+          { name; kind; cells = Array.init ncells (fun _ -> Atomic.make 0) }
+        in
+        Hashtbl.add registry name m;
+        m)
+
+let counter name = register name Counter 1
+let gauge name = register name Gauge 1
+let histogram name = register name Histogram hist_cells
+
+let incr m = if Gate.enabled () then Atomic.incr m.cells.(0)
+
+let add m n =
+  if Gate.enabled () then ignore (Atomic.fetch_and_add m.cells.(0) n)
+
+let set m v = if Gate.enabled () then Atomic.set m.cells.(0) v
+
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let rec go b x = if x = 0 then b else go (b + 1) (x lsr 1) in
+    go 0 v
+  end
+
+let observe m v =
+  if Gate.enabled () then begin
+    Atomic.incr m.cells.(0);
+    ignore (Atomic.fetch_and_add m.cells.(1) v);
+    let rec raise_max () =
+      let cur = Atomic.get m.cells.(2) in
+      if v > cur && not (Atomic.compare_and_set m.cells.(2) cur v) then
+        raise_max ()
+    in
+    raise_max ();
+    Atomic.incr m.cells.(3 + bucket_of v)
+  end
+
+let value_of m =
+  match m.kind with
+  | Counter -> Counter_v (Atomic.get m.cells.(0))
+  | Gauge -> Gauge_v (Atomic.get m.cells.(0))
+  | Histogram ->
+    let buckets = ref [] in
+    for b = hist_cells - 4 downto 0 do
+      let c = Atomic.get m.cells.(3 + b) in
+      if c > 0 then
+        buckets := ((if b = 0 then 0 else 1 lsl (b - 1)), c) :: !buckets
+    done;
+    Histogram_v
+      {
+        count = Atomic.get m.cells.(0);
+        sum = Atomic.get m.cells.(1);
+        max = Atomic.get m.cells.(2);
+        buckets = !buckets;
+      }
+
+(** Every registered metric with its current value, sorted by name —
+    deterministic, carries no wall times. *)
+let snapshot () =
+  Mutex.protect lock (fun () ->
+      Hashtbl.fold (fun name m acc -> (name, value_of m) :: acc) registry [])
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(** The current value of one metric, if registered. *)
+let find name =
+  Mutex.protect lock (fun () -> Hashtbl.find_opt registry name)
+  |> Option.map value_of
+
+(** A metric value is zero when nothing has been recorded into it. *)
+let is_zero = function
+  | Counter_v 0 | Gauge_v 0 -> true
+  | Histogram_v { count = 0; _ } -> true
+  | _ -> false
+
+(** Zero every metric; registrations (and handles) survive. *)
+let reset () =
+  Mutex.protect lock (fun () ->
+      Hashtbl.iter
+        (fun _ m -> Array.iter (fun c -> Atomic.set c 0) m.cells)
+        registry)

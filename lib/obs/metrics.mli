@@ -1,0 +1,43 @@
+(** Process-wide registry of named counters, gauges and histograms.
+    Handles are created once; updates are atomic and gated on the
+    observability switch (a no-op when disabled). [reset] zeroes
+    values but keeps registrations, so handles stay valid. *)
+
+type t
+
+(** A point-in-time reading. Histogram buckets are powers of two:
+    [(lo, c)] counts [c] observations in [[lo, 2*lo)] ([lo = 0] holds
+    values [<= 0]); only nonzero buckets appear. *)
+type value =
+  | Counter_v of int
+  | Gauge_v of int
+  | Histogram_v of {
+      count : int;
+      sum : int;
+      max : int;
+      buckets : (int * int) list;
+    }
+
+(** Get-or-create. @raise Invalid_argument if [name] is already
+    registered with a different kind. *)
+val counter : string -> t
+
+val gauge : string -> t
+val histogram : string -> t
+
+val incr : t -> unit
+val add : t -> int -> unit
+val set : t -> int -> unit
+val observe : t -> int -> unit
+
+(** Every registered metric, sorted by name. Deterministic: values
+    are pure counts, never wall times. *)
+val snapshot : unit -> (string * value) list
+
+val find : string -> value option
+
+(** True when nothing has been recorded into the value. *)
+val is_zero : value -> bool
+
+(** Zero every metric, keeping registrations. *)
+val reset : unit -> unit

@@ -1,0 +1,190 @@
+(* Nestable tracing spans in preallocated per-domain ring buffers.
+
+   Every domain that records gets its own ring (via [Domain.DLS]), so
+   recording is lock-free within a domain — the only lock is taken
+   once per (domain, epoch) to register the ring, never per span. A
+   ring survives its domain: the registry holds it, so spans recorded
+   by the short-lived workers of [Util.Parallel] are still there at
+   collect time.
+
+   Determinism: [collect] orders rings by raw domain id — domain ids
+   are allocated sequentially by the runtime, and the engine spawns
+   its workers in a fixed order, so the order is reproducible — and
+   renames them to dense ranks 0, 1, … Two same-seed runs therefore
+   produce identical (domain, seq) streams even though the raw ids
+   differ, which is what makes the JSONL export byte-stable.
+
+   Timestamps come from [Unix.gettimeofday] clamped to be
+   non-decreasing per ring (the portable stand-in for a monotonic
+   clock); they appear only in the Chrome-trace export, never in the
+   byte-stable one. *)
+
+type event = {
+  name : string;
+  domain : int;   (* dense rank assigned at collect time *)
+  seq : int;      (* per-domain sequence number, 0-based *)
+  depth : int;    (* nesting depth at record time (0 = top level) *)
+  t_start : float;
+  t_stop : float;
+}
+
+type ring = {
+  raw_dom : int;             (* Domain.self at creation *)
+  ring_epoch : int;          (* reset generation this ring belongs to *)
+  cap : int;
+  names : string array;
+  starts : float array;
+  stops : float array;
+  depths : int array;
+  mutable total : int;       (* spans ever closed into this ring *)
+  mutable stack : (string * float) list;  (* open spans, innermost first *)
+  mutable last_t : float;    (* monotonicity clamp *)
+}
+
+let default_capacity = 1024
+let max_rings = 512
+
+let lock = Mutex.create ()
+let rings : ring list ref = ref []     (* newest first *)
+let ring_count = ref 0
+let epoch = Atomic.make 0
+let capacity = Atomic.make default_capacity
+
+let fresh_ring () =
+  let cap = Atomic.get capacity in
+  {
+    raw_dom = (Domain.self () :> int);
+    ring_epoch = Atomic.get epoch;
+    cap;
+    names = Array.make cap "";
+    starts = Array.make cap 0.0;
+    stops = Array.make cap 0.0;
+    depths = Array.make cap 0;
+    total = 0;
+    stack = [];
+    last_t = 0.0;
+  }
+
+let slot_key : ring option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+(* The ring of the calling domain for the current epoch, creating and
+   registering it on first use. The registry is bounded: past
+   [max_rings] the oldest ring is dropped — the trace keeps the most
+   recent activity, consistent with the ring buffers themselves. *)
+let my_ring () =
+  let slot = Domain.DLS.get slot_key in
+  match !slot with
+  | Some r when r.ring_epoch = Atomic.get epoch -> r
+  | _ ->
+    let r = fresh_ring () in
+    Mutex.protect lock (fun () ->
+        rings := r :: !rings;
+        incr ring_count;
+        if !ring_count > max_rings then begin
+          rings := List.filteri (fun i _ -> i < max_rings) !rings;
+          ring_count := max_rings
+        end);
+    slot := Some r;
+    r
+
+let now r =
+  let t = Unix.gettimeofday () in
+  if t > r.last_t then begin
+    r.last_t <- t;
+    t
+  end
+  else r.last_t
+
+let begin_ name =
+  let r = my_ring () in
+  r.stack <- (name, now r) :: r.stack
+
+let end_ () =
+  let slot = Domain.DLS.get slot_key in
+  match !slot with
+  | None -> ()
+  | Some r ->
+    if r.ring_epoch <> Atomic.get epoch then r.stack <- []
+    else begin
+      match r.stack with
+      | [] -> ()
+      | (name, t0) :: rest ->
+        let i = r.total mod r.cap in
+        r.names.(i) <- name;
+        r.starts.(i) <- t0;
+        r.stops.(i) <- now r;
+        r.depths.(i) <- List.length rest;
+        r.total <- r.total + 1;
+        r.stack <- rest
+    end
+
+(** [with_ name f] runs [f ()] inside a span named [name]. When
+    observability is disabled this is exactly [f ()] — one atomic read
+    and a branch. The span closes even if [f] raises. *)
+let with_ name f =
+  if not (Gate.enabled ()) then f ()
+  else begin
+    begin_ name;
+    Fun.protect ~finally:end_ f
+  end
+
+let current_rings () =
+  let e = Atomic.get epoch in
+  Mutex.protect lock (fun () ->
+      List.filter (fun r -> r.ring_epoch = e) !rings)
+
+(** Closed spans of the current epoch, merged across domains: sorted
+    by (domain rank, seq), domains densely renamed in raw-id order.
+    Call after the workers whose spans you want have been joined. *)
+let collect () =
+  let rs =
+    List.sort (fun a b -> compare a.raw_dom b.raw_dom) (current_rings ())
+  in
+  let acc = ref [] in
+  List.iteri
+    (fun rank r ->
+      let kept = min r.total r.cap in
+      for k = kept - 1 downto 0 do
+        let abs = r.total - kept + k in
+        let i = abs mod r.cap in
+        acc :=
+          {
+            name = r.names.(i);
+            domain = rank;
+            seq = abs;
+            depth = r.depths.(i);
+            t_start = r.starts.(i);
+            t_stop = r.stops.(i);
+          }
+          :: !acc
+      done)
+    (List.rev rs);
+  (* built newest-ring-last, each ring oldest-first: already sorted *)
+  List.sort
+    (fun a b ->
+      match compare a.domain b.domain with 0 -> compare a.seq b.seq | c -> c)
+    !acc
+
+(** Spans ever recorded this epoch, wrapped-out ones included. *)
+let total_recorded () =
+  List.fold_left (fun acc r -> acc + r.total) 0 (current_rings ())
+
+(** Spans that fell out of a full ring ([total_recorded] minus what
+    [collect] returns). *)
+let dropped () =
+  List.fold_left
+    (fun acc r -> acc + max 0 (r.total - r.cap))
+    0 (current_rings ())
+
+(** Start a fresh trace: drop every ring and invalidate the ones held
+    by live domains. [ring_capacity] (clamped to >= 4) sizes rings
+    created from now on. *)
+let reset ?ring_capacity () =
+  Mutex.protect lock (fun () ->
+      (match ring_capacity with
+      | Some c -> Atomic.set capacity (max 4 c)
+      | None -> ());
+      rings := [];
+      ring_count := 0;
+      Atomic.incr epoch)

@@ -1,0 +1,41 @@
+(** Nestable tracing spans recorded into preallocated per-domain ring
+    buffers: lock-free within a domain, merged deterministically at
+    collect time (domains densely renamed in spawn order, spans
+    ordered by (domain, seq) — byte-stable across same-seed runs). *)
+
+(** One closed span. [domain] is the dense rank assigned at collect
+    time, [seq] the per-domain sequence number, [depth] the nesting
+    depth when the span was open (0 = top level). Timestamps are
+    wall-clock seconds clamped non-decreasing per domain. *)
+type event = {
+  name : string;
+  domain : int;
+  seq : int;
+  depth : int;
+  t_start : float;
+  t_stop : float;
+}
+
+(** [with_ name f] runs [f ()] inside a span. Exactly [f ()] when
+    observability is disabled; the span closes even if [f] raises. *)
+val with_ : string -> (unit -> 'a) -> 'a
+
+(** Closed spans of the current trace, merged across domains and
+    sorted by (domain, seq). Call after the recording workers have
+    been joined. *)
+val collect : unit -> event list
+
+(** Spans recorded since the last [reset], including ones a full ring
+    has already overwritten. *)
+val total_recorded : unit -> int
+
+(** [total_recorded ()] minus the spans [collect] still returns. *)
+val dropped : unit -> int
+
+(** Drop all recorded spans and start a fresh trace. [ring_capacity]
+    (clamped to >= 4, default 1024) sizes the per-domain rings created
+    from now on. *)
+val reset : ?ring_capacity:int -> unit -> unit
+
+(** Ring capacity used when [reset] was never given one: 1024. *)
+val default_capacity : int

@@ -33,10 +33,15 @@ let signature p l =
 
 exception Out_of_budget
 
+let m_checks = Obs.Metrics.counter "fixpoint.checks"
+let m_steps = Obs.Metrics.histogram "fixpoint.steps"
+
 (** [isomorphism a b] — a permutation [pi] mapping a-labels to b-labels
     such that renaming turns [a] into [b]; [None] if none exists (or
     the search budget ran out). *)
 let isomorphism ?(budget = 200_000) a b =
+  Obs.Span.with_ "fixpoint.isomorphism" @@ fun () ->
+  Obs.Metrics.incr m_checks;
   let ka = Lcl.Alphabet.size (Lcl.Problem.sigma_out a) in
   let kb = Lcl.Alphabet.size (Lcl.Problem.sigma_out b) in
   let same_inputs =
@@ -136,10 +141,13 @@ let isomorphism ?(budget = 200_000) a b =
               end)
             (candidates l)
       in
-      match go 0 with
-      | true -> Some (Array.copy pi)
-      | false -> None
-      | exception Out_of_budget -> None
+      let found =
+        match go 0 with
+        | ok -> ok
+        | exception Out_of_budget -> false
+      in
+      Obs.Metrics.observe m_steps !steps;
+      if found then Some (Array.copy pi) else None
     end
   end
 

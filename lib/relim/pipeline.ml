@@ -64,7 +64,17 @@ type result = { verdict : verdict; trace : trace_entry list; state : state }
 let default_max_iterations = 6
 let default_max_labels = 500
 
+(* Observability handles. Iterations are coarse enough (each runs a
+   zero-round solve and possibly a speedup step) that a span per
+   iteration is cheap even when tracing is on. *)
+let m_runs = Obs.Metrics.counter "pipeline.runs"
+let m_resumes = Obs.Metrics.counter "pipeline.resumes"
+let m_iterations = Obs.Metrics.counter "pipeline.iterations"
+let m_checkpoints = Obs.Metrics.counter "pipeline.checkpoints"
+let m_labels = Obs.Metrics.histogram "pipeline.labels"
+
 let run_core ~max_iterations ~max_labels ~deadline st0 =
+  Obs.Span.with_ "pipeline.run" @@ fun () ->
   let t_start = Unix.gettimeofday () in
   let elapsed () = st0.ck_elapsed +. (Unix.gettimeofday () -. t_start) in
   let original = st0.ck_original in
@@ -87,49 +97,60 @@ let run_core ~max_iterations ~max_labels ~deadline st0 =
   let finish st verdict trace =
     { verdict; trace; state = { st with ck_elapsed = elapsed () } }
   in
-  let rec go st =
+  (* One loop iteration under its own span. Returning a variant (rather
+     than recursing from inside the body) keeps iteration spans siblings
+     instead of a [max_iterations]-deep nest. *)
+  let step st =
+    Obs.Span.with_ "pipeline.iteration" @@ fun () ->
+    Obs.Metrics.incr m_iterations;
     let k = st.ck_k and current = st.ck_current in
     let over_deadline =
       match deadline with None -> false | Some d -> elapsed () >= d
     in
     if over_deadline then
-      finish st
-        (Deadline_exceeded { at_iteration = k; elapsed = elapsed () })
-        (List.rev st.ck_trace)
+      `Done
+        (finish st
+           (Deadline_exceeded { at_iteration = k; elapsed = elapsed () })
+           (List.rev st.ck_trace))
     else begin
       let labels = Lcl.Alphabet.size (Lcl.Problem.sigma_out current) in
+      Obs.Metrics.observe m_labels labels;
       match Zero_round.solve current with
       | Some z ->
         let entry =
           { iteration = k; problem = current; step = None; labels;
             zero_round = true }
         in
-        finish st
-          (Constant { rounds = k; algo = lift_back st.ck_steps z })
-          (List.rev (entry :: st.ck_trace))
+        `Done
+          (finish st
+             (Constant { rounds = k; algo = lift_back st.ck_steps z })
+             (List.rev (entry :: st.ck_trace)))
       | None ->
         let entry =
           { iteration = k; problem = current; step = None; labels;
             zero_round = false }
         in
         if labels > max_labels || k >= max_iterations then
-          finish st
-            (Budget_exceeded { at_iteration = k; labels })
-            (List.rev (entry :: st.ck_trace))
+          `Done
+            (finish st
+               (Budget_exceeded { at_iteration = k; labels })
+               (List.rev (entry :: st.ck_trace)))
         else begin
           match Eliminate.speedup_step current with
           | exception Eliminate.Too_large _ ->
-            finish st
-              (Budget_exceeded { at_iteration = k; labels })
-              (List.rev (entry :: st.ck_trace))
+            `Done
+              (finish st
+                 (Budget_exceeded { at_iteration = k; labels })
+                 (List.rev (entry :: st.ck_trace)))
           | s ->
             let next = s.Eliminate.after.Eliminate.problem in
             if Fixpoint.isomorphic next current then
-              finish st
-                (Lower_bound_log_star { fixed_point_at = k })
-                (List.rev (entry :: st.ck_trace))
+              `Done
+                (finish st
+                   (Lower_bound_log_star { fixed_point_at = k })
+                   (List.rev (entry :: st.ck_trace)))
             else
-              go
+              `Continue
                 { st with
                   ck_k = k + 1;
                   ck_current = next;
@@ -137,6 +158,9 @@ let run_core ~max_iterations ~max_labels ~deadline st0 =
                   ck_trace = { entry with step = Some s } :: st.ck_trace }
         end
     end
+  in
+  let rec go st =
+    match step st with `Done r -> r | `Continue st' -> go st'
   in
   go st0
 
@@ -148,6 +172,7 @@ let run_core ~max_iterations ~max_labels ~deadline st0 =
     interrupted iteration. *)
 let run ?(max_iterations = default_max_iterations)
     ?(max_labels = default_max_labels) ?deadline original =
+  Obs.Metrics.incr m_runs;
   let pi, _ = Lcl.Problem.prune_with_map original in
   run_core ~max_iterations ~max_labels ~deadline
     {
@@ -190,7 +215,9 @@ let of_hex s =
 (** Serialize the loop state of [r]'s final iteration. [resume] of the
     string re-executes that iteration and continues — for a finished
     verdict it simply re-derives it. *)
-let checkpoint r = magic ^ to_hex (Marshal.to_string r.state [])
+let checkpoint r =
+  Obs.Metrics.incr m_checkpoints;
+  magic ^ to_hex (Marshal.to_string r.state [])
 
 (** Decode a checkpoint and continue the run under (possibly new)
     budgets. F302 on anything that is not a well-formed checkpoint. *)
@@ -206,7 +233,9 @@ let resume ?(max_iterations = default_max_iterations)
     | bytes -> (
       match (Marshal.from_string bytes 0 : state) with
       | exception _ -> fail "corrupt checkpoint: undecodable state"
-      | st -> Stdlib.Ok (run_core ~max_iterations ~max_labels ~deadline st))
+      | st ->
+        Obs.Metrics.incr m_resumes;
+        Stdlib.Ok (run_core ~max_iterations ~max_labels ~deadline st))
 
 let pp_verdict ppf = function
   | Constant { rounds; _ } ->

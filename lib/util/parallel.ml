@@ -35,6 +35,14 @@ let block_bounds ~n ~d b = ((b * n / d), ((b + 1) * n / d))
 
 let sequential_init n f = Array.init n f
 
+(* Engine-topology metrics: these describe how the work was chunked
+   over domains, so they legitimately depend on the worker count —
+   the "parallel." prefix marks them as excluded from cross-domain
+   snapshot comparisons (see DESIGN.md, observability section). *)
+let m_jobs = Obs.Metrics.counter "parallel.jobs"
+let m_chunks = Obs.Metrics.counter "parallel.chunks"
+let m_chunk_nodes = Obs.Metrics.histogram "parallel.chunk_nodes"
+
 (** A worker-domain failure with its provenance: the exact index whose
     evaluation raised and the contiguous chunk the worker owned. A bare
     [Domain.join] re-raise loses both, which makes multi-thousand-node
@@ -64,18 +72,26 @@ let () =
 let init ?domains n f =
   if n < 0 then invalid_arg "Parallel.init: negative length";
   let d = min (resolve domains) (max 1 n) in
-  if d <= 1 then sequential_init n f
+  Obs.Metrics.incr m_jobs;
+  Obs.Metrics.add m_chunks d;
+  if d <= 1 then begin
+    Obs.Metrics.observe m_chunk_nodes n;
+    Obs.Span.with_ "parallel.chunk" (fun () -> sequential_init n f)
+  end
   else begin
     let work b =
       let lo, hi = block_bounds ~n ~d b in
-      let at = ref lo in
-      match
-        Array.init (hi - lo) (fun i ->
-            at := lo + i;
-            f (lo + i))
-      with
-      | a -> Ok a
-      | exception e -> Error (Worker_error { lo; hi; index = !at; error = e })
+      Obs.Metrics.observe m_chunk_nodes (hi - lo);
+      Obs.Span.with_ "parallel.chunk" (fun () ->
+          let at = ref lo in
+          match
+            Array.init (hi - lo) (fun i ->
+                at := lo + i;
+                f (lo + i))
+          with
+          | a -> Ok a
+          | exception e ->
+            Error (Worker_error { lo; hi; index = !at; error = e }))
     in
     let workers =
       Array.init (d - 1) (fun b -> Domain.spawn (fun () -> work (b + 1)))

@@ -75,6 +75,18 @@ type outcome = {
   total_probes : int;
 }
 
+(* Observability handles: per-run aggregates recorded after the
+   parallel section (the per-query histogram loop only runs when the
+   switch is on, so the disabled path stays a no-op). *)
+let m_queries = Obs.Metrics.counter "volume.queries"
+let m_probes = Obs.Metrics.counter "volume.probes"
+let m_per_query = Obs.Metrics.histogram "volume.probes_per_query"
+let m_run_retries = Obs.Metrics.counter "volume.run_retries"
+let m_ok = Obs.Metrics.counter "volume.nodes_ok"
+let m_crashed = Obs.Metrics.counter "volume.nodes_crashed"
+let m_starved = Obs.Metrics.counter "volume.nodes_starved"
+let m_errored = Obs.Metrics.counter "volume.nodes_errored"
+
 (** Run the algorithm for every node under the given identifier
     assignment and verify the assembled labeling against [problem].
     Per-node queries are independent (the probe loop only reads the
@@ -82,19 +94,24 @@ type outcome = {
     [domains] as in [Local.Runner.run] (default $LCL_DOMAINS), with
     outputs and probe counts identical for every worker count. *)
 let run_with_ids ?n_declared ?domains ~problem (a : t) g ~ids =
+  Obs.Span.with_ "probe.run" @@ fun () ->
   let n = Graph.n g in
   let answers =
-    Util.Parallel.init ?domains n (fun v -> query ?n_declared a g ~ids v)
+    Obs.Span.with_ "probe.simulate" (fun () ->
+        Util.Parallel.init ?domains n (fun v -> query ?n_declared a g ~ids v))
   in
   let labeling = Array.map fst answers in
   let max_probes = Array.fold_left (fun m (_, p) -> max m p) 0 answers in
   let total_probes = Array.fold_left (fun t (_, p) -> t + p) 0 answers in
-  {
-    labeling;
-    violations = Lcl.Verify.violations problem g labeling;
-    max_probes;
-    total_probes;
-  }
+  Obs.Metrics.add m_queries n;
+  Obs.Metrics.add m_probes total_probes;
+  if Obs.enabled () then
+    Array.iter (fun (_, p) -> Obs.Metrics.observe m_per_query p) answers;
+  let violations =
+    Obs.Span.with_ "probe.verify" (fun () ->
+        Lcl.Verify.violations problem g labeling)
+  in
+  { labeling; violations; max_probes; total_probes }
 
 (** Same with fresh random identifiers from a cubic range. *)
 let run ?(seed = 0xBEEF) ?n_declared ?domains ~problem (a : t) g =
@@ -202,6 +219,7 @@ type resilient_outcome = {
     graph. *)
 let run_resilient ?(seed = 0xBEEF) ?n_declared ?domains
     ?(plan = Fault.Plan.empty) ?(retries = 0) ~problem (a : t) g =
+  Obs.Span.with_ "probe.run_resilient" @@ fun () ->
   match Fault.Inject.compile plan g with
   | Error e -> Error e
   | Ok compiled ->
@@ -236,6 +254,18 @@ let run_resilient ?(seed = 0xBEEF) ?n_declared ?domains
       Fault.Inject.verify_healthy compiled g ~problem ~labeling:partial
         ~has_output
     in
+    let total_probes =
+      Array.fold_left (fun t (_, _, p) -> t + p) 0 answers
+    in
+    Obs.Metrics.add m_queries n;
+    Obs.Metrics.add m_probes total_probes;
+    Obs.Metrics.add m_run_retries attempts;
+    Obs.Metrics.add m_ok !ok;
+    Obs.Metrics.add m_crashed !cr;
+    Obs.Metrics.add m_starved !st;
+    Obs.Metrics.add m_errored !er;
+    if Obs.enabled () then
+      Array.iter (fun (_, _, p) -> Obs.Metrics.observe m_per_query p) answers;
     Ok
       {
         partial;

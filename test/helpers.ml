@@ -37,3 +37,45 @@ let random_tree seed ~delta n =
   Graph.Builder.random_tree (rng_of_seed seed) ~delta n
 
 let qsuite name cells = (name, List.map QCheck_alcotest.to_alcotest cells)
+
+(* -- trace-driven test harness ------------------------------------------ *)
+
+(** Run [f] inside a fresh trace with observability on (restoring the
+    prior switch state afterwards, so suites behave the same under
+    LCL_OBS=1). Returns [f ()]'s result, the collected spans, and the
+    metric snapshot. *)
+let with_trace ?ring_capacity f =
+  let was_on = Obs.enabled () in
+  Obs.enable ();
+  Obs.reset ?ring_capacity ();
+  let restore () =
+    (* a custom ring capacity must not leak into later tests *)
+    if ring_capacity <> None then
+      Obs.Span.reset ~ring_capacity:Obs.Span.default_capacity ();
+    if not was_on then Obs.disable ()
+  in
+  match f () with
+  | x ->
+    let events = Obs.Span.collect () in
+    let metrics = Obs.Metrics.snapshot () in
+    restore ();
+    (x, events, metrics)
+  | exception e ->
+    restore ();
+    raise e
+
+(** Value of counter [name] in a snapshot; 0 when absent or zero. *)
+let counter_value metrics name =
+  match List.assoc_opt name metrics with
+  | Some (Obs.Metrics.Counter_v v) -> v
+  | _ -> 0
+
+let assert_counter metrics name expected =
+  Alcotest.(check int) ("counter " ^ name) expected (counter_value metrics name)
+
+let span_count events name =
+  List.length
+    (List.filter (fun (e : Obs.Span.event) -> e.Obs.Span.name = name) events)
+
+let assert_span_count events name expected =
+  Alcotest.(check int) ("spans " ^ name) expected (span_count events name)
