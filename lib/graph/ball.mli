@@ -27,8 +27,15 @@ type t = {
 
 (** Extract the radius-T view of host node [v]; also returns the
     view-index → host-node mapping (used by runners only — never shown
-    to algorithms). *)
+    to algorithms).
+
+    [~reuse:true] opts into the per-domain view pool: the returned view
+    and hosts array may share storage with — and be overwritten by —
+    the next [~reuse:true] extraction on the same domain. Only for
+    callers (the runners' per-node loops) that are done with each view
+    before extracting the next; the default allocates fresh arrays. *)
 val extract :
+  ?reuse:bool ->
   Base.t -> ids:int array -> rand:int64 array -> n_declared:int -> int ->
   radius:int -> t * int array
 
@@ -37,8 +44,10 @@ val extract :
     edge), and blocked edges appear as [None] in the view — the port
     keeps its number, the link is mute. The third component is [true]
     iff the restricted view differs from the pristine one (a blocked
-    edge was incident to a visited node within distance radius-1). *)
+    edge was incident to a visited node within distance radius-1).
+    [~reuse] as in [extract]. *)
 val extract_restricted :
+  ?reuse:bool ->
   Base.t -> blocked:(int -> int -> bool) -> ids:int array ->
   rand:int64 array -> n_declared:int -> int -> radius:int ->
   t * int array * bool
@@ -60,6 +69,26 @@ val order_type : t -> t
     deterministic order-invariant algorithm — the soundness condition
     of the runner's view memoization. *)
 val fingerprint : t -> string
+
+(** The same key as a word sequence sitting in per-domain scratch,
+    with its [Util.Keytab.hash_words] hash — the memo's
+    allocation-free probe ([fingerprint] is the 8-bytes-per-word
+    little-endian serialization of this sequence). The words stay
+    valid only until the next [fingerprint]/[fingerprint_view] call on
+    the same domain; copy ([Array.sub]) before anything that might
+    fingerprint. *)
+type key_view = { kv_words : int array; kv_len : int; kv_hash : int }
+
+val fingerprint_view : t -> key_view
+
+(** [fingerprint_view_of g ~ids ~n_declared v ~radius] — exactly the
+    key [fingerprint_view] gives for the extracted view of [v], but
+    assembled straight from the BFS scratch and CSR arrays without
+    materializing a [t]. The memoizing runner probes with this and
+    extracts a view only on a miss. Scratch ownership as in
+    [fingerprint_view]. *)
+val fingerprint_view_of :
+  Base.t -> ids:int array -> n_declared:int -> int -> radius:int -> key_view
 
 (** Structural equality ignoring randomness. *)
 val equal_deterministic : t -> t -> bool

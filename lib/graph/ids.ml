@@ -4,11 +4,23 @@
    stress-testing order-invariance, and sequential 1..n for the LCA
    model (Section 2.2). *)
 
-(** Unique random IDs from [1, n^range_exp], default cubic range. *)
+(** Unique random IDs from [1, n^range_exp], default cubic range; the
+    range is clamped at [max_int] once [n^range_exp] no longer fits.
+    Naive repeated multiplication wraps negative for n ≥ ~2.1M at the
+    cubic default (2_097_152³ = 2^63 > max_int), which used to hand
+    [Prng.sample_distinct] a negative bound — Def. 2.1 only needs a
+    polynomially large ID space, and [1, max_int] more than covers any
+    materializable n, so clamping preserves the model. *)
 let random rng ?(range_exp = 3) n =
   let bound =
-    let rec pow acc k = if k = 0 then acc else pow (acc * n) (k - 1) in
-    max n (pow 1 range_exp)
+    if n <= 1 then n
+    else
+      let rec pow acc k =
+        if k = 0 then acc
+        else if acc > max_int / n then max_int (* n^(range_exp) overflows *)
+        else pow (acc * n) (k - 1)
+      in
+      max n (pow 1 range_exp)
   in
   let raw = Util.Prng.sample_distinct rng ~bound ~count:n in
   Array.map (fun v -> v + 1) raw

@@ -5,9 +5,13 @@
 
 (** Engine counters and per-phase wall times of one [run]. *)
 type stats = {
-  balls_extracted : int;    (** views extracted (one per node) *)
+  balls_extracted : int;    (** views examined, one per live node (memo
+                                hits probe by key without materializing
+                                the view) *)
   cache_hits : int;         (** algorithm invocations saved by the memo *)
-  distinct_views : int;     (** canonical views in the cache (0 if off) *)
+  distinct_views : int;
+      (** canonical views added to the cache by this run (0 if off);
+          a shared cross-run [memo_cache] reports growth, not size *)
   domains_used : int;       (** worker domains of the parallel engine *)
   simulate_seconds : float; (** wall time: extraction + algorithm runs *)
   verify_seconds : float;   (** wall time: verification of the labeling *)

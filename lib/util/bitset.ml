@@ -85,7 +85,24 @@ let popcount w =
 
 let cardinal (s : t) = Array.fold_left (fun acc w -> acc + popcount w) 0 s
 
-let of_list xs = List.fold_left (fun acc i -> add i acc) empty xs
+(* Single mutable word array, not a fold of [add] — each [add] copies
+   the whole set, which made building a k-element set O(k²) and round
+   elimination's alphabet construction quadratic in the alphabet. *)
+let of_list xs =
+  let hi = List.fold_left (fun acc i ->
+      if i < 0 then invalid_arg "Bitset.of_list" else max acc i) (-1) xs
+  in
+  if hi < 0 then empty
+  else begin
+    let out = Array.make ((hi / bits_per_word) + 1) 0 in
+    List.iter
+      (fun i ->
+        out.(i / bits_per_word) <-
+          out.(i / bits_per_word) lor (1 lsl (i mod bits_per_word)))
+      xs;
+    (* canonical by construction: the top word holds bit [hi] *)
+    out
+  end
 
 let to_list (s : t) =
   let out = ref [] in
@@ -99,11 +116,18 @@ let to_list (s : t) =
 let fold f (s : t) init = List.fold_left (fun acc i -> f i acc) init (to_list s)
 let iter f (s : t) = List.iter f (to_list s)
 
-(** [full n] — the set {0, …, n-1}. *)
+(** [full n] — the set {0, …, n-1}. Filled word-at-a-time (every full
+    word is [max_int] = 62 set bits), not by repeated [add]. *)
 let full n =
   if n < 0 then invalid_arg "Bitset.full";
-  let rec go i acc = if i = n then acc else go (i + 1) (add i acc) in
-  go 0 empty
+  if n = 0 then empty
+  else begin
+    let words = ((n - 1) / bits_per_word) + 1 in
+    let out = Array.make words max_int in
+    let rem = n mod bits_per_word in
+    if rem <> 0 then out.(words - 1) <- (1 lsl rem) - 1;
+    out
+  end
 
 (** [of_int_mask m] — the set whose membership bits are the bits of the
     nonnegative int [m] (positions 0..61). *)

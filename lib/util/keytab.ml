@@ -1,0 +1,131 @@
+(* Open-addressing hash table keyed by int-word sequences, built for
+   the runner's canonical-view memo: the hot path probes once per node
+   with the key sitting in a caller-owned scratch array, and [find]
+   compares it against stored keys word by word in place — no copy, no
+   closure, and no allocation beyond the stored option it returns.
+   Only an actual insertion copies the key out of the scratch, and
+   insertions happen once per *distinct* view, which the
+   order-invariance machinery keeps to a handful per graph family.
+
+   Word keys, not byte strings: the fingerprints being memoized are
+   sequences of small ints, and hashing/comparing them one word at a
+   time is ~8x fewer operations than any byte serialization.
+
+   Linear probing over power-of-two capacities at load factor <= 1/2;
+   slots store the key's hash so a probe is one int compare before any
+   word is touched. No deletion — memo caches only grow. *)
+
+type 'a t = {
+  mutable keys : int array array;
+  mutable hashes : int array;
+  mutable vals : 'a option array; (* None = empty slot *)
+  mutable count : int;
+}
+
+let create () =
+  { keys = Array.make 16 [||]; hashes = Array.make 16 0;
+    vals = Array.make 16 None; count = 0 }
+
+let length t = t.count
+
+(* Rotate-xor fold over the word prefix in two independent lanes with
+   one multiplicative mix at the end, ending nonnegative. A per-word
+   multiply chain (FNV) is a serial ~3-cycle-latency dependency per
+   word — measurably the longest chain in the memo probe; two
+   rotate-xor lanes halve the chain and keep adequate dispersion for
+   tables this size (a colliding slot costs one word-compare, nothing
+   more). Stored per slot, and carried by callers that hash once and
+   probe once ([Graph.Ball.fingerprint_view] computes it at assembly
+   time). *)
+let hash_words (a : int array) ~len =
+  let h0 = ref 0x811c9dc5 and h1 = ref 0x01000193 in
+  let i = ref 0 in
+  while !i + 1 < len do
+    h0 := ((!h0 lsl 5) lor (!h0 lsr 57)) lxor Array.unsafe_get a !i;
+    h1 := ((!h1 lsl 5) lor (!h1 lsr 57)) lxor Array.unsafe_get a (!i + 1);
+    i := !i + 2
+  done;
+  if !i < len then
+    h0 := ((!h0 lsl 5) lor (!h0 lsr 57)) lxor Array.unsafe_get a !i;
+  ((!h0 * 0x100000001b3) lxor !h1) land max_int
+
+let matches t i ~hash (a : int array) ~len =
+  t.hashes.(i) = hash
+  &&
+  let k = t.keys.(i) in
+  Array.length k = len
+  &&
+  let j = ref 0 in
+  while !j < len && Array.unsafe_get k !j = Array.unsafe_get a !j do
+    incr j
+  done;
+  !j = len
+
+(* Top-level recursion, not a local [rec go] closure: [find] runs once
+   per node on the memo hit path and a closure is a per-call heap
+   allocation. *)
+let rec find_from t ~hash a ~len i mask =
+  match t.vals.(i) with
+  | None -> None
+  | some ->
+    if matches t i ~hash a ~len then some
+    else find_from t ~hash a ~len ((i + 1) land mask) mask
+
+(** [find t ~hash a ~len] — the value stored under the key spelled by
+    [a.(0 .. len-1)], allocation-free (the returned option is the
+    stored slot itself). [hash] must be [hash_words a ~len]. *)
+let find t ~hash a ~len =
+  let mask = Array.length t.keys - 1 in
+  find_from t ~hash a ~len (hash land mask) mask
+
+let key_equal (a : int array) (b : int array) =
+  Array.length a = Array.length b
+  &&
+  let j = ref 0 and len = Array.length a in
+  while !j < len && Array.unsafe_get a !j = Array.unsafe_get b !j do
+    incr j
+  done;
+  !j = len
+
+let place t ~hash key v =
+  let mask = Array.length t.keys - 1 in
+  let rec go i =
+    match t.vals.(i) with
+    | None ->
+      t.keys.(i) <- key;
+      t.hashes.(i) <- hash;
+      t.vals.(i) <- Some v;
+      t.count <- t.count + 1
+    | Some _ ->
+      (* first writer wins, as the memo's racing-domain rule requires *)
+      if not (t.hashes.(i) = hash && key_equal t.keys.(i) key) then
+        go ((i + 1) land mask)
+  in
+  go (hash land mask)
+
+let grow t =
+  let old_keys = t.keys and old_hashes = t.hashes and old_vals = t.vals in
+  let cap = 2 * Array.length old_keys in
+  t.keys <- Array.make cap [||];
+  t.hashes <- Array.make cap 0;
+  t.vals <- Array.make cap None;
+  t.count <- 0;
+  Array.iteri
+    (fun i v ->
+      match v with
+      | None -> ()
+      | Some x -> place t ~hash:old_hashes.(i) old_keys.(i) x)
+    old_vals
+
+(** [add t ~hash key v] — insert [key] unless already present; the
+    existing binding wins. The table takes ownership of [key] (callers
+    holding a scratch-backed view must [Array.sub] it out first).
+    [hash] must be [hash_words key ~len:(Array.length key)]. *)
+let add t ~hash key v =
+  if 2 * (t.count + 1) > Array.length t.keys then grow t;
+  place t ~hash key v
+
+(** Allocating convenience probe. *)
+let find_key t (key : int array) =
+  let len = Array.length key in
+  find t ~hash:(hash_words key ~len) key ~len

@@ -191,6 +191,17 @@ let prop_ids_distinct =
       let rng = Helpers.rng_of_seed seed in
       Graph.Ids.all_distinct (Graph.Ids.random rng n))
 
+(* Regression for the million-node overflow: 3_000_000³ wraps past
+   max_int, which used to hand [Prng.sample_distinct] a negative bound;
+   the clamped range must yield positive distinct IDs at any n *)
+let test_ids_large_n_no_overflow () =
+  let n = 3_000_000 in
+  let ids = Graph.Ids.random (Helpers.rng_of_seed 42) n in
+  Alcotest.(check int) "count" n (Array.length ids);
+  Alcotest.(check bool) "all positive" true
+    (Array.for_all (fun v -> v > 0) ids);
+  Alcotest.(check bool) "all distinct" true (Graph.Ids.all_distinct ids)
+
 let prop_with_order_preserves_order =
   QCheck.Test.make ~name:"Ids.with_order preserves order type" ~count:100
     QCheck.(pair Helpers.seed_arb (int_range 2 50))
@@ -288,6 +299,8 @@ let suites =
         Alcotest.test_case "order type" `Quick test_order_type;
         Alcotest.test_case "self-loops" `Quick test_self_loops;
         Alcotest.test_case "shortcut path" `Quick test_shortcut_path;
+        Alcotest.test_case "ids at n=3M (overflow regression)" `Slow
+          test_ids_large_n_no_overflow;
       ] );
     Helpers.qsuite "graph.prop"
       [

@@ -266,7 +266,10 @@ let test_memo_rerun_no_recomputation () =
   check int "still valid" 0 (List.length o2.Local.Runner.violations);
   assert_counter metrics "runner.algo_invocations" 0;
   assert_counter metrics "runner.cache_hits" 64;
-  assert_counter metrics "runner.nodes" 64
+  assert_counter metrics "runner.nodes" 64;
+  (* the shared cache gained nothing: distinct_views counts views
+     added by THIS run, not the cache's cumulative size *)
+  assert_counter metrics "runner.distinct_views" 0
 
 let test_resilient_empty_plan_shape () =
   let g = Graph.Builder.oriented_cycle 40 in

@@ -260,6 +260,33 @@ let prop_roundtrip =
       let s = Util.Bitset.of_list l in
       Util.Bitset.to_list s = List.sort_uniq compare l)
 
+(* [of_list]/[full] build into one mutable word array now; the fold of
+   [add] is the executable spec they must still match *)
+let fold_add xs =
+  List.fold_left (fun acc i -> Util.Bitset.add i acc) Util.Bitset.empty xs
+
+let prop_of_list_is_fold_of_add =
+  QCheck.Test.make ~name:"bitset of_list = fold of add" ~count:300
+    QCheck.(list_of_size Gen.(int_bound 40) (int_bound 400))
+    (fun xs -> Util.Bitset.equal (Util.Bitset.of_list xs) (fold_add xs))
+
+let prop_full_is_fold_of_add =
+  QCheck.Test.make ~name:"bitset full = fold of add" ~count:100
+    QCheck.(int_bound 300)
+    (fun n ->
+      Util.Bitset.equal (Util.Bitset.full n) (fold_add (List.init n Fun.id)))
+
+let test_bitset_build_validation () =
+  Alcotest.check_raises "of_list rejects negatives"
+    (Invalid_argument "Bitset.of_list") (fun () ->
+      ignore (Util.Bitset.of_list [ 3; -1 ]));
+  (* word-boundary sizes: 62 ends a word, 63 starts the next *)
+  List.iter
+    (fun n ->
+      check int (Printf.sprintf "full %d cardinal" n) n
+        (Util.Bitset.cardinal (Util.Bitset.full n)))
+    [ 0; 1; 61; 62; 63; 124; 125 ]
+
 let test_subsets_nonempty () =
   check int "2^4-1 subsets" 15 (List.length (Util.Bitset.subsets_nonempty 4));
   check bool "all nonempty" true
@@ -289,6 +316,8 @@ let suites =
         Alcotest.test_case "selections" `Quick test_selections;
         Alcotest.test_case "bitset basic" `Quick test_bitset_basic;
         Alcotest.test_case "bitset canonical" `Quick test_bitset_canonical;
+        Alcotest.test_case "bitset build validation" `Quick
+          test_bitset_build_validation;
         Alcotest.test_case "subsets_nonempty" `Quick test_subsets_nonempty;
       ] );
     Helpers.qsuite "util.prop"
@@ -301,5 +330,7 @@ let suites =
         prop_enumerate_sorted_unique;
         prop_union_inter_laws;
         prop_roundtrip;
+        prop_of_list_is_fold_of_add;
+        prop_full_is_fold_of_add;
       ];
   ]
