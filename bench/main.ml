@@ -956,6 +956,183 @@ let e13 () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* E14 — the multi-process cluster backend and the serve cache.        *)
+
+(* Two claims. (1) Sharding the cold (unmemoized) torus 9-coloring
+   across 4 worker processes beats the single-process run by >= 1.7x —
+   gated only on machines with >= 2 cores (forked workers cannot beat
+   one core on one core) and at n >= 10^6 (below that, fork + marshal
+   overhead is not amortized); smaller runs report the ratio
+   unjudged. (2) A repeated serve request is answered from the
+   persistent cache >= 50x faster than the cold computation — gated
+   everywhere, a cache hit is a table lookup regardless of core count.
+   Bit-identical labelings across worker counts are always gated.
+
+   MUST RUN BEFORE ANY IN-PARENT MULTI-DOMAIN SECTION (the dispatch
+   list runs it first): the OCaml 5 runtime permanently refuses [fork]
+   once the process has spawned a domain, and both legs fork. Torus
+   side via $LCL_CLUSTER_SIDE (default 96 for CI; 1024 ~ 10^6 nodes
+   for the recorded point). *)
+
+let e14 () =
+  section "E14  cluster backend: multi-process speedup and warm serve";
+  let side =
+    match Sys.getenv_opt "LCL_CLUSTER_SIDE" with
+    | Some s -> int_of_string s
+    | None -> 96
+  in
+  let torus = Grid.Problems.mark_tag_inputs (Grid.Torus.make [| side; side |]) in
+  let g = Grid.Torus.graph torus in
+  let n = Graph.n g in
+  let pids = Grid.Torus.prod_ids torus in
+  let tids = pids.Grid.Torus.packed in
+  let color_p = Grid.Problems.torus_coloring ~d:2 in
+  let color =
+    Grid.Algorithms.torus_coloring ~d:2 ~base:pids.Grid.Torus.base
+  in
+  let cores = Util.Parallel.recommended () in
+  if not (Util.Cluster.can_fork ()) then begin
+    print_endline
+      "E14: fork unavailable (a domain already ran in this process) — \
+       cluster legs are vacuous here; run E14 first";
+    exit 1
+  end;
+  (* wall-clock the whole run: fork + shard simulate + marshal + merge
+     is exactly what a cluster user pays *)
+  let run_wall ~workers =
+    let t0 = Unix.gettimeofday () in
+    let o =
+      Local.Runner.run ~ids:(`Fixed tids) ~workers ~domains:1 ~problem:color_p
+        color g
+    in
+    (Unix.gettimeofday () -. t0, o)
+  in
+  (* correctness half of the gate: bit-identical labelings at every
+     worker count, violations zero *)
+  let _, base = run_wall ~workers:1 in
+  if base.Local.Runner.violations <> [] then begin
+    print_endline "E14: violations on the single-process run";
+    exit 1
+  end;
+  let labels_ok =
+    List.for_all
+      (fun w ->
+        let _, o = run_wall ~workers:w in
+        o.Local.Runner.labeling = base.Local.Runner.labeling)
+      [ 2; 4 ]
+  in
+  if not labels_ok then begin
+    print_endline "E14: labelings diverge across worker counts";
+    exit 1
+  end;
+  (* timing half: min-of-pairs, fewer pairs at million-node sides
+     where one coloring run is tens of seconds *)
+  let pairs = if n >= 200_000 then 2 else 5 in
+  let t1 = ref infinity and t4 = ref infinity in
+  for i = 0 to pairs - 1 do
+    let s1 () =
+      Gc.full_major ();
+      t1 := min !t1 (fst (run_wall ~workers:1))
+    and s4 () =
+      Gc.full_major ();
+      t4 := min !t4 (fst (run_wall ~workers:4))
+    in
+    if i land 1 = 0 then (s1 (); s4 ()) else (s4 (); s1 ())
+  done;
+  let speedup = !t1 /. max 1e-9 !t4 in
+  let gated = cores >= 2 && n >= 1_000_000 in
+  (* serve leg: cold Simulate computed once by a forked daemon, then
+     the identical request answered from the persistent cache *)
+  let pid = Unix.getpid () in
+  let sock = Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "lcl-e14-%d.sock" pid)
+  and cachef = Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "lcl-e14-%d.cache" pid)
+  in
+  List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) [ sock; cachef ];
+  let daemon =
+    match Unix.fork () with
+    | 0 ->
+      (try
+         ignore
+           (Serve.Daemon.serve ~socket_path:sock ~cache_path:cachef
+              ~poll_interval:0.02 ())
+       with _ -> Unix._exit 1);
+      Unix._exit 0
+    | p -> p
+  in
+  let rec await tries =
+    if Sys.file_exists sock then ()
+    else if tries = 0 then begin
+      print_endline "E14: serve daemon never came up";
+      exit 1
+    end
+    else begin
+      ignore (Unix.select [] [] [] 0.02);
+      await (tries - 1)
+    end
+  in
+  await 250;
+  let req =
+    Serve.Protocol.Simulate { algo = "cv-coloring"; n = 400_000; seed = 7 }
+  in
+  let timed_request () =
+    let t0 = Unix.gettimeofday () in
+    match Serve.Daemon.request ~socket_path:sock req with
+    | Ok body -> (Unix.gettimeofday () -. t0, body)
+    | Error m ->
+      Printf.printf "E14: serve request failed: %s\n" m;
+      exit 1
+  in
+  let t_cold, body_cold = timed_request () in
+  let t_warm = ref infinity and body_warm = ref "" in
+  for _ = 1 to 5 do
+    let t, b = timed_request () in
+    if t < !t_warm then t_warm := t;
+    body_warm := b
+  done;
+  let warm_identical = !body_warm = body_cold in
+  ignore (Serve.Daemon.request ~socket_path:sock Serve.Protocol.Shutdown);
+  (try ignore (Unix.waitpid [] daemon)
+   with Unix.Unix_error (Unix.ECHILD, _, _) -> ());
+  List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) [ sock; cachef ];
+  let warm_ratio = t_cold /. max 1e-9 !t_warm in
+  table
+    ~header:[ "leg"; "cold/1-proc"; "warm/4-proc"; "ratio"; "gate" ]
+    [
+      [ Printf.sprintf "coloring n=%d, 4 workers" n;
+        Printf.sprintf "%.2f s" !t1; Printf.sprintf "%.2f s" !t4;
+        Printf.sprintf "%.2fx" speedup;
+        (if gated then "1.7x"
+         else Printf.sprintf "reported (cores=%d, n=%d)" cores n) ];
+      [ "serve repeat vs cold simulate"; Printf.sprintf "%.1f ms" (t_cold *. 1e3);
+        Printf.sprintf "%.2f ms" (!t_warm *. 1e3);
+        Printf.sprintf "%.0fx" warm_ratio; "50x" ];
+    ];
+  if not warm_identical then begin
+    print_endline "E14: warm serve answer differs from cold — cache broken";
+    exit 1
+  end;
+  Printf.printf
+    "cluster speedup: %.2fx (%s), warm serve: %.0fx (gate 50x), \
+     labels identical: %b\n"
+    speedup
+    (if gated then "gate 1.7x"
+     else "reported only: needs >= 2 cores and n >= 10^6")
+    warm_ratio labels_ok;
+  (* machine-readable point for BENCH_SUBSTRATE.json *)
+  Printf.printf
+    "{\"bench\":\"cluster\",\"workload\":\"torus-coloring-cold\",\"n\":%d,\
+     \"cores\":%d,\"single_s\":%.6f,\"workers4_s\":%.6f,\"speedup\":%.2f,\
+     \"speedup_gated\":%b,\"serve_cold_s\":%.6f,\"serve_warm_s\":%.6f,\
+     \"warm_ratio\":%.1f,\"labels_identical\":%b,\"warm_identical\":%b}\n"
+    n cores !t1 !t4 speedup gated t_cold !t_warm warm_ratio labels_ok
+    warm_identical;
+  if (gated && speedup < 1.7) || warm_ratio < 50. || not warm_identical then
+    exit 1;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* B — Bechamel micro-benchmarks of the library kernels.               *)
 
 let bechamel_section () =
@@ -1030,6 +1207,9 @@ let bechamel_section () =
   print_newline ()
 
 let () =
+  (* E14 first: it forks, and fork is refused once any other section
+     has spawned an in-parent domain (E2, E8, E13 all do) *)
+  if selected "E14" then e14 ();
   if selected "E1" then e1 ();
   if selected "E2" then e2 ();
   if selected "E3" then e3 ();

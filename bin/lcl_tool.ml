@@ -16,27 +16,9 @@
 
 open Cmdliner
 
-let zoo_problems =
-  [
-    ("trivial", Lcl.Zoo.trivial ~delta:3);
-    ("free-choice", Lcl.Zoo.free_choice ~delta:3);
-    ("edge-orientation", Lcl.Zoo.edge_orientation ~delta:3);
-    ("edge-orientation-d2", Lcl.Zoo.edge_orientation ~delta:2);
-    ("echo-input", Lcl.Zoo.echo_input ~delta:2);
-    ("3-coloring", Lcl.Zoo.coloring ~k:3 ~delta:2);
-    ("2-coloring", Lcl.Zoo.coloring ~k:2 ~delta:2);
-    ("4-coloring-d3", Lcl.Zoo.coloring ~k:4 ~delta:3);
-    ("3-edge-coloring", Lcl.Zoo.edge_coloring ~k:3 ~delta:2);
-    ("mis", Lcl.Zoo.mis ~delta:2);
-    ("mis-d3", Lcl.Zoo.mis ~delta:3);
-    ("maximal-matching", Lcl.Zoo.maximal_matching ~delta:2);
-    ("sinkless-orientation", Lcl.Zoo.sinkless_orientation ~delta:3);
-    ("consistent-orientation", Lcl.Zoo.consistent_orientation);
-    ("period-3", Lcl.Zoo.period_pattern ~k:3);
-    ("forbidden-color", Lcl.Zoo.forbidden_color_coloring);
-    ("weak-2-coloring", Lcl.Zoo.weak_2_coloring ~delta:3 ());
-    ("weak-2-coloring-d2", Lcl.Zoo.weak_2_coloring ~delta:2 ());
-  ]
+(* the zoo lives in [Serve.Zoo_table] so daemon requests accept the
+   same problem names as the command line *)
+let zoo_problems = Serve.Zoo_table.all
 
 let load_problem spec =
   match List.assoc_opt spec zoo_problems with
@@ -169,8 +151,16 @@ let check_n ~cmd n =
     exit 2
   end
 
+let workers_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "workers" ]
+        ~doc:
+          "Forked worker processes for the simulation engine (default \
+           $(b,\\$LCL_WORKERS)); the labeling is identical at any count.")
+
 let simulate_cmd =
-  let run n algo_name () =
+  let run n algo_name workers () =
     check_n ~cmd:"simulate" n;
     let g = Graph.Builder.oriented_cycle n in
     let algo, problem =
@@ -185,14 +175,14 @@ let simulate_cmd =
         Fmt.epr "unknown algorithm %s@." other;
         exit 1
     in
-    let o = Local.Runner.run ~problem algo g in
+    let o = Local.Runner.run ?workers ~problem algo g in
     Fmt.pr "%s on oriented C_%d: radius %d, violations %d@." algo_name n
       o.Local.Runner.radius_used
       (List.length o.Local.Runner.violations)
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run a baseline algorithm on an oriented cycle")
-    Term.(const run $ n_arg $ algo_arg $ const ())
+    Term.(const run $ n_arg $ algo_arg $ workers_arg $ const ())
 
 (* -- volume ------------------------------------------------------------ *)
 
@@ -201,7 +191,7 @@ let volume_algo_arg =
   Arg.(value & opt string "cv-coloring" & info [ "algo" ] ~doc)
 
 let volume_cmd =
-  let run n algo_name () =
+  let run n algo_name workers () =
     check_n ~cmd:"volume" n;
     let algo, problem, g =
       match algo_name with
@@ -223,14 +213,14 @@ let volume_cmd =
         Fmt.epr "unknown probe algorithm %s@." other;
         exit 1
     in
-    let o = Volume.Probe.run ~problem algo g in
+    let o = Volume.Probe.run ?workers ~problem algo g in
     Fmt.pr "%s on C_%d: max probes %d, total %d, violations %d@." algo_name
       (Graph.n g) o.Volume.Probe.max_probes o.Volume.Probe.total_probes
       (List.length o.Volume.Probe.violations)
   in
   Cmd.v
     (Cmd.info "volume" ~doc:"Run a VOLUME (probe) algorithm on a cycle")
-    Term.(const run $ n_arg $ volume_algo_arg $ const ())
+    Term.(const run $ n_arg $ volume_algo_arg $ workers_arg $ const ())
 
 (* -- lint ---------------------------------------------------------------- *)
 
@@ -603,18 +593,18 @@ let faultsim_cmd =
     | Error e -> fail_error e
     | Ok plan -> k plan
   in
-  let run_local ~algo_name ~n ~plan ~retries ~seed =
+  let run_local ~algo_name ~n ~plan ~retries ~seed ~workers =
     let algo, problem = resolve_local_algo ~cmd:"faultsim" algo_name in
     let g = Graph.Builder.oriented_cycle n in
     match
-      Local.Runner.run_resilient ~seed ~plan ~retries ~problem algo g
+      Local.Runner.run_resilient ~seed ?workers ~plan ~retries ~problem algo g
     with
     | Error e -> fail_error e
     | Ok o ->
       print_endline
         (Fault.Json.to_string (faultsim_local_report ~algo_name ~n o))
   in
-  let run_volume ~algo_name ~n ~plan ~retries ~seed =
+  let run_volume ~algo_name ~n ~plan ~retries ~seed ~workers =
     let algo, problem, g =
       match algo_name with
       | "probe-cv-coloring" ->
@@ -636,7 +626,7 @@ let faultsim_cmd =
         exit 2
     in
     match
-      Volume.Probe.run_resilient ~seed ~plan ~retries ~problem algo g
+      Volume.Probe.run_resilient ~seed ?workers ~plan ~retries ~problem algo g
     with
     | Error e -> fail_error e
     | Ok o ->
@@ -712,7 +702,7 @@ let faultsim_cmd =
       spec
   in
   let run n algo_name plan_file fault_seed crash sever corrupt flip probe_loss
-      retries deadline seed problem_opt metrics () =
+      retries deadline seed workers problem_opt metrics () =
     check_n ~cmd:"faultsim" n;
     obs_begin metrics;
     (match problem_opt with
@@ -731,8 +721,8 @@ let faultsim_cmd =
       in
       with_plan ~plan_file ~fault_seed ~crash ~sever ~corrupt ~flip
         ~probe_loss g (fun plan ->
-          if volume then run_volume ~algo_name ~n ~plan ~retries ~seed
-          else run_local ~algo_name ~n ~plan ~retries ~seed));
+          if volume then run_volume ~algo_name ~n ~plan ~retries ~seed ~workers
+          else run_local ~algo_name ~n ~plan ~retries ~seed ~workers));
     obs_end metrics
   in
   Cmd.v
@@ -745,7 +735,8 @@ let faultsim_cmd =
     Term.(
       const run $ n_arg $ algo_arg $ plan_arg $ fault_seed_arg $ crash_arg
       $ sever_arg $ corrupt_arg $ flip_arg $ probe_loss_arg $ retries_arg
-      $ deadline_arg $ seed_arg $ problem_opt_arg $ metrics_arg $ const ())
+      $ deadline_arg $ seed_arg $ workers_arg $ problem_opt_arg $ metrics_arg
+      $ const ())
 
 (* -- bench-runner ------------------------------------------------------- *)
 
@@ -923,12 +914,162 @@ let substrate_smoke_cmd =
           a full torus classification round trip")
     Term.(const run $ side_arg $ metrics_arg $ const ())
 
+(* -- serve / client ------------------------------------------------------ *)
+
+(* Daemon-mode signal hygiene:
+   - SIGPIPE ignored: a client that disconnects mid-response must
+     surface as EPIPE on the write (handled per connection), not kill
+     the daemon;
+   - SIGCHLD reaps: cluster worker processes are normally reaped
+     synchronously by [Util.Cluster.map_ranges], but a worker that
+     dies between dispatch cycles must not linger as a zombie
+     ([map_ranges] tolerates the resulting ECHILD);
+   - SIGINT/SIGTERM request a clean stop: the select loop notices the
+     flag within one poll interval and exits through the path that
+     flushes and closes the persistent cache. *)
+let install_daemon_signals () =
+  let stop = ref false in
+  if Sys.unix then begin
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let rec reap_all () =
+      match Unix.waitpid [ Unix.WNOHANG ] (-1) with
+      | 0, _ -> ()
+      | _ -> reap_all ()
+      | exception Unix.Unix_error ((Unix.ECHILD | Unix.EINTR), _, _) -> ()
+    in
+    Sys.set_signal Sys.sigchld (Sys.Signal_handle (fun _ -> reap_all ()));
+    let request_stop _ = stop := true in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop)
+  end;
+  stop
+
+let socket_arg =
+  Arg.(
+    value & opt string "lcl_serve.sock"
+    & info [ "socket" ] ~doc:"Unix-domain socket path.")
+
+let serve_cmd =
+  let cache_arg =
+    Arg.(
+      value & opt string "lcl_serve.cache"
+      & info [ "cache" ]
+          ~doc:"Persistent classification cache file (created if absent).")
+  in
+  let run socket cache workers () =
+    let stop = install_daemon_signals () in
+    let stats =
+      Serve.Daemon.serve ~socket_path:socket ~cache_path:cache ?workers
+        ~should_stop:(fun () -> !stop)
+        ~on_ready:(fun () -> Fmt.pr "serving on %s (cache %s)@." socket cache)
+        ()
+    in
+    Fmt.pr "served %d requests (%d cache hits, %d misses, %d connections)@."
+      stats.Serve.Daemon.served stats.Serve.Daemon.hits
+      stats.Serve.Daemon.misses stats.Serve.Daemon.connections
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve classification, simulation and faultsim requests over a \
+          Unix-domain socket, batching each dispatch cycle and answering \
+          repeated problems from a persistent on-disk cache")
+    Term.(const run $ socket_arg $ cache_arg $ workers_arg $ const ())
+
+let client_cmd =
+  let verb_arg =
+    let doc =
+      "Request: ping, zoo, stats, shutdown, classify, gap, simulate, \
+       faultsim."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"VERB" ~doc)
+  in
+  let problem_opt_arg =
+    let doc = "Problem for classify/gap: a zoo name or a file path." in
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"PROBLEM" ~doc)
+  in
+  (* problems travel as text: a zoo name passes through, anything else
+     is read here so the daemon never touches client paths *)
+  let problem_text spec =
+    if List.mem_assoc spec zoo_problems then spec
+    else
+      match In_channel.with_open_text spec In_channel.input_all with
+      | text -> text
+      | exception Sys_error m ->
+        Fmt.epr "error: %s@." m;
+        exit 1
+  in
+  let need_problem verb = function
+    | Some spec -> problem_text spec
+    | None ->
+      Fmt.epr "%s needs a PROBLEM argument@." verb;
+      exit 2
+  in
+  let run socket verb problem_opt n seed algo iterations labels fault_seed
+      crash sever retries () =
+    let req =
+      match verb with
+      | "ping" -> Serve.Protocol.Ping
+      | "zoo" -> Serve.Protocol.Zoo
+      | "stats" -> Serve.Protocol.Stats
+      | "shutdown" -> Serve.Protocol.Shutdown
+      | "classify" ->
+        Serve.Protocol.Classify { problem = need_problem verb problem_opt }
+      | "gap" ->
+        Serve.Protocol.Gap
+          {
+            problem = need_problem verb problem_opt;
+            iterations;
+            max_labels = labels;
+          }
+      | "simulate" -> Serve.Protocol.Simulate { algo; n; seed }
+      | "faultsim" ->
+        Serve.Protocol.Faultsim
+          { algo; n; seed; fault_seed; crash; sever; retries }
+      | other ->
+        Fmt.epr "unknown verb %s@." other;
+        exit 2
+    in
+    match Serve.Daemon.request ~socket_path:socket req with
+    | Ok text ->
+      print_string text;
+      if text <> "" && text.[String.length text - 1] <> '\n' then
+        print_newline ()
+    | Error m ->
+      Fmt.epr "error: %s@." m;
+      exit 1
+  in
+  let seed_arg =
+    Arg.(value & opt int 0xC0FFEE & info [ "seed" ] ~doc:"Run seed.")
+  in
+  let fault_seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "fault-seed" ] ~doc:"Seed for drawing the fault plan.")
+  in
+  let crash_arg =
+    Arg.(value & opt float 0. & info [ "crash" ] ~doc:"Crash fraction.")
+  in
+  let sever_arg =
+    Arg.(value & opt float 0. & info [ "sever" ] ~doc:"Sever fraction.")
+  in
+  let retries_arg =
+    Arg.(value & opt int 0 & info [ "retries" ] ~doc:"Re-attempts.")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Send one request to a running lcl_tool serve daemon")
+    Term.(
+      const run $ socket_arg $ verb_arg $ problem_opt_arg $ n_arg $ seed_arg
+      $ algo_arg $ iterations_arg $ labels_arg $ fault_seed_arg $ crash_arg
+      $ sever_arg $ retries_arg $ const ())
+
 let main =
   Cmd.group
     (Cmd.info "lcl_tool" ~version:"1.0"
        ~doc:"LCL landscape toolkit (PODC 2022 reproduction)")
     [ show_cmd; zoo_cmd; classify_cmd; gap_cmd; eliminate_cmd; simulate_cmd;
       volume_cmd; lint_cmd; sanitize_cmd; faultsim_cmd; bench_runner_cmd;
-      substrate_smoke_cmd; trace_cmd ]
+      substrate_smoke_cmd; trace_cmd; serve_cmd; client_cmd ]
 
 let () = exit (Cmd.eval main)

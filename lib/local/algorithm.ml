@@ -60,6 +60,13 @@ module Iterative = struct
          prefix keep the state of the last round for which it was
          valid — exactly what a prefix node at the boundary reads. *)
       let next = Array.copy state in
+      (* [wrapped.(w)] caches [Some state.(w)] so the innermost loop
+         below allocates nothing: each node's state is boxed once per
+         round instead of once per reader — on a degree-Δ graph that
+         divides the dominant cold-path allocation by Δ. Cells past
+         the round's prefix stay valid because their state never
+         changes again. *)
+      let wrapped = Array.map (fun s -> Some s) state in
       (* neighbor-state scratch, one buffer per distinct degree,
          reused across nodes and rounds (see the [step] contract) *)
       let neighbor_bufs = Hashtbl.create 4 in
@@ -82,12 +89,15 @@ module Iterative = struct
           for p = 0 to Array.length adj - 1 do
             buf.(p) <-
               (match adj.(p) with
-              | Some (w, _) -> Some state.(w)
+              | Some (w, _) -> wrapped.(w)
               | None -> None)
           done;
           next.(u) <- spec.step ~round:r state.(u) buf
         done;
-        Array.blit next 0 state 0 !limit
+        Array.blit next 0 state 0 !limit;
+        for u = 0 to !limit - 1 do
+          wrapped.(u) <- Some state.(u)
+        done
       done;
       spec.output state.(ball.center)
     in

@@ -81,6 +81,91 @@ let resolve_domains domains =
   | Some d -> max 1 d
   | None -> Util.Parallel.default_domains ()
 
+let resolve_workers workers =
+  match workers with
+  | Some w -> max 1 w
+  | None -> Util.Cluster.default_workers ()
+
+(* -- cluster dispatch ---------------------------------------------------- *)
+
+(* What one worker process sends back: its rows, its slice of the
+   status array (resilient runs), its counter deltas, the memo entries
+   it inserted (so the parent can fold them into the shared table —
+   what keeps a cross-run [memo_cache] warm across the process
+   boundary), and its observability collections. Pure data: this
+   record crosses the process boundary via [Marshal]. *)
+type shard_payload = {
+  sp_rows : int array array;
+  sp_statuses : Fault.status array;  (* [||] outside resilient runs *)
+  sp_hits : int;
+  sp_retries : int;
+  sp_memo : (int * int array * int array) list;  (* (hash, key, out) *)
+  sp_events : Obs.Span.event list;
+  sp_metrics : (string * Obs.Metrics.value) list;
+}
+
+(* Exceptions escaping a worker shard, made marshalable: the classes
+   callers pattern-match on ([Invalid_argument] from the arity check,
+   [Failure], F-coded fault errors) survive the process boundary
+   typed; anything else degrades to its printed form. The
+   [Parallel.Worker_error] wrapper is unwrapped first — its chunk
+   coordinates are child-relative and would mislead. *)
+type wire_exn =
+  | W_invalid of string
+  | W_failure of string
+  | W_fault of Fault.Error.t
+  | W_other of string
+
+let wire_exn_of e =
+  let e =
+    match e with
+    | Util.Parallel.Worker_error { error; _ } -> error
+    | e -> e
+  in
+  match e with
+  | Invalid_argument m -> W_invalid m
+  | Failure m -> W_failure m
+  | Fault.Error.E err -> W_fault err
+  | e -> W_other (Printexc.to_string e)
+
+let reraise_wire = function
+  | W_invalid m -> raise (Invalid_argument m)
+  | W_failure m -> raise (Failure m)
+  | W_fault err -> raise (Fault.Error.E err)
+  | W_other m -> failwith ("cluster worker failed: " ^ m)
+
+(* In a freshly forked worker: drop the trace state copied from the
+   parent so the child ships only spans/metrics it recorded itself. *)
+let child_obs_reset () = if Obs.enabled () then Obs.reset ()
+
+let child_obs_payload () =
+  if Obs.enabled () then
+    ( Obs.Span.collect (),
+      List.filter
+        (fun (_, v) -> not (Obs.Metrics.is_zero v))
+        (Obs.Metrics.snapshot ()) )
+  else ([], [])
+
+(* Merge worker payloads in rank order: memo entries into the parent
+   table (first-writer-wins keeps racing duplicates harmless), spans
+   and metrics into the parent trace (dense-rank renaming happens in
+   [Obs.Span.absorb]/[collect]), counter deltas into [hits]/[retries]
+   accumulators. Row concatenation is the caller's job. *)
+let merge_shards ~cache ~hits_acc ~retries_acc shards =
+  Array.iter
+    (fun p ->
+      (match cache with
+      | Some (_, table) ->
+        List.iter
+          (fun (h, k, v) -> Util.Keytab.add table ~hash:h k v)
+          (List.rev p.sp_memo)
+      | None -> ());
+      hits_acc := !hits_acc + p.sp_hits;
+      retries_acc := !retries_acc + p.sp_retries;
+      Obs.Span.absorb p.sp_events;
+      Obs.Metrics.absorb p.sp_metrics)
+    shards
+
 (** Run [algo] on [g] against [problem]. [n_declared] defaults to the
     true size (Def. 2.1 gives nodes the exact n; pass a different value
     to "fool" an algorithm, as the order-invariance speedup does).
@@ -88,7 +173,7 @@ let resolve_domains domains =
     $LCL_DOMAINS, else sequential); the labeling is identical for every
     worker count. [memo] enables the canonical-view cache — only sound
     for deterministic order-invariant algorithms. *)
-let run ?(seed = 0xC0FFEE) ?(ids = `Random) ?n_declared ?domains
+let run ?(seed = 0xC0FFEE) ?(ids = `Random) ?n_declared ?domains ?workers
     ?(memo = false) ?cache ~problem (algo : Algorithm.t) g =
   Obs.Span.with_ "runner.run" @@ fun () ->
   let t_start = Unix.gettimeofday () in
@@ -99,6 +184,7 @@ let run ?(seed = 0xC0FFEE) ?(ids = `Random) ?n_declared ?domains
   let rand = Array.init n (fun _ -> Util.Prng.next_int64 rng) in
   let radius = algo.Algorithm.radius ~n:n_declared in
   let domains_used = min (resolve_domains domains) (max 1 n) in
+  let workers_used = min (resolve_workers workers) (max 1 n) in
   let cache =
     match cache with
     | Some c -> Some (c.mc_lock, c.mc_tbl)
@@ -115,6 +201,10 @@ let run ?(seed = 0xC0FFEE) ?(ids = `Random) ?n_declared ?domains
   (* sequential runs count hits in a plain cell: an atomic
      read-modify-write per node is measurable on the memo hit path *)
   let hits_seq = ref 0 in
+  (* memo insertions, journaled so a cluster worker can ship them back
+     to the parent table; one cons per *distinct* view, so the
+     single-process path pays nothing measurable *)
+  let journal = ref [] in
   let check_arity v out =
     if Array.length out <> Graph.degree g v then
       invalid_arg
@@ -170,9 +260,75 @@ let run ?(seed = 0xC0FFEE) ?(ids = `Random) ?n_declared ?domains
            deterministic algorithms the memo is sound for, both
            computed outputs are identical, so first-writer-wins
            (which [Keytab.add] implements) *)
-        let insert () = Util.Keytab.add table ~hash key (Array.copy out) in
+        let stored = Array.copy out in
+        let insert () =
+          Util.Keytab.add table ~hash key stored;
+          journal := (hash, key, stored) :: !journal
+        in
         if domains_used = 1 then insert () else Mutex.protect lock insert;
         out)
+  in
+  let cluster_hits = ref 0 in
+  let cluster_retries = ref 0 in
+  (* One worker process per contiguous node range; each child runs the
+     domain-parallel engine above on its shard (reading halo balls
+     straight out of the copy-on-write graph) and ships rows, counter
+     deltas, memo insertions and trace collections back as one frame.
+     Rank-order concatenation makes the labeling bit-identical to the
+     single-process run. A worker that dies is recovered in-process:
+     [recover] skips the child-only trace reset and accumulates its
+     effects directly in parent state. *)
+  let cluster_simulate () =
+    let shard lo hi =
+      match
+        child_obs_reset ();
+        let rows =
+          Util.Parallel.init ~domains:domains_used (hi - lo) (fun i ->
+              simulate (lo + i))
+        in
+        let events, metrics = child_obs_payload () in
+        {
+          sp_rows = rows;
+          sp_statuses = [||];
+          sp_hits = Atomic.get hits + !hits_seq;
+          sp_retries = 0;
+          sp_memo = !journal;
+          sp_events = events;
+          sp_metrics = metrics;
+        }
+      with
+      | p -> Ok p
+      | exception e -> Error (wire_exn_of e)
+    in
+    (* the recovery / no-fork path runs in the parent: effects (hit
+       counters, memo inserts) land in parent state directly, and
+       exceptions propagate raw as in the single-process engine *)
+    let recover lo hi =
+      let rows =
+        Util.Parallel.init ~domains:domains_used (hi - lo) (fun i ->
+            simulate (lo + i))
+      in
+      Ok
+        {
+          sp_rows = rows;
+          sp_statuses = [||];
+          sp_hits = 0;
+          sp_retries = 0;
+          sp_memo = [];
+          sp_events = [];
+          sp_metrics = [];
+        }
+    in
+    let shards =
+      Util.Cluster.map_ranges ~workers:workers_used ~recover ~n shard
+    in
+    Array.iter (function Error w -> reraise_wire w | Ok _ -> ()) shards;
+    let shards =
+      Array.map (function Ok p -> p | Error _ -> assert false) shards
+    in
+    merge_shards ~cache ~hits_acc:cluster_hits ~retries_acc:cluster_retries
+      shards;
+    Array.concat (Array.to_list (Array.map (fun p -> p.sp_rows) shards))
   in
   (* [simulate_seconds] is the documented "extraction + algorithm
      runs" window: it brackets the parallel section, not the id/PRNG
@@ -180,7 +336,9 @@ let run ?(seed = 0xC0FFEE) ?(ids = `Random) ?n_declared ?domains
   let t_sim0 = Unix.gettimeofday () in
   let labeling =
     Obs.Span.with_ "runner.simulate" (fun () ->
-        Util.Parallel.init ~domains:domains_used n simulate)
+        if workers_used <= 1 then
+          Util.Parallel.init ~domains:domains_used n simulate
+        else cluster_simulate ())
   in
   let t_simulated = Unix.gettimeofday () in
   let violations =
@@ -191,7 +349,7 @@ let run ?(seed = 0xC0FFEE) ?(ids = `Random) ?n_declared ?domains
   let stats =
     {
       balls_extracted = n;
-      cache_hits = Atomic.get hits + !hits_seq;
+      cache_hits = Atomic.get hits + !hits_seq + !cluster_hits;
       distinct_views =
         (match cache with
         | None -> 0
@@ -279,8 +437,8 @@ let summarize_statuses applied ~severed_edges ~retries_used statuses =
     first), crashed nodes are skipped, and the labeling is verified on
     the healthy subgraph. Plan/graph mismatches return [Error] (F301). *)
 let run_resilient ?(seed = 0xC0FFEE) ?(ids = `Random) ?n_declared ?domains
-    ?(memo = false) ?(plan = Fault.Plan.empty) ?(retries = 0) ~problem
-    (algo : Algorithm.t) g =
+    ?workers ?(memo = false) ?(plan = Fault.Plan.empty) ?(retries = 0)
+    ~problem (algo : Algorithm.t) g =
   Obs.Span.with_ "runner.run_resilient" @@ fun () ->
   let t_start = Unix.gettimeofday () in
   let n = Graph.n g in
@@ -296,11 +454,13 @@ let run_resilient ?(seed = 0xC0FFEE) ?(ids = `Random) ?n_declared ?domains
     in
     let radius = algo.Algorithm.radius ~n:n_declared in
     let domains_used = min (resolve_domains domains) (max 1 n) in
+    let workers_used = min (resolve_workers workers) (max 1 n) in
     let cache =
       if memo then Some (Mutex.create (), Util.Keytab.create ()) else None
     in
     let hits = Atomic.make 0 in
     let extra_attempts = Atomic.make 0 in
+    let journal = ref [] in
     let blocked = Fault.Inject.is_blocked compiled in
     let any_blocked = compiled.Fault.Inject.any_blocked in
     (* direct load, not a cross-module call: this test runs per node *)
@@ -349,7 +509,11 @@ let run_resilient ?(seed = 0xC0FFEE) ?(ids = `Random) ?n_declared ?domains
             Array.sub kv.Graph.Ball.kv_words 0 kv.Graph.Ball.kv_len
           in
           let out = algo.Algorithm.run ball in
-          let insert () = Util.Keytab.add table ~hash key (Array.copy out) in
+          let stored = Array.copy out in
+          let insert () =
+            Util.Keytab.add table ~hash key stored;
+            journal := (hash, key, stored) :: !journal
+          in
           if domains_used = 1 then insert () else Mutex.protect lock insert;
           out)
       | _ -> algo.Algorithm.run ball
@@ -421,13 +585,82 @@ let run_resilient ?(seed = 0xC0FFEE) ?(ids = `Random) ?n_declared ?domains
       if (not any_blocked) && retries = 0 && not memo then simulate_pristine
       else simulate
     in
+    let cluster_hits = ref 0 in
+    let cluster_retries = ref 0 in
+    (* cluster dispatch, as in [run], plus the status slices: each
+       worker ships its [lo, hi) slice of the status array and the
+       parent blits them back — statuses are a pure per-node function
+       of (graph, plan, seed), so the merged array is identical to the
+       single-process one (the kill-worker chaos job diffs exactly
+       this) *)
+    let cluster_simulate () =
+      let shard lo hi =
+        match
+          child_obs_reset ();
+          let rows =
+            Util.Parallel.init ~domains:domains_used (hi - lo) (fun i ->
+                body (lo + i))
+          in
+          let events, metrics = child_obs_payload () in
+          {
+            sp_rows = rows;
+            sp_statuses = Array.sub statuses lo (hi - lo);
+            sp_hits = Atomic.get hits;
+            sp_retries = Atomic.get extra_attempts;
+            sp_memo = !journal;
+            sp_events = events;
+            sp_metrics = metrics;
+          }
+        with
+        | p -> Ok p
+        | exception e -> Error (wire_exn_of e)
+      in
+      let recover lo hi =
+        let rows =
+          Util.Parallel.init ~domains:domains_used (hi - lo) (fun i ->
+              body (lo + i))
+        in
+        Ok
+          {
+            sp_rows = rows;
+            sp_statuses = [||];  (* written into [statuses] in-place *)
+            sp_hits = 0;
+            sp_retries = 0;
+            sp_memo = [];
+            sp_events = [];
+            sp_metrics = [];
+          }
+      in
+      let shards =
+        Util.Cluster.map_ranges ~workers:workers_used ~recover ~n shard
+      in
+      Array.iter (function Error w -> reraise_wire w | Ok _ -> ()) shards;
+      let shards =
+        Array.map (function Ok p -> p | Error _ -> assert false) shards
+      in
+      Array.iteri
+        (fun rank p ->
+          if Array.length p.sp_statuses > 0 then begin
+            let lo, _ =
+              Util.Cluster.block_bounds ~n ~workers:workers_used rank
+            in
+            Array.blit p.sp_statuses 0 statuses lo
+              (Array.length p.sp_statuses)
+          end)
+        shards;
+      merge_shards ~cache ~hits_acc:cluster_hits
+        ~retries_acc:cluster_retries shards;
+      Array.concat (Array.to_list (Array.map (fun p -> p.sp_rows) shards))
+    in
     (* same "extraction + algorithm runs" window as [run]'s
        [simulate_seconds]: plan compilation and id/PRNG derivation
        stay outside the bracket on both sides of bench E11's pairing *)
     let t_sim0 = Unix.gettimeofday () in
     let partial =
       Obs.Span.with_ "runner.simulate" (fun () ->
-          Util.Parallel.init ~domains:domains_used n body)
+          if workers_used <= 1 then
+            Util.Parallel.init ~domains:domains_used n body
+          else cluster_simulate ())
     in
     let t_simulated = Unix.gettimeofday () in
     let has_output v = Fault.Inject.status_ok statuses.(v) in
@@ -440,12 +673,13 @@ let run_resilient ?(seed = 0xC0FFEE) ?(ids = `Random) ?n_declared ?domains
     let report =
       summarize_statuses plan
         ~severed_edges:compiled.Fault.Inject.severed_live
-        ~retries_used:(Atomic.get extra_attempts) statuses
+        ~retries_used:(Atomic.get extra_attempts + !cluster_retries)
+        statuses
     in
     let r_stats =
       {
         balls_extracted = n - report.crashed_nodes;
-        cache_hits = Atomic.get hits;
+        cache_hits = Atomic.get hits + !cluster_hits;
         distinct_views =
           (match cache with
           | None -> 0
@@ -481,14 +715,14 @@ type degradation_point = {
 (** Evaluate [algo] under each plan in turn (shared seed: the fault-free
     baseline of every point is the same run). First compile error
     aborts. *)
-let degradation ?seed ?ids ?n_declared ?domains ?memo ?retries ~plans
-    ~problem algo g =
+let degradation ?seed ?ids ?n_declared ?domains ?workers ?memo ?retries
+    ~plans ~problem algo g =
   let rec go acc = function
     | [] -> Ok (List.rev acc)
     | plan :: rest -> (
       match
-        run_resilient ?seed ?ids ?n_declared ?domains ?memo ~plan ?retries
-          ~problem algo g
+        run_resilient ?seed ?ids ?n_declared ?domains ?workers ?memo ~plan
+          ?retries ~problem algo g
       with
       | Error e -> Error e
       | Ok o ->
@@ -503,15 +737,17 @@ let degradation ?seed ?ids ?n_declared ?domains ?memo ?retries ~plans
   in
   go [] plans
 
-let succeeds ?seed ?ids ?n_declared ?domains ?memo ?plan ?retries ~problem
-    algo g =
+let succeeds ?seed ?ids ?n_declared ?domains ?workers ?memo ?plan ?retries
+    ~problem algo g =
   match plan with
   | None ->
-    (run ?seed ?ids ?n_declared ?domains ?memo ~problem algo g).violations = []
+    (run ?seed ?ids ?n_declared ?domains ?workers ?memo ~problem algo g)
+      .violations
+    = []
   | Some plan -> (
     match
-      run_resilient ?seed ?ids ?n_declared ?domains ?memo ~plan ?retries
-        ~problem algo g
+      run_resilient ?seed ?ids ?n_declared ?domains ?workers ?memo ~plan
+        ?retries ~problem algo g
     with
     | Error _ -> false
     | Ok o -> o.healthy_violations = [] && o.report.errored_nodes = 0)
@@ -522,8 +758,8 @@ let succeeds ?seed ?ids ?n_declared ?domains ?memo ?plan ?retries ~problem
     Failure counts use defaulting lookups, so edge keys the verifier
     reports beyond the pre-registered edge list (e.g. self-loops keyed
     as [(v, v)]) are counted instead of raising [Not_found]. *)
-let empirical_local_failure ?(trials = 100) ?(seed = 7) ?domains ?memo ?plan
-    ?retries ~problem algo g =
+let empirical_local_failure ?(trials = 100) ?(seed = 7) ?domains ?workers
+    ?memo ?plan ?retries ~problem algo g =
   let n = Graph.n g in
   let node_fails = Array.make n 0 in
   let edge_fails = Hashtbl.create 64 in
@@ -537,7 +773,7 @@ let empirical_local_failure ?(trials = 100) ?(seed = 7) ?domains ?memo ?plan
      rejects (F301) fails everywhere by convention. *)
   let resilient_trial plan trial =
     match
-      run_resilient ~seed:(seed + (trial * 7919)) ?domains ?memo ~plan
+      run_resilient ~seed:(seed + (trial * 7919)) ?domains ?workers ?memo ~plan
         ?retries ~problem algo g
     with
     | Error _ ->
@@ -563,7 +799,10 @@ let empirical_local_failure ?(trials = 100) ?(seed = 7) ?domains ?memo ?plan
     match plan with
     | Some p -> resilient_trial p trial
     | None ->
-      let o = run ~seed:(seed + (trial * 7919)) ?domains ?memo ~problem algo g in
+      let o =
+        run ~seed:(seed + (trial * 7919)) ?domains ?workers ?memo ~problem
+          algo g
+      in
       let node_fail, edge_fail = Lcl.Verify.failure_events problem g o.labeling in
       Array.iteri (fun v f -> if f then node_fails.(v) <- node_fails.(v) + 1) node_fail;
       Hashtbl.iter (fun e () -> count e) edge_fail

@@ -42,14 +42,22 @@ val memo_cache : unit -> memo_cache
 
     [domains] sets the worker count of the deterministic parallel
     engine (default: $LCL_DOMAINS, else 1 = sequential); the labeling
-    is bit-identical for every worker count. [memo] (default off)
-    caches algorithm outputs per canonical view
+    is bit-identical for every worker count. [workers] additionally
+    shards the node range across that many forked worker *processes*
+    (default: $LCL_WORKERS, else 1 — see [Util.Cluster]), each running
+    the domain engine on its shard; rank-order merging keeps the
+    labeling and violations bit-identical for every (workers, domains)
+    combination. [stats] counters may differ under sharding —
+    [cache_hits]/[distinct_views] depend on which worker first sees a
+    view — but a shared [cache] stays warm across the process
+    boundary: workers ship their insertions back to the parent table.
+    [memo] (default off) caches algorithm outputs per canonical view
     ([Graph.Ball.fingerprint]); sound only for deterministic
     order-invariant algorithms (Def. 2.7). [cache] supplies a
     cross-run cache and implies [memo]. *)
 val run :
   ?seed:int -> ?ids:id_mode -> ?n_declared:int -> ?domains:int ->
-  ?memo:bool -> ?cache:memo_cache ->
+  ?workers:int -> ?memo:bool -> ?cache:memo_cache ->
   problem:Lcl.Problem.t -> Algorithm.t -> Graph.t -> outcome
 
 (** {1 Resilient execution under a fault plan} *)
@@ -83,11 +91,13 @@ type resilient_outcome = {
     purely-derived randomness and then becomes an [Errored] status —
     nothing raises across the parallel engine. The partial labeling is
     verified on the healthy subgraph only. Pure in (graph, plan, seed):
-    bit-identical at any worker count. [Error] (F301) iff the plan
-    references nodes outside the graph. *)
+    bit-identical at any worker count — statuses and partial labeling
+    included, for any [workers] process count (a worker process that
+    dies mid-run is recovered in the parent with the same result).
+    [Error] (F301) iff the plan references nodes outside the graph. *)
 val run_resilient :
   ?seed:int -> ?ids:id_mode -> ?n_declared:int -> ?domains:int ->
-  ?memo:bool -> ?plan:Fault.Plan.t -> ?retries:int ->
+  ?workers:int -> ?memo:bool -> ?plan:Fault.Plan.t -> ?retries:int ->
   problem:Lcl.Problem.t -> Algorithm.t -> Graph.t ->
   (resilient_outcome, Fault.Error.t) result
 
@@ -102,7 +112,7 @@ type degradation_point = {
     fault-free baseline is common to every point). *)
 val degradation :
   ?seed:int -> ?ids:id_mode -> ?n_declared:int -> ?domains:int ->
-  ?memo:bool -> ?retries:int -> plans:Fault.Plan.t list ->
+  ?workers:int -> ?memo:bool -> ?retries:int -> plans:Fault.Plan.t list ->
   problem:Lcl.Problem.t -> Algorithm.t -> Graph.t ->
   (degradation_point list, Fault.Error.t) result
 
@@ -111,7 +121,7 @@ val degradation :
     [Errored] node (crashing/starving gracefully still succeeds). *)
 val succeeds :
   ?seed:int -> ?ids:id_mode -> ?n_declared:int -> ?domains:int ->
-  ?memo:bool -> ?plan:Fault.Plan.t -> ?retries:int ->
+  ?workers:int -> ?memo:bool -> ?plan:Fault.Plan.t -> ?retries:int ->
   problem:Lcl.Problem.t -> Algorithm.t -> Graph.t -> bool
 
 (** Empirical *local* failure probability (Def. 2.4): over [trials]
@@ -122,6 +132,6 @@ val succeeds :
     violations count, crashed nodes impose nothing — so the result
     reports degradation instead of crashing. *)
 val empirical_local_failure :
-  ?trials:int -> ?seed:int -> ?domains:int -> ?memo:bool ->
+  ?trials:int -> ?seed:int -> ?domains:int -> ?workers:int -> ?memo:bool ->
   ?plan:Fault.Plan.t -> ?retries:int ->
   problem:Lcl.Problem.t -> Algorithm.t -> Graph.t -> float

@@ -125,6 +125,40 @@ let is_zero = function
   | Histogram_v { count = 0; _ } -> true
   | _ -> false
 
+(* Invert [value_of]'s bucket encoding: bucket lower bound back to
+   cell index. lo = 0 is bucket 0; lo = 2^(b-1) is bucket b. *)
+let bucket_of_lo lo = if lo <= 0 then 0 else bucket_of lo
+
+(** [absorb snapshot] folds a snapshot taken in another process (a
+    cluster worker) into this registry: counters and histogram cells
+    add, gauges take the absorbed value (last writer wins — gauges are
+    point-in-time readings). Metrics are registered on demand with the
+    kind they carry. Gated like every update; @raise Invalid_argument
+    on a kind clash with an existing registration. *)
+let absorb snap =
+  if Gate.enabled () then
+    List.iter
+      (fun (name, v) ->
+        match v with
+        | Counter_v c -> if c <> 0 then add (counter name) c
+        | Gauge_v g -> if g <> 0 then set (gauge name) g
+        | Histogram_v { count; sum; max = mx; buckets } ->
+          let m = histogram name in
+          ignore (Atomic.fetch_and_add m.cells.(0) count);
+          ignore (Atomic.fetch_and_add m.cells.(1) sum);
+          let rec raise_max () =
+            let cur = Atomic.get m.cells.(2) in
+            if mx > cur && not (Atomic.compare_and_set m.cells.(2) cur mx)
+            then raise_max ()
+          in
+          raise_max ();
+          List.iter
+            (fun (lo, c) ->
+              ignore
+                (Atomic.fetch_and_add m.cells.(3 + bucket_of_lo lo) c))
+            buckets)
+      snap
+
 (** Zero every metric; registrations (and handles) survive. *)
 let reset () =
   Mutex.protect lock (fun () ->

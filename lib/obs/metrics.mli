@@ -36,6 +36,12 @@ val snapshot : unit -> (string * value) list
 
 val find : string -> value option
 
+(** Fold a snapshot taken in another process (a cluster worker) into
+    this registry: counters and histogram cells add, gauges take the
+    absorbed value. Registers names on demand; gated like every
+    update. @raise Invalid_argument on a kind clash. *)
+val absorb : (string * value) list -> unit
+
 (** True when nothing has been recorded into the value. *)
 val is_zero : value -> bool
 

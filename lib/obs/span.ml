@@ -129,6 +129,30 @@ let with_ name f =
     Fun.protect ~finally:end_ f
   end
 
+(* Foreign span groups: events collected in another process (a cluster
+   worker) and handed to this one. Each absorb call is one group; the
+   group keeps its internal (domain, seq) structure and is renamed
+   past the local domains at collect time. Epoch-stamped like rings,
+   so [reset] drops them. *)
+let foreign : (int * event list) list ref = ref []   (* newest first *)
+
+(** [absorb events] merges spans collected in another process (worker
+    domains already densely ranked by that process's [collect]) into
+    the current trace. Call once per worker, in rank order: groups are
+    renamed to dense domain ranks after the local domains, in absorb
+    order, which is what keeps a cluster trace byte-stable. *)
+let absorb events =
+  if events <> [] then
+    Mutex.protect lock (fun () ->
+        foreign := (Atomic.get epoch, events) :: !foreign)
+
+let current_foreign () =
+  let e = Atomic.get epoch in
+  List.rev
+    (List.filter_map
+       (fun (fe, evs) -> if fe = e then Some evs else None)
+       !foreign)
+
 let current_rings () =
   let e = Atomic.get epoch in
   Mutex.protect lock (fun () ->
@@ -160,7 +184,19 @@ let collect () =
           :: !acc
       done)
     (List.rev rs);
-  (* built newest-ring-last, each ring oldest-first: already sorted *)
+  (* foreign groups (cluster workers) rank after the local domains, in
+     absorb order; each group's internal dense ranks are preserved,
+     shifted by the running base *)
+  let base = ref (List.length rs) in
+  List.iter
+    (fun evs ->
+      let width =
+        List.fold_left (fun w ev -> max w (ev.domain + 1)) 0 evs
+      in
+      let b = !base in
+      List.iter (fun ev -> acc := { ev with domain = ev.domain + b } :: !acc) evs;
+      base := b + width)
+    (current_foreign ());
   List.sort
     (fun a b ->
       match compare a.domain b.domain with 0 -> compare a.seq b.seq | c -> c)
@@ -186,5 +222,6 @@ let reset ?ring_capacity () =
       | Some c -> Atomic.set capacity (max 4 c)
       | None -> ());
       rings := [];
+      foreign := [];
       ring_count := 0;
       Atomic.incr epoch)

@@ -25,8 +25,19 @@ val with_ : string -> (unit -> 'a) -> 'a
     been joined. *)
 val collect : unit -> event list
 
-(** Spans recorded since the last [reset], including ones a full ring
-    has already overwritten. *)
+(** [absorb events] merges spans collected in another process (e.g. a
+    cluster worker — already densely ranked by that process's own
+    [collect]) into the current trace. Call once per worker in rank
+    order: each group is renamed to dense domain ranks after the
+    local domains, in absorb order, keeping the merged stream
+    byte-stable. Absorbed spans appear in [collect] but not in
+    [total_recorded]/[dropped], which describe local rings only.
+    A no-op on the empty list; [reset] drops absorbed groups. *)
+val absorb : event list -> unit
+
+(** Spans recorded locally since the last [reset], including ones a
+    full ring has already overwritten (absorbed foreign spans are not
+    counted). *)
 val total_recorded : unit -> int
 
 (** [total_recorded ()] minus the spans [collect] still returns. *)

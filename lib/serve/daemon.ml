@@ -1,0 +1,207 @@
+(* The serve daemon: single-threaded select loop, one dispatch cycle
+   per select wake-up. All buffered requests of a cycle go through
+   [Engine.answer_batch], so identical queries arriving together are
+   computed once; repeats across daemon restarts come from the
+   persistent cache.
+
+   The daemon itself never spawns a domain (computation runs either
+   sequentially or in forked cluster workers), so it stays
+   fork-capable for its whole lifetime — the OCaml 5 runtime refuses
+   [fork] after any in-process domain (see [Util.Cluster]). *)
+
+type stats = {
+  mutable served : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable connections : int;
+}
+
+type conn = {
+  fd : Unix.file_descr;
+  dec : Util.Framing.decoder;
+  mutable alive : bool;
+}
+
+let rec accept_pending listen conns stats =
+  match Unix.accept ~cloexec:true listen with
+  | fd, _ ->
+    stats.connections <- stats.connections + 1;
+    conns := { fd; dec = Util.Framing.decoder (); alive = true } :: !conns;
+    accept_pending listen conns stats
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+    accept_pending listen conns stats
+
+let close_conn c =
+  if c.alive then begin
+    c.alive <- false;
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  end
+
+(* Drain one readable connection into its decoder and return the
+   requests that completed. A client that vanishes (EOF, reset) or
+   sends garbage (torn frame, bad marshal) just loses its
+   connection — the daemon carries on. *)
+let read_requests scratch c =
+  match Unix.read c.fd scratch 0 (Bytes.length scratch) with
+  | 0 ->
+    close_conn c;
+    []
+  | k -> (
+    match
+      Util.Framing.feed c.dec
+        (Bytes.sub_string scratch 0 k)
+        ~pos:0 ~len:k;
+      let rec drain acc =
+        match Util.Framing.next c.dec with
+        | Some payload -> drain (Protocol.request_of_payload payload :: acc)
+        | None -> List.rev acc
+      in
+      drain []
+    with
+    | reqs -> reqs
+    | exception (Util.Framing.Corrupt _ | Failure _) ->
+      close_conn c;
+      [])
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+    close_conn c;
+    []
+
+let respond c r =
+  if c.alive then
+    try Protocol.write_response c.fd r
+    with
+    | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
+      close_conn c
+
+let stats_text stats ~cache =
+  Printf.sprintf
+    "{\"serve\":\"stats\",\"served\":%d,\"cache_hits\":%d,\
+     \"cache_misses\":%d,\"connections\":%d,\"cache_entries\":%d}\n"
+    stats.served stats.hits stats.misses stats.connections
+    (Util.Diskcache.length cache)
+
+let serve ~socket_path ~cache_path ?workers ?(should_stop = fun () -> false)
+    ?(poll_interval = 0.25) ?(on_ready = fun () -> ()) () =
+  let stats = { served = 0; hits = 0; misses = 0; connections = 0 } in
+  (if Sys.file_exists socket_path then
+     try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+  let listen = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let cache = Util.Diskcache.open_ cache_path in
+  let stop_requested = ref false in
+  let cleanup_conns = ref [] in
+  let finally () =
+    List.iter close_conn !cleanup_conns;
+    (try Unix.close listen with Unix.Unix_error _ -> ());
+    (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+    Util.Diskcache.flush cache;
+    Util.Diskcache.close cache
+  in
+  Fun.protect ~finally (fun () ->
+      Unix.bind listen (Unix.ADDR_UNIX socket_path);
+      Unix.listen listen 64;
+      Unix.set_nonblock listen;
+      on_ready ();
+      let scratch = Bytes.create 65536 in
+      let conns = cleanup_conns in
+      while not (!stop_requested || should_stop ()) do
+        conns := List.filter (fun c -> c.alive) !conns;
+        let fds = listen :: List.map (fun c -> c.fd) !conns in
+        let readable =
+          match Unix.select fds [] [] poll_interval with
+          | r, _, _ -> r
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+        in
+        if List.memq listen readable then accept_pending listen conns stats;
+        (* one dispatch cycle: everything buffered right now, batched *)
+        let pending =
+          List.concat_map
+            (fun c ->
+              if c.alive && List.memq c.fd readable then
+                List.map (fun r -> (c, r)) (read_requests scratch c)
+              else [])
+            !conns
+        in
+        if pending <> [] then begin
+          let daemon_level = function
+            | Protocol.Stats | Protocol.Shutdown -> true
+            | _ -> false
+          in
+          let engine_reqs =
+            List.filter_map
+              (fun (_, r) -> if daemon_level r then None else Some r)
+              pending
+          in
+          let answered = ref (Engine.answer_batch ?workers ~cache engine_reqs) in
+          List.iter
+            (fun (c, req) ->
+              stats.served <- stats.served + 1;
+              match req with
+              | Protocol.Stats -> respond c (Ok (stats_text stats ~cache))
+              | Protocol.Shutdown ->
+                stop_requested := true;
+                respond c (Ok "shutting down\n")
+              | _ ->
+                (match !answered with
+                | (r, src) :: rest ->
+                  answered := rest;
+                  (match src with
+                  | Engine.Hit -> stats.hits <- stats.hits + 1
+                  | Engine.Miss -> stats.misses <- stats.misses + 1
+                  | Engine.Uncacheable -> ());
+                  respond c r
+                | [] ->
+                  (* impossible: one batch answer per engine request *)
+                  respond c (Error "internal: batch underflow")))
+            pending;
+          (* keep the on-disk cache durable after every cycle that
+             could have extended it *)
+          Util.Diskcache.flush cache
+        end
+      done);
+  stats
+
+(* -- client ------------------------------------------------------------- *)
+
+let with_connection ~socket_path f =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_UNIX socket_path);
+      f fd)
+
+let request ~socket_path req : Protocol.response =
+  match
+    with_connection ~socket_path (fun fd ->
+        Protocol.write_request fd req;
+        Protocol.read_response fd)
+  with
+  | Some r -> r
+  | None -> Error "daemon closed the connection without answering"
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Printf.sprintf "cannot reach daemon at %s: %s" socket_path
+             (Unix.error_message e))
+  | exception Util.Framing.Corrupt m -> Error ("corrupt response: " ^ m)
+
+let request_batch ~socket_path reqs : Protocol.response list =
+  match
+    with_connection ~socket_path (fun fd ->
+        List.iter (Protocol.write_request fd) reqs;
+        List.map
+          (fun _ ->
+            match Protocol.read_response fd with
+            | Some r -> r
+            | None -> Error "daemon closed the connection without answering")
+          reqs)
+  with
+  | rs -> rs
+  | exception Unix.Unix_error (e, _, _) ->
+    let msg =
+      Error (Printf.sprintf "cannot reach daemon at %s: %s" socket_path
+               (Unix.error_message e))
+    in
+    List.map (fun _ -> msg) reqs
+  | exception Util.Framing.Corrupt m ->
+    List.map (fun _ -> Error ("corrupt response: " ^ m)) reqs

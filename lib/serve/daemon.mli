@@ -1,0 +1,53 @@
+(** The [lcl_tool serve] daemon: a select-loop over a Unix-domain
+    socket, batching one dispatch cycle's requests through
+    [Engine.answer_batch] and the persistent classification cache.
+
+    One process, no in-parent domains by default: simulation requests
+    shard across forked worker processes ([workers]), which keeps the
+    daemon itself fork-capable for its whole lifetime (see
+    [Util.Cluster.can_fork]).
+
+    Protocol per connection: any number of request frames, answered in
+    order; requests already buffered when a cycle dispatches are
+    answered from one batch (distinct fingerprints computed once). *)
+
+type stats = {
+  mutable served : int;      (** requests answered *)
+  mutable hits : int;        (** answered from the persistent cache *)
+  mutable misses : int;      (** fingerprinted but computed *)
+  mutable connections : int; (** connections accepted *)
+}
+
+(** [serve ~socket_path ~cache_path ()] binds [socket_path] (removing
+    a stale socket file first), opens (or creates) the cache at
+    [cache_path] and serves until a [Shutdown] request arrives or
+    [should_stop ()] turns true (polled at least every [poll_interval]
+    seconds, default 0.25). The cache is flushed and closed and the
+    socket unlinked on every exit path. Returns the final counters.
+
+    [on_ready] fires once listening (used by tests and by the CLI to
+    print the socket path). [workers] is passed to every computation.
+
+    @raise Unix.Unix_error when binding or listening fails. *)
+val serve :
+  socket_path:string ->
+  cache_path:string ->
+  ?workers:int ->
+  ?should_stop:(unit -> bool) ->
+  ?poll_interval:float ->
+  ?on_ready:(unit -> unit) ->
+  unit ->
+  stats
+
+(** {1 Client side} *)
+
+(** [request ~socket_path req] connects, sends [req], and reads the
+    answer. [Error] covers connection failures and daemon-reported
+    errors alike. *)
+val request : socket_path:string -> Protocol.request -> Protocol.response
+
+(** Send every request on one connection before reading any answer —
+    the way to land a whole batch in a single dispatch cycle. Answers
+    are positionally aligned with the requests. *)
+val request_batch :
+  socket_path:string -> Protocol.request list -> Protocol.response list

@@ -1,0 +1,167 @@
+(* Request evaluation. Answers must be deterministic in the request —
+   no wall times, explicit seeds — so that the persistent cache can
+   replay them byte-identically. See engine.mli. *)
+
+let m_requests = Obs.Metrics.counter "serve.requests"
+let m_hits = Obs.Metrics.counter "serve.cache.hits"
+let m_misses = Obs.Metrics.counter "serve.cache.misses"
+let m_computed = Obs.Metrics.counter "serve.computed"
+
+let resolve_local_algo name =
+  match name with
+  | "cv-coloring" ->
+    Some (Local.Cole_vishkin.three_coloring, Lcl.Zoo.coloring ~k:3 ~delta:2)
+  | "mis" -> Some (Local.Mis.algorithm, Lcl.Zoo.mis ~delta:2)
+  | "matching" ->
+    Some (Local.Matching.algorithm, Lcl.Zoo.maximal_matching ~delta:2)
+  | "luby" -> Some (Local.Luby.algorithm, Lcl.Zoo.mis ~delta:2)
+  | _ -> None
+
+let zoo_text () =
+  String.concat ""
+    (List.map
+       (fun (name, p) ->
+         Fmt.str "%-24s delta=%d  |out|=%d\n" name (Lcl.Problem.delta p)
+           (Lcl.Alphabet.size (Lcl.Problem.sigma_out p)))
+       Zoo_table.all)
+
+let classify_text problem =
+  match Zoo_table.load problem with
+  | Error m -> Error m
+  | Ok p ->
+    if Lcl.Problem.delta p <> 2 then
+      Error "classify handles degree-2 problems (cycles/paths)"
+    else
+      Ok
+        (Fmt.str "on oriented cycles: %a@.on oriented paths:  %a@."
+           Classify.Cycle_path.pp_verdict
+           (Classify.Cycle_path.classify_cycle p)
+           Classify.Cycle_path.pp_verdict
+           (Classify.Cycle_path.classify_path p))
+
+let gap_text ~iterations ~max_labels problem =
+  match Zoo_table.load problem with
+  | Error m -> Error m
+  | Ok p ->
+    let r =
+      Relim.Pipeline.run ~max_iterations:iterations ~max_labels p
+    in
+    let b = Buffer.create 256 in
+    List.iter
+      (fun (e : Relim.Pipeline.trace_entry) ->
+        Buffer.add_string b
+          (Fmt.str "f^%d: %4d labels, 0-round solvable: %b\n" e.iteration
+             e.labels e.zero_round))
+      r.Relim.Pipeline.trace;
+    Buffer.add_string b
+      (Fmt.str "verdict: %a\n" Relim.Pipeline.pp_verdict
+         r.Relim.Pipeline.verdict);
+    Ok (Buffer.contents b)
+
+let simulate_text ?workers ~algo ~n ~seed () =
+  if n < 3 then Error (Printf.sprintf "simulate: n must be >= 3 (got %d)" n)
+  else
+    match resolve_local_algo algo with
+    | None -> Error (Printf.sprintf "unknown algorithm %s" algo)
+    | Some (a, problem) ->
+      let g = Graph.Builder.oriented_cycle n in
+      let o = Local.Runner.run ~seed ?workers ~problem a g in
+      Ok
+        (Printf.sprintf "%s on oriented C_%d: radius %d, violations %d\n"
+           algo n o.Local.Runner.radius_used
+           (List.length o.Local.Runner.violations))
+
+let faultsim_text ?workers ~algo ~n ~seed ~fault_seed ~crash ~sever ~retries
+    () =
+  if n < 3 then Error (Printf.sprintf "faultsim: n must be >= 3 (got %d)" n)
+  else
+    match resolve_local_algo algo with
+    | None -> Error (Printf.sprintf "unknown algorithm %s" algo)
+    | Some (a, problem) ->
+      let g = Graph.Builder.oriented_cycle n in
+      let spec = Fault.Plan.spec ~crash ~sever () in
+      let plan = Fault.Plan.generate ~label:"serve" ~seed:fault_seed ~spec g in
+      (match
+         Local.Runner.run_resilient ~seed ?workers ~plan ~retries ~problem a g
+       with
+      | Error e -> Error (Fault.Error.to_string e)
+      | Ok o ->
+        let r = o.Local.Runner.report in
+        Ok
+          (Fault.Json.to_string
+             (Fault.Json.Obj
+                [
+                  ("faultsim", String "local");
+                  ("algo", String algo);
+                  ("n", Int n);
+                  ("plan", Fault.Plan.to_json r.Local.Runner.applied);
+                  ("radius", Int o.Local.Runner.r_radius_used);
+                  ("ok", Int r.Local.Runner.ok_nodes);
+                  ("crashed", Int r.Local.Runner.crashed_nodes);
+                  ("starved", Int r.Local.Runner.starved_nodes);
+                  ("errored", Int r.Local.Runner.errored_nodes);
+                  ("severed_edges", Int r.Local.Runner.severed_edges);
+                  ("retries_used", Int r.Local.Runner.retries_used);
+                  ("healthy_violations",
+                   Int (List.length o.Local.Runner.healthy_violations));
+                ])
+           ^ "\n"))
+
+let answer ?workers (req : Protocol.request) : Protocol.response =
+  Obs.Metrics.incr m_computed;
+  Obs.Span.with_ "serve.compute" (fun () ->
+      match req with
+      | Ping -> Ok "pong"
+      | Zoo -> Ok (zoo_text ())
+      | Classify { problem } -> classify_text problem
+      | Gap { problem; iterations; max_labels } ->
+        gap_text ~iterations ~max_labels problem
+      | Simulate { algo; n; seed } -> simulate_text ?workers ~algo ~n ~seed ()
+      | Faultsim { algo; n; seed; fault_seed; crash; sever; retries } ->
+        faultsim_text ?workers ~algo ~n ~seed ~fault_seed ~crash ~sever
+          ~retries ()
+      | Stats | Shutdown -> Error "handled by the daemon, not the engine")
+
+type source = Hit | Miss | Uncacheable
+
+let answer_tagged ?workers ~cache req : Protocol.response * source =
+  Obs.Metrics.incr m_requests;
+  match Protocol.fingerprint req with
+  | None -> (answer ?workers req, Uncacheable)
+  | Some key -> (
+    match Util.Diskcache.find cache key with
+    | Some stored ->
+      Obs.Metrics.incr m_hits;
+      (Ok stored, Hit)
+    | None ->
+      Obs.Metrics.incr m_misses;
+      let r = answer ?workers req in
+      (match r with
+      | Ok text -> Util.Diskcache.add cache key text
+      | Error _ -> ());
+      (r, Miss))
+
+let answer_cached ?workers ~cache req : Protocol.response =
+  fst (answer_tagged ?workers ~cache req)
+
+let answer_batch ?workers ~cache reqs : (Protocol.response * source) list =
+  (* distinct fingerprints answer once per cycle; the by-key table
+     also captures cache hits so duplicates skip even the disk probe *)
+  let by_key : (string, Protocol.response) Hashtbl.t = Hashtbl.create 8 in
+  List.map
+    (fun req ->
+      match Protocol.fingerprint req with
+      | None ->
+        Obs.Metrics.incr m_requests;
+        (answer ?workers req, Uncacheable)
+      | Some key -> (
+        match Hashtbl.find_opt by_key key with
+        | Some r ->
+          Obs.Metrics.incr m_requests;
+          Obs.Metrics.incr m_hits;
+          (r, Hit)
+        | None ->
+          let r, src = answer_tagged ?workers ~cache req in
+          Hashtbl.add by_key key r;
+          (r, src)))
+    reqs

@@ -1,0 +1,40 @@
+(** Request evaluation for the daemon: pure request-in, text-out.
+
+    Every computed answer is deterministic in the request (seeds are
+    explicit, reports carry no wall times), which is what makes the
+    persistent cache sound: a warm answer is byte-identical to the
+    cold one.
+
+    Observability (when enabled): each computed request runs under a
+    ["serve.compute"] span; the counters [serve.requests],
+    [serve.cache.hits], [serve.cache.misses] and [serve.computed]
+    count lookups and invocations — a repeated cacheable request
+    increments [serve.cache.hits] and leaves [serve.computed]
+    untouched. *)
+
+(** Evaluate one request, bypassing any cache. [workers] shards
+    simulation workloads across forked processes as in
+    [Local.Runner.run]. [Stats] and [Shutdown] are daemon-level
+    requests and answer [Error] here. *)
+val answer : ?workers:int -> Protocol.request -> Protocol.response
+
+(** Evaluate through a persistent cache: fingerprinted requests probe
+    [cache] first and persist their (successful) answer on a miss.
+    Error answers are never cached. *)
+val answer_cached :
+  ?workers:int -> cache:Util.Diskcache.t -> Protocol.request ->
+  Protocol.response
+
+(** How a batched answer was obtained: from the persistent cache (or
+    an earlier duplicate in the same cycle), computed on a cache miss,
+    or computed because the request has no fingerprint. *)
+type source = Hit | Miss | Uncacheable
+
+(** Evaluate a dispatch cycle's batch: distinct fingerprints are
+    computed (or fetched) once and shared across the batch, in first-
+    occurrence order; requests without a fingerprint are evaluated
+    individually. The result list is positionally aligned with the
+    input. *)
+val answer_batch :
+  ?workers:int -> cache:Util.Diskcache.t -> Protocol.request list ->
+  (Protocol.response * source) list

@@ -1,0 +1,68 @@
+(* Wire protocol: marshaled request/response values in Framing frames.
+   See protocol.mli for the contract. *)
+
+type request =
+  | Ping
+  | Zoo
+  | Classify of { problem : string }
+  | Gap of { problem : string; iterations : int; max_labels : int }
+  | Simulate of { algo : string; n : int; seed : int }
+  | Faultsim of {
+      algo : string;
+      n : int;
+      seed : int;
+      fault_seed : int;
+      crash : float;
+      sever : float;
+      retries : int;
+    }
+  | Stats
+  | Shutdown
+
+type response = (string, string) result
+
+(* Canonical problem text: parse (or look up in the zoo) and
+   pretty-print, so formatting differences between two spellings of
+   the same problem collapse to one key. Unparsable problems get no
+   fingerprint — the error answer must be recomputed, never cached. *)
+let canonical_problem spec =
+  match Zoo_table.find spec with
+  | Some p -> Some (Lcl.Parse.to_string p)
+  | None -> (
+    match Lcl.Parse.of_string spec with
+    | p -> Some (Lcl.Parse.to_string p)
+    | exception Lcl.Parse.Parse_error _ -> None)
+
+let digest s = Digest.to_hex (Digest.string s)
+
+let fingerprint = function
+  | Ping | Zoo | Stats | Shutdown -> None
+  | Classify { problem } ->
+    Option.map (fun c -> "classify:" ^ digest c) (canonical_problem problem)
+  | Gap { problem; iterations; max_labels } ->
+    Option.map
+      (fun c ->
+        Printf.sprintf "gap:%d:%d:%s" iterations max_labels (digest c))
+      (canonical_problem problem)
+  | Simulate { algo; n; seed } ->
+    Some (Printf.sprintf "simulate:%s:%d:%d" algo n seed)
+  | Faultsim { algo; n; seed; fault_seed; crash; sever; retries } ->
+    Some
+      (Printf.sprintf "faultsim:%s:%d:%d:%d:%h:%h:%d" algo n seed fault_seed
+         crash sever retries)
+
+let write_request fd (r : request) =
+  Util.Framing.write_frame fd (Marshal.to_string r [])
+
+let write_response fd (r : response) =
+  Util.Framing.write_frame fd (Marshal.to_string r [])
+
+let request_of_payload payload : request = Marshal.from_string payload 0
+
+let read_request fd : request option =
+  Option.map request_of_payload (Util.Framing.read_frame fd)
+
+let read_response fd : response option =
+  Option.map
+    (fun payload : response -> Marshal.from_string payload 0)
+    (Util.Framing.read_frame fd)

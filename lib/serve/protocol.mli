@@ -1,0 +1,61 @@
+(** Wire protocol of the [lcl_tool serve] daemon.
+
+    Requests and responses are marshaled OCaml values, one per
+    length-prefixed [Util.Framing] frame, over a Unix-domain stream
+    socket. Problems travel as text (a zoo name or the [Lcl.Parse]
+    source), never as a file path: the daemon must not depend on the
+    client's filesystem.
+
+    Cacheable requests have a {!fingerprint}: a canonical key under
+    which the daemon persists the response in its on-disk
+    classification cache. The canonical form of a problem is its
+    parsed pretty-printing, so two textual spellings of the same
+    problem share one cache entry. *)
+
+type request =
+  | Ping
+  | Zoo  (** list the built-in problems *)
+  | Classify of { problem : string }
+      (** degree-2 cycle/path classification (Section 4 machinery) *)
+  | Gap of { problem : string; iterations : int; max_labels : int }
+      (** Theorem 3.10 tree gap pipeline *)
+  | Simulate of { algo : string; n : int; seed : int }
+      (** a named LOCAL algorithm on an oriented cycle *)
+  | Faultsim of {
+      algo : string;
+      n : int;
+      seed : int;
+      fault_seed : int;
+      crash : float;
+      sever : float;
+      retries : int;
+    }  (** resilient run under a generated fault plan *)
+  | Stats  (** daemon counters; answered by the daemon itself *)
+  | Shutdown  (** flush the cache and exit; answered before exiting *)
+
+(** Response text, or an error message. Responses to cacheable
+    requests are byte-identical whether computed cold or replayed from
+    the cache (the stored value IS the returned value). *)
+type response = (string, string) result
+
+(** Cache key for requests whose answer is deterministic in the
+    request alone; [None] for the others ([Ping], [Zoo], [Stats],
+    [Shutdown]). Malformed problems fingerprint to [None] so parse
+    errors are never cached. *)
+val fingerprint : request -> string option
+
+(** Frame I/O over a socket. [read_*] return [None] on clean EOF.
+    @raise Util.Framing.Corrupt on a torn or oversized frame,
+    [Failure] on an unmarshalable payload. *)
+
+val write_request : Unix.file_descr -> request -> unit
+
+val read_request : Unix.file_descr -> request option
+
+val write_response : Unix.file_descr -> response -> unit
+
+val read_response : Unix.file_descr -> response option
+
+(** Decode one marshaled request payload (a [Framing] frame body), as
+    fed by the daemon's incremental decoder. *)
+val request_of_payload : string -> request

@@ -1,0 +1,38 @@
+(* Built-in problems by name, previously a private table of the CLI;
+   the daemon shares it so zoo names mean the same thing over the
+   wire as on the command line. *)
+
+let all =
+  [
+    ("trivial", Lcl.Zoo.trivial ~delta:3);
+    ("free-choice", Lcl.Zoo.free_choice ~delta:3);
+    ("edge-orientation", Lcl.Zoo.edge_orientation ~delta:3);
+    ("edge-orientation-d2", Lcl.Zoo.edge_orientation ~delta:2);
+    ("echo-input", Lcl.Zoo.echo_input ~delta:2);
+    ("3-coloring", Lcl.Zoo.coloring ~k:3 ~delta:2);
+    ("2-coloring", Lcl.Zoo.coloring ~k:2 ~delta:2);
+    ("4-coloring-d3", Lcl.Zoo.coloring ~k:4 ~delta:3);
+    ("3-edge-coloring", Lcl.Zoo.edge_coloring ~k:3 ~delta:2);
+    ("mis", Lcl.Zoo.mis ~delta:2);
+    ("mis-d3", Lcl.Zoo.mis ~delta:3);
+    ("maximal-matching", Lcl.Zoo.maximal_matching ~delta:2);
+    ("sinkless-orientation", Lcl.Zoo.sinkless_orientation ~delta:3);
+    ("consistent-orientation", Lcl.Zoo.consistent_orientation);
+    ("period-3", Lcl.Zoo.period_pattern ~k:3);
+    ("forbidden-color", Lcl.Zoo.forbidden_color_coloring);
+    ("weak-2-coloring", Lcl.Zoo.weak_2_coloring ~delta:3 ());
+    ("weak-2-coloring-d2", Lcl.Zoo.weak_2_coloring ~delta:2 ());
+  ]
+
+let find name = List.assoc_opt name all
+
+let load spec =
+  match find spec with
+  | Some p -> Ok p
+  | None -> (
+    match Lcl.Parse.of_string spec with
+    | p -> Ok p
+    | exception Lcl.Parse.Parse_error { message; line } ->
+      Error
+        (Printf.sprintf "parse error: %s"
+           (Lcl.Parse.error_to_string ~message ~line)))

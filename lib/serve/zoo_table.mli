@@ -1,0 +1,11 @@
+(** The named built-in problems shared by the CLI and the daemon:
+    every spelling accepted on the command line ([lcl_tool classify
+    3-coloring]) is also accepted over the wire. *)
+
+val all : (string * Lcl.Problem.t) list
+
+val find : string -> Lcl.Problem.t option
+
+(** Zoo name or problem source text to a problem.
+    [Error message] on an unknown name that does not parse. *)
+val load : string -> (Lcl.Problem.t, string) result

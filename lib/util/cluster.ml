@@ -1,0 +1,184 @@
+(* Fork-based multi-process backend. See cluster.mli for the contract.
+
+   Design mirrors [Parallel] deliberately: the same block_bounds
+   decomposition and rank-order reassembly are what make a cluster run
+   bit-identical to a single-process one for pure per-range functions.
+   The transport is one [Framing] frame per worker over a socketpair —
+   workers answer exactly once, so there is no multiplexing and EOF
+   before the answer is an unambiguous "worker died" signal.
+
+   The halo problem — a boundary node's radius-T ball reaching into a
+   neighbor shard — is solved by fork semantics: every child holds the
+   whole CSR graph copy-on-write, so cross-shard reads are plain array
+   loads. Nothing is shipped back but the per-range result. *)
+
+let env_var = "LCL_WORKERS"
+let kill_env_var = "LCL_CLUSTER_KILL_RANK"
+
+(* Unlike [Parallel.default_domains], the env value is NOT capped at
+   the core count: worker processes share no runtime, so
+   oversubscription is ordinary preemptive scheduling (and the
+   bit-identical-merge property must be testable at 4 workers on any
+   machine). The bound only guards against a fork bomb from a
+   nonsensical setting. *)
+let max_workers = 256
+
+let default_workers () =
+  match Sys.getenv_opt env_var with
+  | None -> 1
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some w when w >= 1 -> min w max_workers
+    | _ -> 1)
+
+let block_bounds ~n ~workers b = Parallel.block_bounds ~n ~d:workers b
+
+exception
+  Worker_error of { rank : int; lo : int; hi : int; message : string }
+
+let () =
+  Printexc.register_printer (function
+    | Worker_error { rank; lo; hi; message } ->
+      Some
+        (Printf.sprintf "Cluster.Worker_error rank %d (range [%d,%d)): %s"
+           rank lo hi message)
+    | _ -> None)
+
+let resolve workers =
+  match workers with Some w -> max 1 w | None -> default_workers ()
+
+(* The OCaml 5 runtime refuses [Unix.fork] in a process that has EVER
+   created a domain (even joined ones): multi-process and in-process
+   multi-domain execution compose only child-side — fork first, spawn
+   domains inside the workers. [can_fork] feature-detects with a probe
+   fork, because the runtime exposes no "domains were created" query;
+   [map_ranges] falls back to in-process evaluation when forking is
+   unavailable, so a mixed workload (e.g. a test suite that ran the
+   domain engine before the cluster engages) degrades to the
+   bit-identical single-process result instead of failing. *)
+let can_fork () =
+  Sys.unix
+  &&
+  match Unix.fork () with
+  | 0 -> Unix._exit 0
+  | pid ->
+    let rec reap () =
+      match Unix.waitpid [] pid with
+      | _ -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> reap ()
+      | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+    in
+    reap ();
+    true
+  | exception _ -> false
+
+let kill_rank () =
+  match Sys.getenv_opt kill_env_var with
+  | None -> None
+  | Some s -> int_of_string_opt (String.trim s)
+
+(* What came back over a worker's socket. [Died] covers both EOF
+   before the answer and a torn frame: either way the child is gone
+   and the range must be recomputed. *)
+type 'a answer = Answered of ('a, string) result | Died
+
+let reap pid =
+  let rec go () =
+    match Unix.waitpid [] pid with
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    (* a SIGCHLD reaper (the serve daemon installs one) may have
+       collected the child already *)
+    | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+  in
+  go ()
+
+let run_child ~rank ~lo ~hi wr f =
+  (match kill_rank () with
+  | Some r when r = rank -> Unix.kill (Unix.getpid ()) Sys.sigkill
+  | _ -> ());
+  let result = try Ok (f lo hi) with e -> Error (Printexc.to_string e) in
+  (try
+     let payload =
+       try Marshal.to_string result []
+       with e ->
+         Marshal.to_string
+           (Error (Printf.sprintf "unmarshalable worker result: %s"
+                     (Printexc.to_string e))
+             : (_, string) result)
+           []
+     in
+     Framing.write_frame wr payload
+   with _ -> ());
+  (* _exit, not exit: the child must not run the parent's at_exit
+     handlers (test reporters, output flushing) on copied state *)
+  Unix._exit 0
+
+let map_ranges ?workers ?recover ~n f =
+  let w = min (resolve workers) (max 1 n) in
+  let recover = Option.value recover ~default:f in
+  let in_process which =
+    Array.init (max 1 w) (fun b ->
+        let lo, hi = block_bounds ~n ~workers:(max 1 w) b in
+        which lo hi)
+  in
+  if w <= 1 || not Sys.unix then in_process f
+  else if not (can_fork ()) then
+    (* fork unavailable (a domain was created in this process):
+       degrade to in-process rank-order evaluation — [recover], not
+       [f], because [f] may perform child-only setup *)
+    in_process recover
+  else begin
+    let spawn rank =
+      let rd, wr = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match Unix.fork () with
+      | 0 ->
+        Unix.close rd;
+        let lo, hi = block_bounds ~n ~workers:w rank in
+        run_child ~rank ~lo ~hi wr f
+      | pid ->
+        Unix.close wr;
+        (pid, rd)
+      | exception e ->
+        Unix.close rd;
+        Unix.close wr;
+        raise e
+    in
+    let children = Array.init w spawn in
+    (* Drain in rank order: later workers block in [write] until their
+       turn, which is harmless — their compute is already done — and
+       it keeps peak parent-side buffering at one frame. *)
+    let answers =
+      Array.map
+        (fun (pid, rd) ->
+          let a =
+            match Framing.read_frame rd with
+            | Some payload -> Answered (Marshal.from_string payload 0)
+            | None -> Died
+            | exception Framing.Corrupt _ -> Died
+          in
+          Unix.close rd;
+          reap pid;
+          a)
+        children
+    in
+    (* All workers reaped; now resolve. Failures surface lowest rank
+       first, matching [Parallel]'s lowest-index rule. *)
+    Array.iteri
+      (fun rank a ->
+        match a with
+        | Answered (Error message) ->
+          let lo, hi = block_bounds ~n ~workers:w rank in
+          raise (Worker_error { rank; lo; hi; message })
+        | _ -> ())
+      answers;
+    Array.mapi
+      (fun rank a ->
+        match a with
+        | Answered (Ok v) -> v
+        | Answered (Error _) -> assert false
+        | Died ->
+          let lo, hi = block_bounds ~n ~workers:w rank in
+          recover lo hi)
+      answers
+  end

@@ -1,0 +1,156 @@
+(* Append-only persistent cache. See diskcache.mli for the format and
+   locking protocol.
+
+   The in-memory [Hashtbl] mirrors every record this process has seen;
+   [read_off] marks how far into the file that mirror is valid. All
+   file access is offset-explicit (seek before every read/write): the
+   fd position is also used by [lockf] to address the lock range, so
+   no code here trusts it between calls. *)
+
+let magic = "LCLCACHE1\n"
+
+type t = {
+  dc_path : string;
+  fd : Unix.file_descr;
+  tbl : (string, string) Hashtbl.t;
+  mutable read_off : int;  (* file bytes parsed into [tbl] *)
+}
+
+exception Corrupt of string
+
+let () =
+  Printexc.register_printer (function
+    | Corrupt msg -> Some (Printf.sprintf "Diskcache.Corrupt: %s" msg)
+    | _ -> None)
+
+let path t = t.dc_path
+let length t = Hashtbl.length t.tbl
+
+let rec restart f = try f () with
+  | Unix.Unix_error (Unix.EINTR, _, _) -> restart f
+
+let seek fd off = ignore (Unix.lseek fd off Unix.SEEK_SET)
+
+(* Exclusive whole-file lock: lockf addresses the section from the
+   current position, so seek to 0 and lock "to infinity". *)
+let with_lock t f =
+  seek t.fd 0;
+  restart (fun () -> Unix.lockf t.fd Unix.F_LOCK 0);
+  Fun.protect f ~finally:(fun () ->
+      seek t.fd 0;
+      Unix.lockf t.fd Unix.F_ULOCK 0)
+
+let file_size t = (Unix.fstat t.fd).Unix.st_size
+
+let read_tail t ~upto =
+  let len = upto - t.read_off in
+  let b = Bytes.create len in
+  seek t.fd t.read_off;
+  let got = ref 0 in
+  (try
+     while !got < len do
+       let k = restart (fun () -> Unix.read t.fd b !got (len - !got)) in
+       if k = 0 then raise Exit;
+       got := !got + k
+     done
+   with Exit -> ());
+  Bytes.sub b 0 !got
+
+(* Parse whole (key, value) record pairs out of [tail], stopping at
+   the first incomplete record — a writer killed mid-append leaves a
+   torn tail, which the next locked append truncates away. Returns the
+   number of bytes consumed by complete records. *)
+let absorb_records t tail =
+  let len = Bytes.length tail in
+  let frame_at pos =
+    if len - pos < Framing.header_bytes then None
+    else begin
+      let flen = Int32.to_int (Bytes.get_int32_le tail pos) in
+      if flen < 0 || flen > Framing.max_payload then
+        raise (Corrupt (Printf.sprintf "%s: bad frame length %d" t.dc_path flen));
+      if len - pos < Framing.header_bytes + flen then None
+      else Some (Bytes.sub_string tail (pos + Framing.header_bytes) flen,
+                 pos + Framing.header_bytes + flen)
+    end
+  in
+  let committed = ref 0 in
+  (try
+     while true do
+       match frame_at !committed with
+       | None -> raise Exit
+       | Some (key, vpos) ->
+         (match frame_at vpos with
+         | None -> raise Exit
+         | Some (value, next) ->
+           if not (Hashtbl.mem t.tbl key) then Hashtbl.add t.tbl key value;
+           committed := next)
+     done
+   with Exit -> ());
+  !committed
+
+(* Pull in records other processes appended since [read_off]. Must run
+   under the lock (a concurrent appender mid-write would otherwise
+   present a transiently torn tail as final). *)
+let sync_locked t =
+  let size = file_size t in
+  if size > t.read_off then begin
+    let tail = read_tail t ~upto:size in
+    t.read_off <- t.read_off + absorb_records t tail
+  end
+
+let open_ dc_path =
+  let fd = Unix.openfile dc_path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  let t = { dc_path; fd; tbl = Hashtbl.create 64; read_off = 0 } in
+  with_lock t (fun () ->
+      let size = file_size t in
+      if size = 0 then begin
+        seek t.fd 0;
+        let b = Bytes.of_string magic in
+        let n = restart (fun () -> Unix.write t.fd b 0 (Bytes.length b)) in
+        if n <> Bytes.length b then raise (Corrupt (dc_path ^ ": short write"));
+        t.read_off <- String.length magic
+      end
+      else begin
+        let mlen = String.length magic in
+        if size < mlen then raise (Corrupt (dc_path ^ ": truncated magic"));
+        let hdr = read_tail t ~upto:mlen in
+        if Bytes.to_string hdr <> magic then
+          raise (Corrupt (dc_path ^ ": not a LCLCACHE1 file"));
+        t.read_off <- mlen;
+        sync_locked t
+      end);
+  t
+
+let find t key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some _ as hit -> hit
+  | None ->
+    with_lock t (fun () -> sync_locked t);
+    Hashtbl.find_opt t.tbl key
+
+let write_all t b =
+  let len = Bytes.length b in
+  let sent = ref 0 in
+  while !sent < len do
+    let k = restart (fun () -> Unix.write t.fd b !sent (len - !sent)) in
+    if k = 0 then raise (Corrupt (t.dc_path ^ ": write returned 0"));
+    sent := !sent + k
+  done
+
+let add t key value =
+  if not (Hashtbl.mem t.tbl key) then
+    with_lock t (fun () ->
+        sync_locked t;
+        if not (Hashtbl.mem t.tbl key) then begin
+          (* drop any torn tail a killed writer left behind, then
+             append at the committed offset *)
+          if file_size t > t.read_off then Unix.ftruncate t.fd t.read_off;
+          let record = Framing.encode key ^ Framing.encode value in
+          seek t.fd t.read_off;
+          write_all t (Bytes.of_string record);
+          t.read_off <- t.read_off + String.length record;
+          Hashtbl.add t.tbl key value
+        end)
+
+let flush t = Unix.fsync t.fd
+let close t = Unix.close t.fd

@@ -1,0 +1,42 @@
+(** Persistent append-only string-to-string cache with inter-process
+    file locking — the on-disk half of the serve daemon's
+    classification cache.
+
+    File format: the magic line ["LCLCACHE1\n"] followed by records,
+    each record two [Framing] frames (key, then value). Append-only:
+    bindings are immutable facts (a classified problem stays
+    classified), so there is no delete and the first binding for a key
+    wins — the same first-writer-wins rule as the in-memory memo.
+
+    Concurrency: writers append under an exclusive [Unix.lockf] range
+    lock covering the whole file, after re-reading any records other
+    processes appended since — so concurrent clients converge on one
+    record per key. Readers that miss in memory re-scan the tail under
+    the same lock. A torn trailing record (a writer killed mid-append)
+    is ignored and overwritten by the next locked append. *)
+
+type t
+
+exception Corrupt of string
+
+(** Open or create. @raise Corrupt if the file exists but does not
+    start with the magic line. *)
+val open_ : string -> t
+
+val path : t -> string
+
+(** Bindings currently visible (after the last sync). *)
+val length : t -> int
+
+(** [find t key] — in-memory lookup first; on a miss, re-reads records
+    appended by other processes before answering. *)
+val find : t -> string -> string option
+
+(** [add t key value] — no-op if [key] is already bound (here or in
+    another process); otherwise appends under the exclusive lock. *)
+val add : t -> string -> string -> unit
+
+(** Force appended records to stable storage ([fsync]). *)
+val flush : t -> unit
+
+val close : t -> unit

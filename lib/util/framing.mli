@@ -1,0 +1,58 @@
+(** Length-prefixed binary framing: the wire format of the cluster
+    backend (worker socketpairs), the [serve] daemon socket, and the
+    on-disk classification cache.
+
+    A frame is a 4-byte little-endian payload length followed by the
+    payload bytes. Payloads are opaque — [Marshal]ed values on the
+    cluster sockets, request/response strings on the serve socket,
+    key/value strings in the cache file. *)
+
+(** Bytes of framing overhead per frame: 4. *)
+val header_bytes : int
+
+(** Largest accepted payload (1 GiB). A decoded header above this
+    raises [Corrupt] — it can only come from a desynchronized or
+    damaged stream, and trusting it would make the reader allocate
+    garbage-sized buffers. *)
+val max_payload : int
+
+(** A stream that ended or desynchronized mid-frame: EOF inside a
+    header or payload, or a header exceeding [max_payload]. *)
+exception Corrupt of string
+
+(** [encode payload] is the frame as one string. *)
+val encode : string -> string
+
+(** {1 Incremental decoding}
+
+    A [decoder] consumes arbitrary byte chunks — frames may arrive
+    torn at any boundary, including inside the header — and yields
+    complete payloads in order. *)
+
+type decoder
+
+val decoder : unit -> decoder
+
+(** Feed [len] bytes of [s] starting at [pos]. @raise Corrupt on an
+    oversized header. *)
+val feed : decoder -> string -> pos:int -> len:int -> unit
+
+(** Next complete payload, if one is buffered. *)
+val next : decoder -> string option
+
+(** Bytes buffered but not yet returned by [next] — nonzero after the
+    stream ends means it died mid-frame. *)
+val pending : decoder -> int
+
+(** {1 Blocking file-descriptor I/O}
+
+    Both calls retry on [EINTR] and handle partial reads/writes, so
+    they are safe under signal handlers (the serve daemon installs
+    SIGCHLD). *)
+
+(** Write one frame, completely. *)
+val write_frame : Unix.file_descr -> string -> unit
+
+(** Read one frame. [None] on clean EOF at a frame boundary.
+    @raise Corrupt on EOF mid-frame or an oversized header. *)
+val read_frame : Unix.file_descr -> string option

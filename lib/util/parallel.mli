@@ -15,6 +15,11 @@ val recommended : unit -> int
     is honored uncapped. *)
 val default_domains : unit -> int
 
+(** Index block of worker [b] out of [d] over [0, n):
+    [[b*n/d, (b+1)*n/d)]. Exposed so the process-level backend
+    ([Cluster]) shards identically. *)
+val block_bounds : n:int -> d:int -> int -> int * int
+
 (** A worker-domain failure: the exact index whose evaluation raised
     ([error] is the original exception) and the chunk [\[lo, hi)] the
     worker owned. *)

@@ -93,12 +93,99 @@ let m_errored = Obs.Metrics.counter "volume.nodes_errored"
     host graph), so they run on the deterministic parallel engine:
     [domains] as in [Local.Runner.run] (default $LCL_DOMAINS), with
     outputs and probe counts identical for every worker count. *)
-let run_with_ids ?n_declared ?domains ~problem (a : t) g ~ids =
+let resolve_workers workers =
+  match workers with
+  | Some w -> max 1 w
+  | None -> Util.Cluster.default_workers ()
+
+(* Exceptions escaping a worker shard, made marshalable: the budget
+   and probe-validity exceptions callers pattern-match on are rebuilt
+   typed in the parent; anything else degrades to its printed form
+   (the [Parallel.Worker_error] wrapper is unwrapped first — its
+   chunk coordinates are child-relative). *)
+type wire_exn =
+  | W_budget of { algo : string; node : int; budget : int }
+  | W_bad_probe of string
+  | W_invalid of string
+  | W_failure of string
+  | W_other of string
+
+let wire_exn_of e =
+  let e =
+    match e with
+    | Util.Parallel.Worker_error { error; _ } -> error
+    | e -> e
+  in
+  match e with
+  | Budget_exceeded { algo; node; budget } -> W_budget { algo; node; budget }
+  | Bad_probe m -> W_bad_probe m
+  | Invalid_argument m -> W_invalid m
+  | Failure m -> W_failure m
+  | e -> W_other (Printexc.to_string e)
+
+let reraise_wire = function
+  | W_budget { algo; node; budget } ->
+    raise (Budget_exceeded { algo; node; budget })
+  | W_bad_probe m -> raise (Bad_probe m)
+  | W_invalid m -> raise (Invalid_argument m)
+  | W_failure m -> raise (Failure m)
+  | W_other m -> failwith ("cluster worker failed: " ^ m)
+
+(* Cluster dispatch for the probe engines: queries are pure per node
+   (they only read the host graph and the id assignment, both of
+   which every forked worker holds copy-on-write), so sharding the
+   node range over worker processes and concatenating in rank order
+   reproduces the single-process answer array bit for bit. Workers
+   ship their trace collections back alongside the rows; a worker
+   that dies — or a process in which forking is unavailable — is
+   recovered in-process (see [Util.Cluster]). *)
+let cluster_init ~workers ~domains n f =
+  let shard lo hi =
+    match
+      (if Obs.enabled () then Obs.reset ());
+      let rows =
+        Util.Parallel.init ?domains (hi - lo) (fun i -> f (lo + i))
+      in
+      let obs =
+        if Obs.enabled () then
+          ( Obs.Span.collect (),
+            List.filter
+              (fun (_, v) -> not (Obs.Metrics.is_zero v))
+              (Obs.Metrics.snapshot ()) )
+        else ([], [])
+      in
+      (rows, obs)
+    with
+    | p -> Ok p
+    | exception e -> Error (wire_exn_of e)
+  in
+  let recover lo hi =
+    Ok (Util.Parallel.init ?domains (hi - lo) (fun i -> f (lo + i)), ([], []))
+  in
+  let shards = Util.Cluster.map_ranges ~workers ~recover ~n shard in
+  Array.iter (function Error w -> reraise_wire w | Ok _ -> ()) shards;
+  let shards =
+    Array.map (function Ok p -> p | Error _ -> assert false) shards
+  in
+  Array.iter
+    (fun (_, (events, metrics)) ->
+      Obs.Span.absorb events;
+      Obs.Metrics.absorb metrics)
+    shards;
+  Array.concat (Array.to_list (Array.map fst shards))
+
+let parallel_init ?domains ?workers n f =
+  let workers_used = min (resolve_workers workers) (max 1 n) in
+  if workers_used <= 1 then Util.Parallel.init ?domains n f
+  else cluster_init ~workers:workers_used ~domains n f
+
+let run_with_ids ?n_declared ?domains ?workers ~problem (a : t) g ~ids =
   Obs.Span.with_ "probe.run" @@ fun () ->
   let n = Graph.n g in
   let answers =
     Obs.Span.with_ "probe.simulate" (fun () ->
-        Util.Parallel.init ?domains n (fun v -> query ?n_declared a g ~ids v))
+        parallel_init ?domains ?workers n (fun v ->
+            query ?n_declared a g ~ids v))
   in
   let labeling = Array.map fst answers in
   let max_probes = Array.fold_left (fun m (_, p) -> max m p) 0 answers in
@@ -114,10 +201,10 @@ let run_with_ids ?n_declared ?domains ~problem (a : t) g ~ids =
   { labeling; violations; max_probes; total_probes }
 
 (** Same with fresh random identifiers from a cubic range. *)
-let run ?(seed = 0xBEEF) ?n_declared ?domains ~problem (a : t) g =
+let run ?(seed = 0xBEEF) ?n_declared ?domains ?workers ~problem (a : t) g =
   let rng = Util.Prng.create ~seed in
   let ids = Graph.Ids.random rng (Graph.n g) in
-  run_with_ids ?n_declared ?domains ~problem a g ~ids
+  run_with_ids ?n_declared ?domains ?workers ~problem a g ~ids
 
 (* -- resilient probing --------------------------------------------------- *)
 
@@ -217,7 +304,7 @@ type resilient_outcome = {
     with a fresh identifier seed. Deterministic in (graph, plan, seed)
     at any worker count. [Error] (F301) iff the plan does not fit the
     graph. *)
-let run_resilient ?(seed = 0xBEEF) ?n_declared ?domains
+let run_resilient ?(seed = 0xBEEF) ?n_declared ?domains ?workers
     ?(plan = Fault.Plan.empty) ?(retries = 0) ~problem (a : t) g =
   Obs.Span.with_ "probe.run_resilient" @@ fun () ->
   match Fault.Inject.compile plan g with
@@ -227,7 +314,7 @@ let run_resilient ?(seed = 0xBEEF) ?n_declared ?domains
     let attempt k =
       let rng = Util.Prng.create ~seed:(seed + (k * 7919)) in
       let ids = Fault.Inject.apply_ids compiled (Graph.Ids.random rng n) in
-      Util.Parallel.init ?domains n (fun v ->
+      parallel_init ?domains ?workers n (fun v ->
           query_resilient ?n_declared compiled a g ~ids v)
     in
     let rec go k =

@@ -38,16 +38,18 @@ type outcome = {
 (** Run the algorithm for every node under the given identifiers and
     verify the assembled labeling. Queries are answered on the
     deterministic parallel engine ([domains] as in [Local.Runner.run],
-    default $LCL_DOMAINS); results are identical for any worker
-    count. *)
+    default $LCL_DOMAINS), optionally sharded across [workers] forked
+    processes ([workers] as in [Local.Runner.run], default
+    $LCL_WORKERS); results are identical for any (workers, domains)
+    combination. *)
 val run_with_ids :
-  ?n_declared:int -> ?domains:int -> problem:Lcl.Problem.t -> t -> Graph.t ->
-  ids:int array -> outcome
+  ?n_declared:int -> ?domains:int -> ?workers:int ->
+  problem:Lcl.Problem.t -> t -> Graph.t -> ids:int array -> outcome
 
 (** Same with fresh random identifiers from a cubic range. *)
 val run :
-  ?seed:int -> ?n_declared:int -> ?domains:int -> problem:Lcl.Problem.t ->
-  t -> Graph.t -> outcome
+  ?seed:int -> ?n_declared:int -> ?domains:int -> ?workers:int ->
+  problem:Lcl.Problem.t -> t -> Graph.t -> outcome
 
 (** {1 Resilient probing under a fault plan}
 
@@ -90,6 +92,6 @@ type resilient_outcome = {
     Deterministic in (graph, plan, seed) at any worker count. [Error]
     (F301) iff the plan does not fit the graph. *)
 val run_resilient :
-  ?seed:int -> ?n_declared:int -> ?domains:int -> ?plan:Fault.Plan.t ->
-  ?retries:int -> problem:Lcl.Problem.t -> t -> Graph.t ->
-  (resilient_outcome, Fault.Error.t) result
+  ?seed:int -> ?n_declared:int -> ?domains:int -> ?workers:int ->
+  ?plan:Fault.Plan.t -> ?retries:int -> problem:Lcl.Problem.t -> t ->
+  Graph.t -> (resilient_outcome, Fault.Error.t) result

@@ -1,8 +1,11 @@
 (* Entry point: aggregate all suites into one alcotest run. *)
 
 let () =
+  (* Test_cluster must run first: its suites fork worker processes,
+     and the OCaml 5 runtime permanently refuses [fork] once any
+     in-process domain has been spawned (which later suites do). *)
   Alcotest.run "lcl-landscape"
-    (Test_util.suites @ Test_graph.suites @ Test_lcl.suites @ Test_re.suites
+    (Test_cluster.suites @ Test_util.suites @ Test_graph.suites @ Test_lcl.suites @ Test_re.suites
    @ Test_local.suites @ Test_volume.suites @ Test_grid.suites
    @ Test_classify.suites @ Test_general.suites @ Test_analysis.suites
    @ Test_fault.suites @ Test_obs.suites @ Test_substrate.suites)
