@@ -1206,10 +1206,72 @@ let bechamel_section () =
   table ~header:[ "kernel"; "time/run" ] (List.sort compare !rows);
   print_newline ()
 
+(* ------------------------------------------------------------------ *)
+(* E15 — the landscape classifier over the zoo: verdicts, certificate *)
+(* kinds, classification latency, and replay cost.                    *)
+
+let e15 () =
+  section "E15  landscape classifier: zoo verdicts, certificates, latency";
+  let module L = Classify.Landscape in
+  let upper_kind (r : L.t) =
+    match r.L.certificate.L.upper with
+    | Some (L.U_pipeline _) -> "pipeline"
+    | Some (L.U_greedy _) -> "greedy"
+    | Some (L.U_chain_flexible _) -> "chain-flexible"
+    | Some (L.U_path_automaton _) -> "path-automaton"
+    | Some (L.U_solvable _) -> "top-down"
+    | Some L.U_two_node_components -> "two-node"
+    | None -> "-"
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let x = f () in
+    (x, (Unix.gettimeofday () -. t0) *. 1e3)
+  in
+  let rows =
+    List.map
+      (fun (name, p) ->
+        (* min of 3: classification must stay interactive-fast *)
+        let r, t0 = time (fun () -> L.classify p) in
+        let t =
+          List.fold_left
+            (fun t () -> min t (snd (time (fun () -> L.classify p))))
+            t0 [ (); () ]
+        in
+        let verdict =
+          match r.L.verdict with
+          | L.Unsupported _ -> "unsupported"
+          | L.Inconclusive _ -> "inconclusive"
+          | v -> L.verdict_text v
+        in
+        [ name; verdict; upper_kind r; Printf.sprintf "%.2f ms" t ])
+      Serve.Zoo_table.all
+  in
+  table ~header:[ "problem"; "verdict"; "upper certificate"; "classify" ] rows;
+  print_endline
+    "\nreplay cost (certificates cross-checked against exhaustive search\n\
+     and simulator runs — the price `lcl_tool classify --replay` pays):";
+  let rows =
+    List.map
+      (fun name ->
+        let p = List.assoc name Serve.Zoo_table.all in
+        let r = L.classify p in
+        let rep, t = time (fun () -> L.replay p r) in
+        [ name;
+          (if rep.L.agreement then "agrees" else "DISAGREES");
+          string_of_int (List.length rep.L.checks);
+          Printf.sprintf "%.1f ms" t ])
+      [ "trivial"; "3-coloring"; "2-coloring"; "sinkless-orientation";
+        "mis-d3" ]
+  in
+  table ~header:[ "problem"; "replay"; "checks"; "time" ] rows;
+  print_newline ()
+
 let () =
   (* E14 first: it forks, and fork is refused once any other section
      has spawned an in-parent domain (E2, E8, E13 all do) *)
   if selected "E14" then e14 ();
+  if selected "E15" then e15 ();
   if selected "E1" then e1 ();
   if selected "E2" then e2 ();
   if selected "E3" then e3 ();

@@ -2,7 +2,7 @@
 
    Subcommands:
      show       parse a problem file and pretty-print it
-     classify   classify a degree-2 problem on oriented cycles/paths
+     classify   static landscape classification with replayable certificates
      gap        run the tree gap pipeline (Theorem 3.10) on a problem
      eliminate  apply k round elimination steps and print the result
      simulate   run a named algorithm on a generated graph and verify
@@ -62,25 +62,6 @@ let zoo_cmd =
       zoo_problems
   in
   Cmd.v (Cmd.info "zoo" ~doc:"List built-in problems") Term.(const run $ const ())
-
-(* -- classify ---------------------------------------------------------- *)
-
-let classify_cmd =
-  let run =
-    with_problem (fun p ->
-        if Lcl.Problem.delta p <> 2 then begin
-          Fmt.epr "classify handles degree-2 problems (cycles/paths)@.";
-          exit 1
-        end;
-        Fmt.pr "on oriented cycles: %a@." Classify.Cycle_path.pp_verdict
-          (Classify.Cycle_path.classify_cycle p);
-        Fmt.pr "on oriented paths:  %a@." Classify.Cycle_path.pp_verdict
-          (Classify.Cycle_path.classify_path p))
-  in
-  Cmd.v
-    (Cmd.info "classify"
-       ~doc:"Classify an input-free degree-2 problem on oriented cycles/paths")
-    Term.(const run $ problem_arg)
 
 (* -- gap ---------------------------------------------------------------- *)
 
@@ -346,6 +327,71 @@ let obs_begin metrics = if metrics then begin Obs.enable (); Obs.reset () end
 
 let obs_end metrics =
   if metrics then print_string (Obs.Export.jsonl [] (Obs.Metrics.snapshot ()))
+
+(* -- classify ------------------------------------------------------------ *)
+
+let classify_cmd =
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the byte-stable JSON report instead of text.")
+  in
+  let replay_arg =
+    Arg.(
+      value & flag
+      & info [ "replay" ]
+          ~doc:
+            "Cross-check the certificate against exhaustive search and the \
+             simulator on small instances; disagreements are C205 errors \
+             and exit status 1.")
+  in
+  let iters_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "iterations" ] ~doc:"Gap pipeline iteration budget.")
+  in
+  let max_labels_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "max-labels" ] ~doc:"Gap pipeline label budget.")
+  in
+  let run json replay iters max_labels workers metrics =
+    with_problem (fun p ->
+        obs_begin metrics;
+        let r =
+          Classify.Landscape.classify ~max_iterations:iters
+            ~max_labels p
+        in
+        if json then print_string (Classify.Landscape.to_json r ^ "\n")
+        else Fmt.pr "@[<v>%a@]@." Classify.Landscape.pp r;
+        let disagreements =
+          if not replay then []
+          else begin
+            let rep = Classify.Landscape.replay ?workers p r in
+            if json then
+              print_string (Classify.Landscape.replay_to_json rep ^ "\n")
+            else Fmt.pr "@[<v>%a@]@." Classify.Landscape.pp_replay rep;
+            Analysis.Classifier.of_replay r rep
+          end
+        in
+        obs_end metrics;
+        if disagreements <> [] then begin
+          List.iter
+            (fun d -> Fmt.epr "%a@." Analysis.Diagnostic.pp d)
+            disagreements;
+          exit 1
+        end)
+  in
+  Cmd.v
+    (Cmd.info "classify"
+       ~doc:
+         "Statically classify a problem in the tree landscape (O(1) / \
+          Theta(log* n) / Theta(log n) / n^Theta(1)) with replayable \
+          certificates")
+    Term.(
+      const run $ json_arg $ replay_arg $ iters_arg $ max_labels_arg
+      $ workers_arg $ metrics_arg $ problem_arg)
 
 (* -- trace --------------------------------------------------------------- *)
 

@@ -1,7 +1,9 @@
 (* Facade of the [analysis] library: static diagnostics over LCL
-   problems ([Lint]) and dynamic locality sanitizing of LOCAL/VOLUME
-   algorithms ([Sanitizer]), both reporting through [Diagnostic]. *)
+   problems ([Lint]), landscape-classifier verdicts as diagnostics
+   ([Classifier]) and dynamic locality sanitizing of LOCAL/VOLUME
+   algorithms ([Sanitizer]), all reporting through [Diagnostic]. *)
 
 module Diagnostic = Diagnostic
 module Lint = Lint
+module Classifier = Classifier
 module Sanitizer = Sanitizer

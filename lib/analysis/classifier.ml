@@ -1,0 +1,43 @@
+(* Landscape-classifier results as diagnostics: the C-code table (see
+   the mli and DESIGN.md). Verdicts are informational, unsolvability is
+   a warning (shipped problems usually mean to be solvable), and a
+   certificate contradicted by execution is an error — the one state
+   the pipeline must never ship. *)
+
+let of_unsupported ?file ?line (u : Classify.Cycle_path.unsupported) =
+  Diagnostic.f ?file ?line Diagnostic.Info ~code:"C101"
+    "cycle/path classification does not apply: %s" u.Classify.Cycle_path.reason
+
+let of_result ?file (r : Classify.Landscape.t) =
+  let text = Classify.Landscape.verdict_text r.Classify.Landscape.verdict in
+  match r.Classify.Landscape.verdict with
+  | Classify.Landscape.Class _ ->
+    Diagnostic.f ?file Diagnostic.Info ~code:"C201" "%s: classified %s"
+      r.Classify.Landscape.problem text
+  | Classify.Landscape.Between _ ->
+    Diagnostic.f ?file Diagnostic.Info ~code:"C202" "%s: bounds only — %s"
+      r.Classify.Landscape.problem text
+  | Classify.Landscape.Unsolvable ->
+    Diagnostic.f ?file Diagnostic.Warning ~code:"C203"
+      "%s: unsolvable (certificate: a witness instance family admits no \
+       valid labeling)"
+      r.Classify.Landscape.problem
+  | Classify.Landscape.Unsupported reason ->
+    Diagnostic.f ?file Diagnostic.Info ~code:"C204" "%s: %s"
+      r.Classify.Landscape.problem reason
+  | Classify.Landscape.Inconclusive reason ->
+    Diagnostic.f ?file Diagnostic.Info ~code:"C206" "%s: inconclusive — %s"
+      r.Classify.Landscape.problem reason
+
+let of_replay ?file (r : Classify.Landscape.t)
+    (rep : Classify.Landscape.replay) =
+  List.filter_map
+    (fun (c : Classify.Landscape.check) ->
+      if c.Classify.Landscape.ok then None
+      else
+        Some
+          (Diagnostic.f ?file Diagnostic.Error ~code:"C205"
+             "%s: certificate/replay disagreement in %s: %s"
+             r.Classify.Landscape.problem c.Classify.Landscape.name
+             c.Classify.Landscape.detail))
+    rep.Classify.Landscape.checks

@@ -1,0 +1,27 @@
+(** The C-code diagnostic table: landscape-classifier verdicts,
+    unsupported cases and certificate/replay disagreements as
+    first-class diagnostics, auto-filed like lint findings.
+
+    {v
+    C101  info     cycle/path criteria do not apply (inputs, delta < 2)
+    C201  info     exact classification (lower and upper bounds meet)
+    C202  info     bounds-only classification (Between)
+    C203  warning  unsolvable (a witness instance family exists)
+    C204  info     unsupported (input-labeled beyond the O(1) gap)
+    C205  error    certificate/replay disagreement
+    C206  info     inconclusive (budgets, or solvability unestablished)
+    v} *)
+
+(** A [Cycle_path] unsupported report as a C101 diagnostic. *)
+val of_unsupported :
+  ?file:string -> ?line:int -> Classify.Cycle_path.unsupported -> Diagnostic.t
+
+(** A classification result as one verdict diagnostic (C201/C202/C203/
+    C204/C206 by verdict shape). *)
+val of_result : ?file:string -> Classify.Landscape.t -> Diagnostic.t
+
+(** Replay disagreements as C205 errors — one per failing check, empty
+    when the replay agreed. *)
+val of_replay :
+  ?file:string -> Classify.Landscape.t -> Classify.Landscape.replay ->
+  Diagnostic.t list

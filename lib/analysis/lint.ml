@@ -189,13 +189,21 @@ let problem ?file ?spans ?(deep = true) p =
           "0-round solvable (Thm. 3.10), hence O(1); witness: %s"
           (witness_summary p w)
       | None -> ());
-      (* L202 / L203: the decidable degree-2 landscape *)
-      if Problem.delta p = 2 && input_free p then begin
-        match
-          ( Classify.Cycle_path.classify_cycle p,
-            Classify.Cycle_path.classify_path p )
-        with
-        | on_cycles, on_paths ->
+      (* L202 / L203 / C101: the decidable cycle/path landscape. The
+         checked classifiers report unsupported problems (inputs,
+         delta < 2) as data — filed as C101 instead of an uncaught
+         Invalid_argument. *)
+      (match Classify.Cycle_path.classify_cycle_checked p with
+      | Error u ->
+        diags :=
+          Classifier.of_unsupported ?file ?line:(at Header) u :: !diags
+      | Ok on_cycles ->
+        let on_paths =
+          match Classify.Cycle_path.classify_path_checked p with
+          | Ok v -> v
+          | Error _ -> assert false (* same support condition *)
+        in
+        if Problem.delta p = 2 then begin
           add ?line:(at Header) Diagnostic.Info ~code:"L202"
             "degree-2 classification: %s on oriented cycles, %s on oriented \
              paths"
@@ -203,11 +211,81 @@ let problem ?file ?spans ?(deep = true) p =
             (Classify.Cycle_path.verdict_string on_paths);
           if on_cycles = Classify.Cycle_path.Unsolvable then
             add ?line:(at Header) Diagnostic.Warning ~code:"L203"
-              "unsolvable on all sufficiently long cycles"
-        | exception e ->
-          add ?line:(at Header) Diagnostic.Info ~code:"L204"
-            "degree-2 classification skipped: %s" (Printexc.to_string e)
-      end
+              "unsolvable on all sufficiently long cycles";
+          (* L107 / L108: dead labels and unreachable edge clauses,
+             from the same diagram automaton the classifier builds.
+             A label is *used* when it can appear in some valid path
+             or cycle labeling — as a forward half-edge (a usable or
+             on-cycle automaton state) or as a backward half-edge (the
+             witness of a realizable transition, or a degree-1
+             endpoint answering a reachable state). *)
+          let au = Classify.Automaton.of_problem p in
+          let reach =
+            Classify.Automaton.forward_closure au au.Classify.Automaton.start
+          in
+          let coreach =
+            Classify.Automaton.backward_closure au
+              au.Classify.Automaton.accept
+          in
+          let k = Alphabet.size (Problem.sigma_out p) in
+          let labels = Alphabet.all (Problem.sigma_out p) in
+          let reaches =
+            Array.init k (fun r ->
+                Classify.Automaton.forward_closure au
+                  (Array.init k (fun i -> i = r)))
+          in
+          let n1_mem l = Problem.node_ok p (Util.Multiset.of_list [ l ]) in
+          let n2_mem l r' =
+            Problem.node_ok p (Util.Multiset.of_list [ l; r' ])
+          in
+          (* edge {r, l}, r forward: realizable on some path iff r is
+             reachable and l's node either terminates (degree 1) or
+             continues into a co-reachable state; on some cycle iff
+             the transition it carries lies on a closed walk *)
+          let path_edge r l =
+            reach.(r)
+            && Problem.edge_ok p r l
+            && (n1_mem l
+               || List.exists (fun r' -> n2_mem l r' && coreach.(r')) labels)
+          in
+          let cycle_edge r l =
+            Problem.edge_ok p r l
+            && List.exists
+                 (fun r' -> n2_mem l r' && reaches.(r').(r))
+                 labels
+          in
+          let usable = Classify.Automaton.usable_on_paths au in
+          let cyc = Classify.Automaton.on_cycle au in
+          let used l =
+            usable.(l) || cyc.(l)
+            || List.exists (fun r -> path_edge r l || cycle_edge r l) labels
+          in
+          List.iter
+            (fun l ->
+              if survives.(l) && not (used l) then
+                add ?line:(at Out_section) Diagnostic.Warning ~code:"L107"
+                  "dead label '%s': it survives pruning but no valid \
+                   labeling of a path or cycle can use it"
+                  (out_name l))
+            labels;
+          List.iter
+            (fun c ->
+              match Util.Multiset.to_list c with
+              | [ x; y ]
+                when survives.(x) && survives.(y) && in_node.(x)
+                     && in_node.(y) ->
+                if
+                  not
+                    (path_edge x y || path_edge y x || cycle_edge x y
+                   || cycle_edge y x)
+                then
+                  add ?line:(at Edge_section) Diagnostic.Warning ~code:"L108"
+                    "edge configuration {%s %s} is unreachable: no valid \
+                     labeling of a path or cycle realizes it"
+                    (out_name x) (out_name y)
+              | _ -> ())
+            (Problem.edge_configs p)
+        end)
     end
   end;
   List.sort Diagnostic.compare !diags

@@ -21,33 +21,56 @@ type t = {
   accept : bool array;           (* path accept states *)
 }
 
-(** Build the automaton of an input-free LCL with delta = 2. *)
-let of_problem p =
+(** Build the automaton of an input-free LCL with delta >= 2. [keep]
+    restricts every state — the walking label [r], the witness [l] and
+    the successor [r'] — to a label subset without renaming, so
+    restricted automata stay index-compatible with the problem. *)
+let of_problem ?keep p =
   if Lcl.Problem.delta p < 2 then
     invalid_arg "Automaton.of_problem: delta must be >= 2";
   let k = Lcl.Alphabet.size (Lcl.Problem.sigma_out p) in
+  let kept l = match keep with None -> true | Some b -> b.(l) in
   let edge =
     Array.init k (fun r ->
         Array.init k (fun r' ->
-            List.exists
-              (fun l ->
-                Lcl.Problem.edge_ok p r l
-                && Lcl.Problem.node_ok p (Util.Multiset.of_list [ l; r' ]))
-              (List.init k Fun.id)))
+            kept r && kept r'
+            && List.exists
+                 (fun l ->
+                   kept l
+                   && Lcl.Problem.edge_ok p r l
+                   && Lcl.Problem.node_ok p (Util.Multiset.of_list [ l; r' ]))
+                 (List.init k Fun.id)))
   in
   let start =
     Array.init k (fun r ->
-        Lcl.Problem.node_ok p (Util.Multiset.of_list [ r ]))
+        kept r && Lcl.Problem.node_ok p (Util.Multiset.of_list [ r ]))
   in
   let accept =
     Array.init k (fun r ->
-        List.exists
-          (fun l ->
-            Lcl.Problem.edge_ok p r l
-            && Lcl.Problem.node_ok p (Util.Multiset.of_list [ l ]))
-          (List.init k Fun.id))
+        kept r
+        && List.exists
+             (fun l ->
+               kept l
+               && Lcl.Problem.edge_ok p r l
+               && Lcl.Problem.node_ok p (Util.Multiset.of_list [ l ]))
+             (List.init k Fun.id))
   in
   { states = k; edge; start; accept }
+
+(** The middle label witnessing transition [r -> r'], if any — the
+    half-edge that fills the node between the two forward half-edges
+    (certificate rendering and clause-reachability lints need it). *)
+let transition_witness ?keep p r r' =
+  let k = Lcl.Alphabet.size (Lcl.Problem.sigma_out p) in
+  let kept l = match keep with None -> true | Some b -> b.(l) in
+  if not (kept r && kept r') then None
+  else
+    List.find_opt
+      (fun l ->
+        kept l
+        && Lcl.Problem.edge_ok p r l
+        && Lcl.Problem.node_ok p (Util.Multiset.of_list [ l; r' ]))
+      (List.init k Fun.id)
 
 (* -- reachability ---------------------------------------------------- *)
 
@@ -158,6 +181,17 @@ let flexible_states t =
     (fun r -> match period t r with Some 1 -> true | _ -> false)
     (List.init t.states Fun.id)
 
+(** States usable in some valid path labeling: reachable from a start
+    state and co-reachable from an accept state. *)
+let usable_on_paths t =
+  let reach = forward_closure t t.start in
+  let coreach = backward_closure t t.accept in
+  Array.init t.states (fun r -> reach.(r) && coreach.(r))
+
+(** States lying on some closed walk (their SCC contains a cycle). *)
+let on_cycle t =
+  Array.init t.states (fun r -> period t r <> None)
+
 (** Does any closed walk (of positive length) exist? *)
 let has_cycle t =
   List.exists (fun r -> period t r <> None) (List.init t.states Fun.id)
@@ -185,4 +219,37 @@ let closed_walk_exists t n =
     in
     let m = power t.edge n in
     List.exists (fun r -> m.(r).(r)) (List.init t.states Fun.id)
+  end
+
+(** Is the n-node path solvable? A path solution is a start-anchored,
+    accept-anchored walk of n-1 transitions (n >= 2; the single node
+    needs a degree-0 configuration the formalism does not model, so
+    n < 2 answers false). Matrix powers keep this exact on small n for
+    replay cross-checks. *)
+let path_walk_exists t n =
+  if n < 2 then false
+  else if n = 2 then
+    (* two degree-1 endpoints across one edge: start state r with an
+       accepting edge partner — exactly the accept predicate *)
+    List.exists
+      (fun r -> t.start.(r) && t.accept.(r))
+      (List.init t.states Fun.id)
+  else begin
+    let mul_vec v m =
+      Array.init t.states (fun j ->
+          let ok = ref false in
+          for i = 0 to t.states - 1 do
+            if v.(i) && m.(i).(j) then ok := true
+          done;
+          !ok)
+    in
+    (* n-2 transitions between the n-1 forward half-edges, then the
+       final state must accept *)
+    let v = ref t.start in
+    for _ = 1 to n - 2 do
+      v := mul_vec !v t.edge
+    done;
+    List.exists
+      (fun r -> !v.(r) && t.accept.(r))
+      (List.init t.states Fun.id)
   end

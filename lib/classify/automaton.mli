@@ -12,9 +12,17 @@ type t = {
   accept : bool array;      (** path accept states *)
 }
 
-(** Build from an input-free problem with delta >= 2.
-    @raise Invalid_argument otherwise. *)
-val of_problem : Lcl.Problem.t -> t
+(** Build from an input-free problem with delta >= 2. [keep] restricts
+    states, witnesses and successors to a label subset (no renaming:
+    indices stay those of the problem) — the classifier's certificate
+    sets are checked on such restrictions.
+    @raise Invalid_argument when delta < 2. *)
+val of_problem : ?keep:bool array -> Lcl.Problem.t -> t
+
+(** The middle label witnessing [r -> r'] (some [l] with [{r, l}] an
+    edge configuration and [{l, r'}] a degree-2 node configuration),
+    restricted to [keep] when given. *)
+val transition_witness : ?keep:bool array -> Lcl.Problem.t -> int -> int -> int option
 
 val forward_closure : t -> bool array -> bool array
 val backward_closure : t -> bool array -> bool array
@@ -33,8 +41,19 @@ val period : t -> int -> int option
 
 val flexible_states : t -> int list
 
+(** Per-state: reachable from a start state and co-reachable from an
+    accept state — usable in some valid path labeling. *)
+val usable_on_paths : t -> bool array
+
+(** Per-state: lies on some closed walk. *)
+val on_cycle : t -> bool array
+
 (** Any closed walk of positive length? *)
 val has_cycle : t -> bool
 
 (** Closed walk of length exactly [n]? (boolean matrix power) *)
 val closed_walk_exists : t -> int -> bool
+
+(** Valid labeling of the n-node path? (start-anchored, accept-anchored
+    walk of n-1 half-edge states; [false] for n < 2) *)
+val path_walk_exists : t -> int -> bool

@@ -1,7 +1,9 @@
 (* Facade of the [classify] library: landscape classification — the
-   decidable path/cycle case (Section 1.4) and the tree gap pipeline
-   (Section 3) with simulator validation. *)
+   decidable path/cycle case (Section 1.4), the tree gap pipeline
+   (Section 3) with simulator validation, and the static landscape
+   classifier with replayable certificates. *)
 
 module Automaton = Automaton
 module Cycle_path = Cycle_path
 module Tree_gap = Tree_gap
+module Landscape = Landscape

@@ -37,24 +37,36 @@ let verdict_string v = Fmt.str "%a" pp_verdict v
 let input_free p =
   Lcl.Alphabet.size (Lcl.Problem.sigma_in p) = 1
 
-(** Classify on oriented cycles. *)
-let classify_cycle p =
+(* The automaton criteria only apply to input-free problems of
+   delta >= 2; anything else is *unsupported*, not an error — the
+   checked entry points report it as data so callers (the linter, the
+   landscape classifier, the CLI) can turn it into a diagnostic
+   instead of dying on an uncaught exception. *)
+
+type unsupported = { reason : string }
+
+let supported p =
   if not (input_free p) then
-    invalid_arg "Cycle_path.classify_cycle: input-free LCLs only";
-  let a = Automaton.of_problem p in
+    Error
+      {
+        reason =
+          "input-labeled LCL: the cycle/path criteria apply to input-free \
+           problems (classification with inputs is PSPACE-hard, paper \
+           Sec. 1.4)";
+      }
+  else if Lcl.Problem.delta p < 2 then
+    Error { reason = "delta must be >= 2 for the cycle/path automaton" }
+  else Ok ()
+
+let cycle_of_automaton a =
   if Automaton.self_loops a <> [] then Const
   else if Automaton.flexible_states a <> [] then Log_star
   else if Automaton.has_cycle a then Global
   else Unsolvable
 
-(** Classify on oriented paths. *)
-let classify_path p =
-  if not (input_free p) then
-    invalid_arg "Cycle_path.classify_path: input-free LCLs only";
-  let a = Automaton.of_problem p in
-  let reach = Automaton.forward_closure a a.Automaton.start in
-  let coreach = Automaton.backward_closure a a.Automaton.accept in
-  let usable r = reach.(r) && coreach.(r) in
+let path_of_automaton a =
+  let usable_arr = Automaton.usable_on_paths a in
+  let usable r = usable_arr.(r) in
   if List.exists usable (Automaton.self_loops a) then Const
   else if List.exists usable (Automaton.flexible_states a) then Log_star
   else begin
@@ -64,3 +76,21 @@ let classify_path p =
     then Global
     else Unsolvable
   end
+
+let classify_cycle_checked p =
+  Result.map (fun () -> cycle_of_automaton (Automaton.of_problem p)) (supported p)
+
+let classify_path_checked p =
+  Result.map (fun () -> path_of_automaton (Automaton.of_problem p)) (supported p)
+
+(** Classify on oriented cycles. *)
+let classify_cycle p =
+  match classify_cycle_checked p with
+  | Ok v -> v
+  | Error { reason } -> invalid_arg ("Cycle_path.classify_cycle: " ^ reason)
+
+(** Classify on oriented paths. *)
+let classify_path p =
+  match classify_path_checked p with
+  | Ok v -> v
+  | Error { reason } -> invalid_arg ("Cycle_path.classify_path: " ^ reason)

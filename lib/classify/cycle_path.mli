@@ -14,10 +14,23 @@ val pp_verdict : Format.formatter -> verdict -> unit
 (** [pp_verdict] as a string (["O(1)"], ["Theta(log* n)"], …). *)
 val verdict_string : verdict -> string
 
-(** Classify on oriented cycles.
+(** Why a problem falls outside the decidable cycle/path criteria
+    (inputs, or delta < 2) — data, so callers can report a diagnostic
+    instead of catching an exception. *)
+type unsupported = { reason : string }
+
+(** Classify on oriented cycles; [Error] on unsupported problems. *)
+val classify_cycle_checked : Lcl.Problem.t -> (verdict, unsupported) result
+
+(** Classify on oriented paths (endpoint-anchored criteria); [Error]
+    on unsupported problems. *)
+val classify_path_checked : Lcl.Problem.t -> (verdict, unsupported) result
+
+(** [classify_cycle_checked], raising on unsupported problems.
     @raise Invalid_argument on problems with inputs (classification
     with inputs is PSPACE-hard; see the paper's Section 1.4). *)
 val classify_cycle : Lcl.Problem.t -> verdict
 
-(** Classify on oriented paths (endpoint-anchored criteria). *)
+(** [classify_path_checked], raising on unsupported problems.
+    @raise Invalid_argument as for [classify_cycle]. *)
 val classify_path : Lcl.Problem.t -> verdict

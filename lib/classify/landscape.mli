@@ -1,0 +1,132 @@
+(** Static classification of LCLs on bounded-degree trees into the
+    landscape of the paper (O(1) / Θ(log* n) / Θ(log n) / n^Θ(1)),
+    with machine-checkable certificates the simulator can replay.
+
+    The decision procedure combines
+    - the round-elimination gap pipeline (Theorem 3.10) for O(1)
+      verdicts with executable algorithms,
+    - the cycle/path diagram automaton ([Cycle_path]), exact for
+      delta = 2 and a valid lower-bound restriction for delta >= 3
+      (paths are instances of bounded-degree trees),
+    - a greatest-fixed-point *sustaining set* of output labels that can
+      head subtrees of arbitrary depth (solvability on all trees, and
+      the skeleton of the O(log* n) / O(log n) upper-bound
+      certificates),
+    - a depth-elimination witness on complete (delta-1)-ary trees for
+      unsolvability beyond paths.
+
+    Verdicts are honest: when the implemented criteria do not pin the
+    class down, the result is [Between] (established bounds), or
+    [Unsupported] (input-labeled problems — classification with inputs
+    is PSPACE-hard already on paths), or [Inconclusive]. *)
+
+type level =
+  | Constant    (** O(1) *)
+  | Log_star    (** Θ(log* n) *)
+  | Log         (** Θ(log n) *)
+  | Polynomial  (** n^Θ(1) *)
+
+type verdict =
+  | Class of level             (** lower and upper bounds meet *)
+  | Between of level * level   (** solvable; Ω(lower) and O(upper) *)
+  | Unsolvable
+      (** some family of arbitrarily large legal instances (paths,
+          stars, or complete (delta-1)-ary trees) admits no valid
+          labeling *)
+  | Unsupported of string      (** outside the implemented procedure *)
+  | Inconclusive of string     (** solvability itself not established *)
+
+(** Upper-bound certificates. *)
+type upper =
+  | U_pipeline of { rounds : int }
+      (** the gap pipeline produced a [rounds]-round algorithm *)
+  | U_greedy of { set : string list }
+      (** greedy-closed sustaining set: after an O(log* n) coloring,
+          nodes commit configurations in color order — any multiset of
+          committed neighbor labels extends *)
+  | U_chain_flexible of { set : string list; flexible : string }
+      (** sustaining set, strongly connected and aperiodic in the
+          restricted diagram automaton: rake-and-compress labels the
+          tree in O(log n) rounds *)
+  | U_path_automaton of { state : string }
+      (** delta = 2 (trees are paths): a usable witness state of the
+          diagram automaton *)
+  | U_solvable of { root : string }
+      (** top-down greedy from a leaf root through the sustaining set:
+          O(diameter) = n^O(1) *)
+  | U_two_node_components
+      (** delta <= 1: components have at most two nodes *)
+
+(** Lower-bound / unsolvability certificates. *)
+type lower =
+  | L_trivial  (** Ω(1) *)
+  | L_path of { verdict : Cycle_path.verdict }
+      (** restriction to paths — valid instances of delta-bounded
+          trees — already needs this much *)
+  | L_fixed_point of { at : int }
+      (** round-elimination fixed point: Ω(log* n) (Theorem 3.10) *)
+  | L_empty_degree_row of { degree : int }
+      (** no allowed configuration for degree [degree]: stars are
+          unsolvable *)
+  | L_regular_elimination of { height : int; arity : int }
+      (** depth elimination emptied the root row: the complete
+          [arity]-ary tree of height [height] is unsolvable *)
+
+type certificate = {
+  pruned : string list;      (** labels removed by normal-form pruning *)
+  sustaining : string list;  (** gfp sustaining set (post-prune names) *)
+  upper : upper option;
+  lower : lower;
+}
+
+type t = {
+  problem : string;
+  delta : int;
+  has_inputs : bool;
+  path_verdict : Cycle_path.verdict option;
+      (** input-free, delta >= 2 only *)
+  cycle_verdict : Cycle_path.verdict option;
+  verdict : verdict;
+  certificate : certificate;
+  algo : Relim.Lift.algo option;  (** executable witness for O(1) *)
+  notes : string list;
+}
+
+val level_string : level -> string
+
+(** Human form of the verdict (["Theta(log* n)"],
+    ["between Omega(1) and O(log n)"], …). *)
+val verdict_text : verdict -> string
+
+(** Classify a problem. [max_iterations]/[max_labels] bound the gap
+    pipeline (defaults 3 and 200 — classification stays snappy; raise
+    them to chase O(1) verdicts harder). Deterministic: no randomness,
+    no wall-clock. *)
+val classify : ?max_iterations:int -> ?max_labels:int -> Lcl.Problem.t -> t
+
+(** Byte-stable JSON report (stable key order, no timestamps). *)
+val to_json : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** One replay cross-check: certificate vs. brute force / simulator. *)
+type check = { name : string; ok : bool; detail : string }
+
+type replay = {
+  checks : check list;
+  agreement : bool;  (** all checks passed *)
+}
+
+(** Replay a classification on concrete instances: diagram-automaton
+    predictions vs. exhaustive search on small paths and cycles, O(1)
+    algorithms executed on random forests ([Tree_gap.validate]),
+    solvable verdicts witnessed on random trees, unsolvability
+    witnesses checked on their instance family. [workers]/[domains]
+    are forwarded to the simulator runs. *)
+val replay :
+  ?seed:int -> ?sizes:int list -> ?domains:int -> ?workers:int ->
+  ?memo:bool -> Lcl.Problem.t -> t -> replay
+
+val replay_to_json : replay -> string
+
+val pp_replay : Format.formatter -> replay -> unit

@@ -15,8 +15,8 @@ type validation = {
 let m_runs = Obs.Metrics.counter "classify.runs"
 let m_validations = Obs.Metrics.counter "classify.validations"
 
-let validate ?(seed = 42) ?(sizes = [ 8; 20; 50; 120 ]) ?domains ?memo
-    ~problem (algo : Relim.Lift.algo) =
+let validate ?(seed = 42) ?(sizes = [ 8; 20; 50; 120 ]) ?domains ?workers
+    ?memo ~problem (algo : Relim.Lift.algo) =
   Obs.Span.with_ "classify.validate" @@ fun () ->
   Obs.Metrics.incr m_validations;
   let rng = Util.Prng.create ~seed in
@@ -36,8 +36,8 @@ let validate ?(seed = 42) ?(sizes = [ 8; 20; 50; 120 ]) ?domains ?memo
           ~trees n
       in
       let o =
-        Local.Runner.run ~seed:(Util.Prng.bits rng) ?domains ?memo ~problem
-          wrapped g
+        Local.Runner.run ~seed:(Util.Prng.bits rng) ?domains ?workers ?memo
+          ~problem wrapped g
       in
       match o.Local.Runner.violations with
       | [] -> ()

@@ -11,10 +11,10 @@ type validation = {
 
 (** Run a Lemma 3.9-lifted algorithm on random forests of the given
     sizes (default [8; 20; 50; 120]) and verify with [Lcl.Verify].
-    [domains]/[memo] are forwarded to [Local.Runner.run]. *)
+    [domains]/[workers]/[memo] are forwarded to [Local.Runner.run]. *)
 val validate :
-  ?seed:int -> ?sizes:int list -> ?domains:int -> ?memo:bool ->
-  problem:Lcl.Problem.t -> Relim.Lift.algo -> validation
+  ?seed:int -> ?sizes:int list -> ?domains:int -> ?workers:int ->
+  ?memo:bool -> problem:Lcl.Problem.t -> Relim.Lift.algo -> validation
 
 type outcome = {
   problem : string;

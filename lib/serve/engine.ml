@@ -25,19 +25,13 @@ let zoo_text () =
            (Lcl.Alphabet.size (Lcl.Problem.sigma_out p)))
        Zoo_table.all)
 
+(* Static landscape classification: verdict, bounds and certificate as
+   canonical JSON. Purely static — no replay, no simulator invocations —
+   so warm and cold answers alike never touch [Local.Runner]. *)
 let classify_text problem =
   match Zoo_table.load problem with
   | Error m -> Error m
-  | Ok p ->
-    if Lcl.Problem.delta p <> 2 then
-      Error "classify handles degree-2 problems (cycles/paths)"
-    else
-      Ok
-        (Fmt.str "on oriented cycles: %a@.on oriented paths:  %a@."
-           Classify.Cycle_path.pp_verdict
-           (Classify.Cycle_path.classify_cycle p)
-           Classify.Cycle_path.pp_verdict
-           (Classify.Cycle_path.classify_path p))
+  | Ok p -> Ok (Classify.Landscape.to_json (Classify.Landscape.classify p) ^ "\n")
 
 let gap_text ~iterations ~max_labels problem =
   match Zoo_table.load problem with

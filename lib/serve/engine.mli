@@ -14,8 +14,10 @@
 
 (** Evaluate one request, bypassing any cache. [workers] shards
     simulation workloads across forked processes as in
-    [Local.Runner.run]. [Stats] and [Shutdown] are daemon-level
-    requests and answer [Error] here. *)
+    [Local.Runner.run]. [Classify] is answered statically by
+    [Classify.Landscape] — verdict, bounds and certificate as
+    canonical JSON, never invoking the simulator. [Stats] and
+    [Shutdown] are daemon-level requests and answer [Error] here. *)
 val answer : ?workers:int -> Protocol.request -> Protocol.response
 
 (** Evaluate through a persistent cache: fingerprinted requests probe

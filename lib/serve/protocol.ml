@@ -38,7 +38,12 @@ let digest s = Digest.to_hex (Digest.string s)
 let fingerprint = function
   | Ping | Zoo | Stats | Shutdown -> None
   | Classify { problem } ->
-    Option.map (fun c -> "classify:" ^ digest c) (canonical_problem problem)
+    (* v2: the answer format changed from the degree-2 verdict pair to
+       the landscape-classifier JSON; the version tag keeps caches
+       written by older daemons from answering in the old format. *)
+    Option.map
+      (fun c -> "classify:v2:" ^ digest c)
+      (canonical_problem problem)
   | Gap { problem; iterations; max_labels } ->
     Option.map
       (fun c ->

@@ -246,6 +246,37 @@ let test_fixture_empty_degree_row () =
       ds;
     check bool "warnings only" false (D.has_errors ds)
 
+let test_fixture_dead_label () =
+  match problems_dir () with
+  | None -> ()
+  | Some dir ->
+    let f = Filename.concat dir "fixtures/dead_label.lcl" in
+    let ds = Analysis.Lint.file f in
+    golden "dead_label.lcl diagnostics"
+      [
+        ("L202", "info", Some 9);
+        ("L107", "warning", Some 10);
+        ("L108", "warning", Some 13);
+      ]
+      ds;
+    check bool "warnings only" false (D.has_errors ds);
+    check bool "names the dead label" true
+      (contains ~sub:"dead label 'z'" (find_code "L107" ds).D.message);
+    check bool "names the unreachable clause" true
+      (contains ~sub:"{z c}" (find_code "L108" ds).D.message)
+
+let test_fixture_unreachable_edge () =
+  match problems_dir () with
+  | None -> ()
+  | Some dir ->
+    let f = Filename.concat dir "fixtures/unreachable_edge.lcl" in
+    let ds = Analysis.Lint.file f in
+    (* every label is alive here — only the {z c} clause is dead *)
+    golden "unreachable_edge.lcl diagnostics"
+      [ ("L202", "info", Some 6); ("L108", "warning", Some 10) ]
+      ds;
+    check bool "warnings only" false (D.has_errors ds)
+
 let test_lint_parse_error_file () =
   let ds = Analysis.Lint.source ~file:"inline.lcl" "out: a\nedge: a a\n" in
   golden "missing header" [ ("L001", "error", None) ] ds;
@@ -415,6 +446,9 @@ let suites =
           test_fixture_unusable_label;
         Alcotest.test_case "fixture: empty degree row" `Quick
           test_fixture_empty_degree_row;
+        Alcotest.test_case "fixture: dead label" `Quick test_fixture_dead_label;
+        Alcotest.test_case "fixture: unreachable edge" `Quick
+          test_fixture_unreachable_edge;
         Alcotest.test_case "parse errors as diagnostics" `Quick
           test_lint_parse_error_file;
       ] );

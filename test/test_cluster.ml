@@ -389,8 +389,8 @@ let test_serve_daemon_roundtrip () =
       | [ Ok a; Ok b ] ->
         check bool "batched duplicates agree" true (a = b);
         check bool "verdict present" true
-          (String.length a > 0
-          && String.sub a 0 18 = "on oriented cycles")
+          (String.length a > 22
+          && String.sub a 0 22 = "{\"problem\":\"2-coloring")
       | rs ->
         fail
           (Printf.sprintf "batch failed: %s"

@@ -8,4 +8,5 @@ let () =
     (Test_cluster.suites @ Test_util.suites @ Test_graph.suites @ Test_lcl.suites @ Test_re.suites
    @ Test_local.suites @ Test_volume.suites @ Test_grid.suites
    @ Test_classify.suites @ Test_general.suites @ Test_analysis.suites
-   @ Test_fault.suites @ Test_obs.suites @ Test_substrate.suites)
+   @ Test_landscape.suites @ Test_fault.suites @ Test_obs.suites
+   @ Test_substrate.suites)
