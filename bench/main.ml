@@ -1079,9 +1079,10 @@ let e14 () =
   let timed_request () =
     let t0 = Unix.gettimeofday () in
     match Serve.Daemon.request ~socket_path:sock req with
-    | Ok body -> (Unix.gettimeofday () -. t0, body)
-    | Error m ->
-      Printf.printf "E14: serve request failed: %s\n" m;
+    | Serve.Protocol.Answer body -> (Unix.gettimeofday () -. t0, body)
+    | r ->
+      Printf.printf "E14: serve request failed: %s\n"
+        (Serve.Protocol.response_to_string r);
       exit 1
   in
   let t_cold, body_cold = timed_request () in
@@ -1130,6 +1131,160 @@ let e14 () =
     warm_identical;
   if (gated && speedup < 1.7) || warm_ratio < 50. || not warm_identical then
     exit 1;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* E16 — serve robustness overhead on the fault-free path: the same    *)
+(* daemon with every self-healing knob armed (budgets, cluster         *)
+(* timeouts, admission control) must answer within 3% of the plain     *)
+(* configuration when nothing actually goes wrong.                     *)
+
+let e16 () =
+  section "E16  serve robustness: fault-free overhead of the armed daemon";
+  let pid = Unix.getpid () in
+  let with_daemon tag config f =
+    let sock =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "lcl-e16-%s-%d.sock" tag pid)
+    and cachef =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "lcl-e16-%s-%d.cache" tag pid)
+    in
+    List.iter (fun p -> try Sys.remove p with Sys_error _ -> ())
+      [ sock; cachef ];
+    let daemon =
+      match Unix.fork () with
+      | 0 ->
+        (try
+           ignore
+             (Serve.Daemon.serve ~socket_path:sock ~cache_path:cachef ~config
+                ~poll_interval:0.005 ())
+         with _ -> Unix._exit 1);
+        Unix._exit 0
+      | p -> p
+    in
+    let rec await tries =
+      if Sys.file_exists sock then ()
+      else if tries = 0 then begin
+        print_endline "E16: serve daemon never came up";
+        exit 1
+      end
+      else begin
+        ignore (Unix.select [] [] [] 0.02);
+        await (tries - 1)
+      end
+    in
+    await 250;
+    (* the daemon holds our stdout pipe: it must die even when the
+       measurement aborts, or the harness hangs waiting for EOF *)
+    Fun.protect
+      ~finally:(fun () ->
+        (try
+           ignore
+             (Serve.Daemon.request ~recv_timeout_s:10. ~socket_path:sock
+                Serve.Protocol.Shutdown)
+         with _ -> ());
+        (try ignore (Unix.waitpid [] daemon)
+         with Unix.Unix_error (Unix.ECHILD, _, _) -> ());
+        List.iter (fun p -> try Sys.remove p with Sys_error _ -> ())
+          [ sock; cachef ])
+      (fun () -> f sock)
+  in
+  let sim seed =
+    Serve.Protocol.Simulate { algo = "cv-coloring"; n = 200_000; seed }
+  in
+  (* 50 requests per batch: well under either admission cap, so the
+     fault-free path never sheds and the comparison stays clean *)
+  let warm_batch = List.init 50 (fun _ -> sim 11) in
+  let measure sock =
+    (* cold leg: every distinct seed is a cache miss, so one daemon
+       yields several cold samples — the min over all of them is what
+       makes a 3% gate on a ~1 s compute hold under machine noise *)
+    let cold = ref infinity in
+    for seed = 11 to 15 do
+      let t0 = Unix.gettimeofday () in
+      (match
+         Serve.Daemon.request ~recv_timeout_s:60. ~socket_path:sock (sim seed)
+       with
+      | Serve.Protocol.Answer _ -> ()
+      | r ->
+        failwith
+          (Printf.sprintf "E16: cold request failed: %s"
+             (Serve.Protocol.response_to_string r)));
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !cold then cold := dt
+    done;
+    let cold = !cold in
+    (* warm leg: min over trials of a 50-request batch — the min
+       filters scheduler noise, the batch amortises per-connection
+       cost so a 3% gate is meaningful *)
+    let warm = ref infinity in
+    for _ = 1 to 8 do
+      let t0 = Unix.gettimeofday () in
+      let rs =
+        Serve.Daemon.request_batch ~recv_timeout_s:60. ~socket_path:sock
+          warm_batch
+      in
+      let dt = Unix.gettimeofday () -. t0 in
+      List.iter
+        (function
+          | Serve.Protocol.Answer _ -> ()
+          | r ->
+            failwith
+              (Printf.sprintf "E16: warm request failed: %s"
+                 (Serve.Protocol.response_to_string r)))
+        rs;
+      if dt < !warm then warm := dt
+    done;
+    (cold, !warm)
+  in
+  let plain = Serve.Daemon.default_config in
+  let armed =
+    {
+      plain with
+      Serve.Daemon.default_budget_ms = Some 120_000;
+      cluster_timeout_ms = Some 60_000;
+      max_pending = 256;
+    }
+  in
+  (* interleave plain/armed pairs so drift hits both configurations *)
+  let cold_p = ref infinity and warm_p = ref infinity in
+  let cold_a = ref infinity and warm_a = ref infinity in
+  for i = 0 to 2 do
+    let p () =
+      let c, w = with_daemon "plain" plain measure in
+      cold_p := min !cold_p c;
+      warm_p := min !warm_p w
+    and a () =
+      let c, w = with_daemon "armed" armed measure in
+      cold_a := min !cold_a c;
+      warm_a := min !warm_a w
+    in
+    if i land 1 = 0 then (p (); a ()) else (a (); p ())
+  done;
+  let pct a b = (a -. b) /. max 1e-9 b *. 100. in
+  let warm_over = pct !warm_a !warm_p and cold_over = pct !cold_a !cold_p in
+  table
+    ~header:[ "leg"; "plain"; "armed"; "overhead"; "gate" ]
+    [
+      [ "cold simulate n=200k"; Printf.sprintf "%.1f ms" (!cold_p *. 1e3);
+        Printf.sprintf "%.1f ms" (!cold_a *. 1e3);
+        Printf.sprintf "%+.2f%%" cold_over; "3%" ];
+      [ "warm x50 batch"; Printf.sprintf "%.2f ms" (!warm_p *. 1e3);
+        Printf.sprintf "%.2f ms" (!warm_a *. 1e3);
+        Printf.sprintf "%+.2f%%" warm_over; "3%" ];
+    ];
+  (* machine-readable point for BENCH_FAULT.json *)
+  Printf.printf
+    "{\"bench\":\"serve-robustness\",\"workload\":\"cv-coloring-200k\",\
+     \"warm_batch\":50,\"plain_cold_s\":%.6f,\"armed_cold_s\":%.6f,\
+     \"plain_warm_s\":%.6f,\"armed_warm_s\":%.6f,\
+     \"cold_overhead_pct\":%.2f,\"warm_overhead_pct\":%.2f}\n"
+    !cold_p !cold_a !warm_p !warm_a cold_over warm_over;
+  if warm_over > 3. || cold_over > 3. then begin
+    print_endline "E16: armed daemon exceeds the 3% fault-free budget";
+    exit 1
+  end;
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
@@ -1271,6 +1426,7 @@ let () =
   (* E14 first: it forks, and fork is refused once any other section
      has spawned an in-parent domain (E2, E8, E13 all do) *)
   if selected "E14" then e14 ();
+  if selected "E16" then e16 ();
   if selected "E15" then e15 ();
   if selected "E1" then e1 ();
   if selected "E2" then e2 ();

@@ -1002,17 +1002,57 @@ let serve_cmd =
       & info [ "cache" ]
           ~doc:"Persistent classification cache file (created if absent).")
   in
-  let run socket cache workers () =
+  let max_pending_arg =
+    Arg.(
+      value
+      & opt int Serve.Daemon.default_config.Serve.Daemon.max_pending
+      & info [ "max-pending" ]
+          ~doc:
+            "Engine-level requests admitted per dispatch cycle; the \
+             overflow is shed with a typed overloaded answer.")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "default-budget-ms" ]
+          ~doc:
+            "Deadline budget for requests that carry none; expiry answers \
+             deadline-exceeded instead of hanging.")
+  in
+  let cluster_timeout_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "cluster-timeout-ms" ]
+          ~doc:
+            "Per-worker drain timeout for every computation: a stalled \
+             cluster worker is reaped and its range recomputed in-process \
+             (default $(b,\\$LCL_CLUSTER_TIMEOUT_MS)).")
+  in
+  let run socket cache workers max_pending default_budget_ms
+      cluster_timeout_ms () =
     let stop = install_daemon_signals () in
+    let config =
+      {
+        Serve.Daemon.default_config with
+        Serve.Daemon.max_pending;
+        default_budget_ms;
+        cluster_timeout_ms;
+      }
+    in
     let stats =
       Serve.Daemon.serve ~socket_path:socket ~cache_path:cache ?workers
+        ~config
         ~should_stop:(fun () -> !stop)
         ~on_ready:(fun () -> Fmt.pr "serving on %s (cache %s)@." socket cache)
         ()
     in
-    Fmt.pr "served %d requests (%d cache hits, %d misses, %d connections)@."
+    Fmt.pr
+      "served %d requests (%d cache hits, %d misses, %d connections, \
+       %d shed, %d degraded, %d deadline-expired)@."
       stats.Serve.Daemon.served stats.Serve.Daemon.hits
       stats.Serve.Daemon.misses stats.Serve.Daemon.connections
+      stats.Serve.Daemon.shed stats.Serve.Daemon.degraded
+      stats.Serve.Daemon.deadlines
   in
   Cmd.v
     (Cmd.info "serve"
@@ -1020,13 +1060,15 @@ let serve_cmd =
          "Serve classification, simulation and faultsim requests over a \
           Unix-domain socket, batching each dispatch cycle and answering \
           repeated problems from a persistent on-disk cache")
-    Term.(const run $ socket_arg $ cache_arg $ workers_arg $ const ())
+    Term.(
+      const run $ socket_arg $ cache_arg $ workers_arg $ max_pending_arg
+      $ budget_arg $ cluster_timeout_arg $ const ())
 
 let client_cmd =
   let verb_arg =
     let doc =
-      "Request: ping, zoo, stats, shutdown, classify, gap, simulate, \
-       faultsim."
+      "Request: ping, zoo, stats, health, shutdown, classify, gap, \
+       simulate, faultsim."
     in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"VERB" ~doc)
   in
@@ -1052,12 +1094,13 @@ let client_cmd =
       exit 2
   in
   let run socket verb problem_opt n seed algo iterations labels fault_seed
-      crash sever retries () =
+      crash sever retries budget_ms recv_timeout_s request_retries () =
     let req =
       match verb with
       | "ping" -> Serve.Protocol.Ping
       | "zoo" -> Serve.Protocol.Zoo
       | "stats" -> Serve.Protocol.Stats
+      | "health" -> Serve.Protocol.Health
       | "shutdown" -> Serve.Protocol.Shutdown
       | "classify" ->
         Serve.Protocol.Classify { problem = need_problem verb problem_opt }
@@ -1076,14 +1119,32 @@ let client_cmd =
         Fmt.epr "unknown verb %s@." other;
         exit 2
     in
-    match Serve.Daemon.request ~socket_path:socket req with
-    | Ok text ->
+    let retry =
+      Util.Backoff.create ~base_ms:20 ~max_ms:500
+        ~max_retries:request_retries ~seed:0xC11E47 ()
+    in
+    let print_text text =
       print_string text;
       if text <> "" && text.[String.length text - 1] <> '\n' then
         print_newline ()
-    | Error m ->
-      Fmt.epr "error: %s@." m;
+    in
+    match
+      Serve.Daemon.request ?budget_ms ?recv_timeout_s:recv_timeout_s ~retry
+        ~socket_path:socket req
+    with
+    | Serve.Protocol.Answer text -> print_text text
+    | Serve.Protocol.Degraded { text; reason } ->
+      Fmt.epr "warning: degraded answer (%s)@." reason;
+      print_text text
+    | Serve.Protocol.Failed { code; message } ->
+      Fmt.epr "error %s: %s@." code message;
       exit 1
+    | Serve.Protocol.Deadline_exceeded { budget_ms } ->
+      Fmt.epr "error: deadline exceeded (budget %d ms)@." budget_ms;
+      exit 3
+    | Serve.Protocol.Overloaded { retry_after_ms } ->
+      Fmt.epr "error: daemon overloaded (retry after %d ms)@." retry_after_ms;
+      exit 4
   in
   let seed_arg =
     Arg.(value & opt int 0xC0FFEE & info [ "seed" ] ~doc:"Run seed.")
@@ -1102,13 +1163,357 @@ let client_cmd =
   let retries_arg =
     Arg.(value & opt int 0 & info [ "retries" ] ~doc:"Re-attempts.")
   in
+  let budget_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "budget-ms" ]
+          ~doc:
+            "Deadline budget carried in the request envelope; expiry \
+             answers deadline-exceeded.")
+  in
+  let recv_timeout_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "recv-timeout" ]
+          ~doc:"Give up waiting for the answer after this many seconds.")
+  in
+  let request_retries_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "request-retries" ]
+          ~doc:
+            "Reconnect-with-backoff budget for transport failures and \
+             overload sheds (default 0 = one attempt).")
+  in
   Cmd.v
     (Cmd.info "client"
        ~doc:"Send one request to a running lcl_tool serve daemon")
     Term.(
       const run $ socket_arg $ verb_arg $ problem_opt_arg $ n_arg $ seed_arg
       $ algo_arg $ iterations_arg $ labels_arg $ fault_seed_arg $ crash_arg
-      $ sever_arg $ retries_arg $ const ())
+      $ sever_arg $ retries_arg $ budget_arg $ recv_timeout_arg
+      $ request_retries_arg $ const ())
+
+(* -- chaos-soak ---------------------------------------------------------- *)
+
+(* Service-level chaos soak: fork a daemon under a seeded
+   [Fault.Service] plan, drive a seeded request mix through it with
+   the matching client-side faults, and assert the robustness
+   contract — every request terminates with a typed outcome, and warm
+   answers stay byte-identical to cold ones.
+
+   The report printed on stdout is STABLE: a pure function of
+   (seed, requests, plan spec), identical across repeated runs and
+   across worker counts. That is what the serve-chaos CI job diffs.
+   Worker-count-sensitive outcomes are folded away: a [Degraded]
+   answer counts as answered (its text is byte-identical to the
+   healthy one — that is the recovery guarantee), and the digest
+   hashes answer texts only. Non-stable detail (daemon counters,
+   degraded counts) goes to stderr under [--counters]. *)
+let chaos_soak_cmd =
+  let seed_arg =
+    Arg.(value & opt int 0xC405 & info [ "seed" ] ~doc:"Soak seed.")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 120
+      & info [ "requests" ] ~doc:"Engine-level requests to drive.")
+  in
+  let rate name doc default =
+    Arg.(value & opt float default & info [ name ] ~doc)
+  in
+  let kill_arg = rate "kill" "Kill-worker fault rate." 0.08 in
+  let stall_arg = rate "stall" "Stall-worker fault rate." 0.04 in
+  let torn_arg = rate "torn" "Torn-frame client fault rate." 0.05 in
+  let drop_arg = rate "drop" "Drop-connection client fault rate." 0.05 in
+  let cache_corrupt_arg = rate "cache-corrupt" "Cache corruption rate." 0.02 in
+  let disk_full_arg = rate "disk-full" "Full-disk (cache write) rate." 0.03 in
+  let max_pending_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "max-pending" ] ~doc:"Daemon admission cap for the soak.")
+  in
+  let cluster_timeout_arg =
+    Arg.(
+      value & opt int 500
+      & info [ "cluster-timeout-ms" ]
+          ~doc:"Worker drain timeout (reaps stalled chaos workers).")
+  in
+  let counters_arg =
+    Arg.(
+      value & flag
+      & info [ "counters" ]
+          ~doc:
+            "Also print non-stable daemon counters to stderr (these \
+             legitimately differ across worker counts).")
+  in
+  let run socket seed requests kill stall torn drop cache_corrupt disk_full
+      workers max_pending cluster_timeout_ms counters () =
+    if Sys.unix then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let pid = Unix.getpid () in
+    let tmp = Filename.get_temp_dir_name () in
+    let sock =
+      if socket = "lcl_serve.sock" then
+        Filename.concat tmp (Printf.sprintf "lcl-soak-%d.sock" pid)
+      else socket
+    in
+    let cachef = Filename.concat tmp (Printf.sprintf "lcl-soak-%d.cache" pid) in
+    List.iter
+      (fun p -> try Sys.remove p with Sys_error _ -> ())
+      [ sock; cachef ];
+    let spec =
+      Fault.Service.spec ~kill ~stall ~torn ~drop ~cache_corrupt ~disk_full
+        ~ranks:(match workers with Some w -> max 1 w | None -> 4)
+        ()
+    in
+    let plan = Fault.Service.generate ~label:"soak" ~seed ~requests spec in
+    let config =
+      {
+        Serve.Daemon.default_config with
+        Serve.Daemon.max_pending;
+        cluster_timeout_ms = Some cluster_timeout_ms;
+        chaos = plan;
+      }
+    in
+    let daemon =
+      match Unix.fork () with
+      | 0 ->
+        (try
+           ignore
+             (Serve.Daemon.serve ~socket_path:sock ~cache_path:cachef ?workers
+                ~config ~poll_interval:0.02 ())
+         with _ -> Unix._exit 1);
+        Unix._exit 0
+      | p -> p
+    in
+    let rec await tries =
+      if Sys.file_exists sock then ()
+      else if tries = 0 then begin
+        Fmt.epr "chaos-soak: daemon never came up@.";
+        exit 1
+      end
+      else begin
+        ignore (Unix.select [] [] [] 0.02);
+        await (tries - 1)
+      end
+    in
+    await 250;
+    (* seeded request mix: cheap, cache-heavy, with a deliberate
+       bad-request leg so the F400 path soaks too *)
+    let rng = Util.Prng.create ~seed:(seed lxor 0x50AB) in
+    let zoo_names =
+      [ "3-coloring"; "mis"; "maximal-matching"; "sinkless-orientation";
+        "trivial"; "2-coloring" ]
+    in
+    let draw_request () =
+      let pick l = List.nth l (Util.Prng.int rng (List.length l)) in
+      match Util.Prng.int rng 100 with
+      | r when r < 30 -> Serve.Protocol.Classify { problem = pick zoo_names }
+      | r when r < 45 ->
+        Serve.Protocol.Gap
+          { problem = pick zoo_names; iterations = 3; max_labels = 64 }
+      | r when r < 70 ->
+        Serve.Protocol.Simulate
+          {
+            algo = pick [ "cv-coloring"; "mis"; "matching" ];
+            n = 16 + (8 * Util.Prng.int rng 8);
+            seed = Util.Prng.int rng 4;
+          }
+      | r when r < 85 ->
+        Serve.Protocol.Faultsim
+          {
+            algo = "cv-coloring";
+            n = 32;
+            seed = Util.Prng.int rng 4;
+            fault_seed = Util.Prng.int rng 4;
+            crash = 0.05;
+            sever = 0.05;
+            retries = 1;
+          }
+      | r when r < 95 -> Serve.Protocol.Ping
+      | _ -> Serve.Protocol.Simulate { algo = "no-such-algo"; n = 64; seed = 0 }
+    in
+    let mix = List.init requests (fun _ -> draw_request ()) in
+    (* client-side fault injections *)
+    let with_raw_socket f =
+      match Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+      | fd ->
+        (try
+           Unix.connect fd (Unix.ADDR_UNIX sock);
+           f fd
+         with Unix.Unix_error _ -> ());
+        (try Unix.close fd with Unix.Unix_error _ -> ())
+      | exception Unix.Unix_error _ -> ()
+    in
+    let send_torn req =
+      with_raw_socket (fun fd ->
+          let enc = Serve.Protocol.encode_request req in
+          let k = min 3 (String.length enc - 1) in
+          ignore (Unix.write_substring fd enc 0 k))
+    in
+    let send_and_drop req =
+      with_raw_socket (fun fd ->
+          let enc = Serve.Protocol.encode_request req in
+          ignore (Unix.write_substring fd enc 0 (String.length enc)))
+    in
+    (* the soak proper *)
+    let answered = ref 0 and failed = ref 0 and deadline = ref 0 in
+    let overloaded = ref 0 and aborted = ref 0 and degraded = ref 0 in
+    let transport_failures = ref 0 and internal_failures = ref 0 in
+    let recorded : (Serve.Protocol.request * string) list ref = ref [] in
+    let digest_buf = Buffer.create 4096 in
+    List.iteri
+      (fun i req ->
+        let client_events =
+          List.filter Fault.Service.client_side (Fault.Service.at plan i)
+        in
+        match client_events with
+        | Fault.Service.Torn_frame :: _ ->
+          send_torn req;
+          incr aborted;
+          (* let the daemon reap the dead connection before the next
+             request so dispatch order stays stable *)
+          ignore (Unix.select [] [] [] 0.03)
+        | Fault.Service.Drop_connection :: _ ->
+          send_and_drop req;
+          incr aborted;
+          ignore (Unix.select [] [] [] 0.03)
+        | _ -> (
+          match
+            Serve.Daemon.request ~recv_timeout_s:30. ~socket_path:sock req
+          with
+          | Serve.Protocol.Answer text ->
+            incr answered;
+            Buffer.add_string digest_buf text;
+            recorded := (req, text) :: !recorded
+          | Serve.Protocol.Degraded { text; _ } ->
+            (* same bytes as the healthy answer: count as answered in
+               the stable report, tally separately for --counters *)
+            incr answered;
+            incr degraded;
+            Buffer.add_string digest_buf text;
+            recorded := (req, text) :: !recorded
+          | Serve.Protocol.Failed { code; message } ->
+            incr failed;
+            if code = "F401" then begin
+              incr transport_failures;
+              Fmt.epr "soak request %d: transport failure: %s@." i message
+            end
+            else if code = "F403" then begin
+              incr internal_failures;
+              Fmt.epr "soak request %d: internal failure: %s@." i message
+            end
+          | Serve.Protocol.Deadline_exceeded _ -> incr deadline
+          | Serve.Protocol.Overloaded _ -> incr overloaded))
+      mix;
+    (* overload leg: one atomic batch write twice the admission cap —
+       the tail must shed with typed Overloaded answers *)
+    let overload_sent = 2 * max_pending in
+    let overload_answers =
+      Serve.Daemon.request_batch ~recv_timeout_s:30. ~socket_path:sock
+        (List.init overload_sent (fun _ -> Serve.Protocol.Ping))
+    in
+    let overload_ok =
+      List.length
+        (List.filter
+           (function Serve.Protocol.Answer _ -> true | _ -> false)
+           overload_answers)
+    in
+    let overload_shed =
+      List.length
+        (List.filter
+           (function Serve.Protocol.Overloaded _ -> true | _ -> false)
+           overload_answers)
+    in
+    (* warm replay: every recorded answer must come back byte-identical
+       (these ordinals are past the plan, so no chaos fires) *)
+    let warm_identical =
+      List.for_all
+        (fun (req, text) ->
+          match
+            Serve.Daemon.request ~recv_timeout_s:30. ~socket_path:sock req
+          with
+          | Serve.Protocol.Answer t | Serve.Protocol.Degraded { text = t; _ }
+            ->
+            t = text
+          | _ -> false)
+        (List.rev !recorded)
+    in
+    let health_ok =
+      match
+        Serve.Daemon.request ~recv_timeout_s:30. ~socket_path:sock
+          Serve.Protocol.Health
+      with
+      | Serve.Protocol.Answer t ->
+        let affix = "\"serve\":\"health\"" in
+        let rec has i =
+          i + String.length affix <= String.length t
+          && (String.sub t i (String.length affix) = affix || has (i + 1))
+        in
+        has 0
+      | _ -> false
+    in
+    if counters then begin
+      (match
+         Serve.Daemon.request ~recv_timeout_s:30. ~socket_path:sock
+           Serve.Protocol.Stats
+       with
+      | Serve.Protocol.Answer t -> Fmt.epr "daemon %s" t
+      | _ -> ());
+      Fmt.epr "client: degraded=%d transport=%d internal=%d@." !degraded
+        !transport_failures !internal_failures
+    end;
+    ignore
+      (Serve.Daemon.request ~recv_timeout_s:30. ~socket_path:sock
+         Serve.Protocol.Shutdown);
+    (try ignore (Unix.waitpid [] daemon)
+     with Unix.Unix_error (Unix.ECHILD, _, _) -> ());
+    List.iter
+      (fun p -> try Sys.remove p with Sys_error _ -> ())
+      [ sock; cachef ];
+    (* the stable report: diffed verbatim by the serve-chaos CI job *)
+    let plan_counts =
+      String.concat ","
+        (List.map
+           (fun (k, c) -> Printf.sprintf "\"%s\":%d" k c)
+           (Fault.Service.counts plan))
+    in
+    Printf.printf
+      "{\"soak\":\"report\",\"seed\":%d,\"requests\":%d,\"plan\":{%s},\
+       \"outcomes\":{\"answered\":%d,\"failed\":%d,\"deadline\":%d,\
+       \"overloaded\":%d,\"client_aborted\":%d},\
+       \"overload\":{\"sent\":%d,\"answered\":%d,\"shed\":%d},\
+       \"digest\":\"%s\",\"warm_identical\":%b,\"health_ok\":%b,\
+       \"all_typed\":true}\n"
+      seed requests plan_counts !answered !failed !deadline !overloaded
+      !aborted overload_sent overload_ok overload_shed
+      (Digest.to_hex (Digest.string (Buffer.contents digest_buf)))
+      warm_identical health_ok;
+    if
+      !transport_failures > 0 || !internal_failures > 0 || not warm_identical
+      || not health_ok
+      || overload_ok + overload_shed <> overload_sent
+    then begin
+      Fmt.epr
+        "chaos-soak FAILED: transport=%d internal=%d warm_identical=%b \
+         health_ok=%b overload %d+%d/%d@."
+        !transport_failures !internal_failures warm_identical health_ok
+        overload_ok overload_shed overload_sent;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "chaos-soak"
+       ~doc:
+         "Soak a forked serve daemon under a seeded service-level fault \
+          plan (worker kills and stalls, torn frames, dropped connections, \
+          cache corruption, full disk) and assert that every request \
+          terminates with a typed outcome and warm answers stay \
+          byte-identical; prints a stable, diffable report")
+    Term.(
+      const run $ socket_arg $ seed_arg $ requests_arg $ kill_arg $ stall_arg
+      $ torn_arg $ drop_arg $ cache_corrupt_arg $ disk_full_arg $ workers_arg
+      $ max_pending_arg $ cluster_timeout_arg $ counters_arg $ const ())
 
 let main =
   Cmd.group
@@ -1116,6 +1521,6 @@ let main =
        ~doc:"LCL landscape toolkit (PODC 2022 reproduction)")
     [ show_cmd; zoo_cmd; classify_cmd; gap_cmd; eliminate_cmd; simulate_cmd;
       volume_cmd; lint_cmd; sanitize_cmd; faultsim_cmd; bench_runner_cmd;
-      substrate_smoke_cmd; trace_cmd; serve_cmd; client_cmd ]
+      substrate_smoke_cmd; trace_cmd; serve_cmd; client_cmd; chaos_soak_cmd ]
 
 let () = exit (Cmd.eval main)

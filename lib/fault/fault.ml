@@ -13,6 +13,7 @@
 module Json = Json
 module Error = Error
 module Plan = Plan
+module Service = Service
 module Inject = Inject
 
 type status = Inject.status =

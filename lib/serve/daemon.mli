@@ -9,21 +9,68 @@
 
     Protocol per connection: any number of request frames, answered in
     order; requests already buffered when a cycle dispatches are
-    answered from one batch (distinct fingerprints computed once). *)
+    answered from one batch (distinct fingerprints computed once).
+
+    Robustness (see DESIGN.md, "Service robustness"):
+    - every request terminates with a typed [Protocol.response] — a
+      budget in the envelope (or [default_budget_ms]) turns into
+      [Deadline_exceeded] instead of a hang, with the cluster drain
+      timeout clamped to the remaining budget while it computes;
+    - admission control: at most [max_pending] engine-level requests
+      are admitted per dispatch cycle, the overflow is shed with
+      [Overloaded] carrying a retry-after hint (daemon-level [Stats],
+      [Health], [Shutdown] are never shed);
+    - a worker death or stall mid-request degrades to an in-process
+      recompute and a [Degraded] answer with identical text;
+    - a corrupt cache file is quarantined (renamed aside) and the
+      cache rebuilt, mid-run or at startup; a busy cache lock is
+      bypassed for the cycle;
+    - client misbehaviour (mid-frame disconnect, reset, garbage,
+      never-reading peers) costs that client its connection, never the
+      select loop. *)
 
 type stats = {
   mutable served : int;      (** requests answered *)
   mutable hits : int;        (** answered from the persistent cache *)
   mutable misses : int;      (** fingerprinted but computed *)
   mutable connections : int; (** connections accepted *)
+  mutable shed : int;        (** answered [Overloaded] unevaluated *)
+  mutable degraded : int;    (** answered [Degraded] *)
+  mutable deadlines : int;   (** answered [Deadline_exceeded] *)
+  mutable failed : int;      (** answered [Failed] *)
+  mutable quarantined : int; (** cache rebuilds after corruption *)
 }
 
+type config = {
+  max_pending : int;
+      (** engine-level admissions per dispatch cycle (default 64) *)
+  retry_after_ms : int;
+      (** hint carried by [Overloaded] (default 50) *)
+  default_budget_ms : int option;
+      (** budget for envelopes that carry none (default [None]) *)
+  cluster_timeout_ms : int option;
+      (** installed via [Util.Cluster.set_default_timeout] at startup,
+          so every computation inherits a worker drain bound even
+          without a request budget (default [None] = keep the
+          [LCL_CLUSTER_TIMEOUT_MS]-seeded global) *)
+  write_timeout_s : float;
+      (** [SO_SNDTIMEO] on client connections: a peer that stops
+          reading stalls its own answer, not the daemon (default 5) *)
+  chaos : Fault.Service.t;
+      (** daemon-side chaos events, applied by engine-request ordinal
+          (client-side events are ignored here); [Service.empty]
+          disables injection *)
+}
+
+val default_config : config
+
 (** [serve ~socket_path ~cache_path ()] binds [socket_path] (removing
-    a stale socket file first), opens (or creates) the cache at
-    [cache_path] and serves until a [Shutdown] request arrives or
-    [should_stop ()] turns true (polled at least every [poll_interval]
-    seconds, default 0.25). The cache is flushed and closed and the
-    socket unlinked on every exit path. Returns the final counters.
+    a stale socket file first), opens the cache at [cache_path] —
+    quarantining and rebuilding it when corrupt — and serves until a
+    [Shutdown] request arrives or [should_stop ()] turns true (polled
+    at least every [poll_interval] seconds, default 0.25). The cache
+    is flushed and closed and the socket unlinked on every exit path.
+    Returns the final counters.
 
     [on_ready] fires once listening (used by tests and by the CLI to
     print the socket path). [workers] is passed to every computation.
@@ -33,21 +80,45 @@ val serve :
   socket_path:string ->
   cache_path:string ->
   ?workers:int ->
+  ?config:config ->
   ?should_stop:(unit -> bool) ->
   ?poll_interval:float ->
   ?on_ready:(unit -> unit) ->
   unit ->
   stats
 
-(** {1 Client side} *)
+(** {1 Client side}
 
-(** [request ~socket_path req] connects, sends [req], and reads the
-    answer. [Error] covers connection failures and daemon-reported
-    errors alike. *)
-val request : socket_path:string -> Protocol.request -> Protocol.response
+    Client-side failures are typed like daemon-side ones: transport
+    trouble (cannot connect, daemon vanished mid-answer, receive
+    timeout) comes back as [Failed] with code F401 — [request] never
+    raises and never hangs when [recv_timeout_s] is set. *)
 
-(** Send every request on one connection before reading any answer —
-    the way to land a whole batch in a single dispatch cycle. Answers
-    are positionally aligned with the requests. *)
+(** [request ~socket_path req] connects, sends [req] (with its
+    [budget_ms], if any), and reads the answer.
+
+    [retry] is the reconnect/retry budget: transport failures are
+    retried per the backoff policy, and an [Overloaded] answer is
+    retried after at least its own retry-after hint. The default
+    policy makes no retries. When the budget is exhausted the last
+    outcome is returned: the final [Overloaded], or [Failed] F401
+    describing the transport error. *)
+val request :
+  ?budget_ms:int ->
+  ?recv_timeout_s:float ->
+  ?retry:Util.Backoff.t ->
+  socket_path:string ->
+  Protocol.request ->
+  Protocol.response
+
+(** Send every request in one [write] on one connection before
+    reading any answer — the way to land a whole batch in a single
+    dispatch cycle (and the admission-control test's way to overflow
+    one). Answers are positionally aligned; transport failures fill
+    the remainder with [Failed] F401. No retries. *)
 val request_batch :
-  socket_path:string -> Protocol.request list -> Protocol.response list
+  ?budget_ms:int ->
+  ?recv_timeout_s:float ->
+  socket_path:string ->
+  Protocol.request list ->
+  Protocol.response list

@@ -6,6 +6,9 @@ let m_requests = Obs.Metrics.counter "serve.requests"
 let m_hits = Obs.Metrics.counter "serve.cache.hits"
 let m_misses = Obs.Metrics.counter "serve.cache.misses"
 let m_computed = Obs.Metrics.counter "serve.computed"
+let m_degraded = Obs.Metrics.counter "serve.degraded"
+let m_deadline = Obs.Metrics.counter "serve.deadline.expired"
+let m_cache_bypassed = Obs.Metrics.counter "serve.cache.bypassed"
 
 let resolve_local_algo name =
   match name with
@@ -101,7 +104,10 @@ let faultsim_text ?workers ~algo ~n ~seed ~fault_seed ~crash ~sever ~retries
                 ])
            ^ "\n"))
 
-let answer ?workers (req : Protocol.request) : Protocol.response =
+(* Text of one request, bypassing any cache. [Error] here means the
+   REQUEST was bad (F400); exceptions are internal failures (F403) and
+   are mapped by [answer]. *)
+let answer_text ?workers (req : Protocol.request) : (string, string) result =
   Obs.Metrics.incr m_computed;
   Obs.Span.with_ "serve.compute" (fun () ->
       match req with
@@ -114,48 +120,119 @@ let answer ?workers (req : Protocol.request) : Protocol.response =
       | Faultsim { algo; n; seed; fault_seed; crash; sever; retries } ->
         faultsim_text ?workers ~algo ~n ~seed ~fault_seed ~crash ~sever
           ~retries ()
-      | Stats | Shutdown -> Error "handled by the daemon, not the engine")
+      | Stats | Health | Shutdown ->
+        Error "handled by the daemon, not the engine")
+
+(* Degradation detection: [Util.Cluster] recovers a dead or reaped
+   worker's range in-process and counts it; a computation that bumped
+   the counter took the recovery path. The TEXT is unchanged (the
+   bit-identical-recovery guarantee), so degraded answers cache like
+   healthy ones — only this run's response carries the flag. *)
+let answer ?workers (req : Protocol.request) : Protocol.response =
+  let before = Util.Cluster.recoveries () in
+  match answer_text ?workers req with
+  | Ok text ->
+    let recovered = Util.Cluster.recoveries () - before in
+    if recovered > 0 then begin
+      Obs.Metrics.incr m_degraded;
+      Protocol.Degraded
+        {
+          text;
+          reason =
+            Printf.sprintf
+              "%d worker range%s recovered in-process after death or timeout"
+              recovered
+              (if recovered = 1 then "" else "s");
+        }
+    end
+    else Protocol.Answer text
+  | Error message -> Protocol.Failed { code = "F400"; message }
+  | exception e ->
+    Protocol.Failed { code = "F403"; message = Printexc.to_string e }
 
 type source = Hit | Miss | Uncacheable
+
+(* Cache trouble must not fail a request: a lock held elsewhere past
+   the bounded wait ([Busy]) or a failed write (ENOSPC — real or from
+   the chaos write hook) degrades to computing without the cache.
+   [Corrupt] propagates — the daemon owns quarantine-and-rebuild. *)
+let cache_find cache key =
+  try Util.Diskcache.find cache key
+  with Util.Diskcache.Busy _ | Unix.Unix_error _ ->
+    Obs.Metrics.incr m_cache_bypassed;
+    None
+
+let cache_add cache key text =
+  try Util.Diskcache.add cache key text
+  with Util.Diskcache.Busy _ | Unix.Unix_error _ ->
+    Obs.Metrics.incr m_cache_bypassed
 
 let answer_tagged ?workers ~cache req : Protocol.response * source =
   Obs.Metrics.incr m_requests;
   match Protocol.fingerprint req with
   | None -> (answer ?workers req, Uncacheable)
   | Some key -> (
-    match Util.Diskcache.find cache key with
+    match cache_find cache key with
     | Some stored ->
       Obs.Metrics.incr m_hits;
-      (Ok stored, Hit)
+      (Protocol.Answer stored, Hit)
     | None ->
       Obs.Metrics.incr m_misses;
       let r = answer ?workers req in
-      (match r with
-      | Ok text -> Util.Diskcache.add cache key text
-      | Error _ -> ());
+      (match Protocol.response_text r with
+      | Some text -> cache_add cache key text
+      | None -> ());
       (r, Miss))
 
 let answer_cached ?workers ~cache req : Protocol.response =
   fst (answer_tagged ?workers ~cache req)
 
-let answer_batch ?workers ~cache reqs : (Protocol.response * source) list =
+(* Clamp the cluster drain timeout to the remaining budget while [f]
+   computes, so a stalled worker is reaped (and its range recovered)
+   instead of overrunning the deadline. *)
+let with_cluster_timeout remaining_s f =
+  let saved = Util.Cluster.default_timeout () in
+  let clamped =
+    match saved with
+    | Some t -> Some (Float.min t remaining_s)
+    | None -> Some remaining_s
+  in
+  Util.Cluster.set_default_timeout clamped;
+  Fun.protect f ~finally:(fun () -> Util.Cluster.set_default_timeout saved)
+
+let answer_batch ?workers ~cache items : (Protocol.response * source) list =
+  let t0 = Unix.gettimeofday () in
   (* distinct fingerprints answer once per cycle; the by-key table
      also captures cache hits so duplicates skip even the disk probe *)
   let by_key : (string, Protocol.response) Hashtbl.t = Hashtbl.create 8 in
   List.map
-    (fun req ->
-      match Protocol.fingerprint req with
-      | None ->
-        Obs.Metrics.incr m_requests;
-        (answer ?workers req, Uncacheable)
-      | Some key -> (
-        match Hashtbl.find_opt by_key key with
-        | Some r ->
-          Obs.Metrics.incr m_requests;
-          Obs.Metrics.incr m_hits;
-          (r, Hit)
+    (fun (req, budget_ms) ->
+      let evaluate () =
+        match Protocol.fingerprint req with
         | None ->
-          let r, src = answer_tagged ?workers ~cache req in
-          Hashtbl.add by_key key r;
-          (r, src)))
-    reqs
+          Obs.Metrics.incr m_requests;
+          (answer ?workers req, Uncacheable)
+        | Some key -> (
+          match Hashtbl.find_opt by_key key with
+          | Some r ->
+            Obs.Metrics.incr m_requests;
+            Obs.Metrics.incr m_hits;
+            (r, Hit)
+          | None ->
+            let r, src = answer_tagged ?workers ~cache req in
+            Hashtbl.add by_key key r;
+            (r, src))
+      in
+      match budget_ms with
+      | None -> evaluate ()
+      | Some budget_ms ->
+        let remaining_s =
+          (float_of_int budget_ms /. 1000.) -. (Unix.gettimeofday () -. t0)
+        in
+        if remaining_s <= 0. then begin
+          Obs.Metrics.incr m_requests;
+          Obs.Metrics.incr m_deadline;
+          (Protocol.Deadline_exceeded { budget_ms }, Uncacheable)
+        end
+        else with_cluster_timeout remaining_s evaluate)
+    items

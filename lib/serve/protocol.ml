@@ -1,5 +1,5 @@
-(* Wire protocol: marshaled request/response values in Framing frames.
-   See protocol.mli for the contract. *)
+(* Wire protocol: marshaled envelope/response values in Framing
+   frames. See protocol.mli for the contract. *)
 
 type request =
   | Ping
@@ -17,9 +17,38 @@ type request =
       retries : int;
     }
   | Stats
+  | Health
   | Shutdown
 
-type response = (string, string) result
+type envelope = { req : request; budget_ms : int option }
+
+type response =
+  | Answer of string
+  | Degraded of { text : string; reason : string }
+  | Failed of { code : string; message : string }
+  | Deadline_exceeded of { budget_ms : int }
+  | Overloaded of { retry_after_ms : int }
+
+let response_text = function
+  | Answer text | Degraded { text; _ } -> Some text
+  | Failed _ | Deadline_exceeded _ | Overloaded _ -> None
+
+let response_label = function
+  | Answer _ -> "answer"
+  | Degraded _ -> "degraded"
+  | Failed _ -> "failed"
+  | Deadline_exceeded _ -> "deadline"
+  | Overloaded _ -> "overloaded"
+
+let response_to_string = function
+  | Answer text -> text
+  | Degraded { text; reason } ->
+    Printf.sprintf "[degraded: %s]\n%s" reason text
+  | Failed { code; message } -> Printf.sprintf "error %s: %s" code message
+  | Deadline_exceeded { budget_ms } ->
+    Printf.sprintf "deadline exceeded (budget %d ms)" budget_ms
+  | Overloaded { retry_after_ms } ->
+    Printf.sprintf "overloaded (retry after %d ms)" retry_after_ms
 
 (* Canonical problem text: parse (or look up in the zoo) and
    pretty-print, so formatting differences between two spellings of
@@ -36,7 +65,7 @@ let canonical_problem spec =
 let digest s = Digest.to_hex (Digest.string s)
 
 let fingerprint = function
-  | Ping | Zoo | Stats | Shutdown -> None
+  | Ping | Zoo | Stats | Health | Shutdown -> None
   | Classify { problem } ->
     (* v2: the answer format changed from the degree-2 verdict pair to
        the landscape-classifier JSON; the version tag keeps caches
@@ -56,16 +85,19 @@ let fingerprint = function
       (Printf.sprintf "faultsim:%s:%d:%d:%d:%h:%h:%d" algo n seed fault_seed
          crash sever retries)
 
-let write_request fd (r : request) =
-  Util.Framing.write_frame fd (Marshal.to_string r [])
+let encode_request ?budget_ms req =
+  Util.Framing.encode (Marshal.to_string { req; budget_ms } [])
+
+let write_request ?budget_ms fd req =
+  Util.Framing.write_frame fd (Marshal.to_string { req; budget_ms } [])
 
 let write_response fd (r : response) =
   Util.Framing.write_frame fd (Marshal.to_string r [])
 
-let request_of_payload payload : request = Marshal.from_string payload 0
+let envelope_of_payload payload : envelope = Marshal.from_string payload 0
 
-let read_request fd : request option =
-  Option.map request_of_payload (Util.Framing.read_frame fd)
+let read_envelope fd : envelope option =
+  Option.map envelope_of_payload (Util.Framing.read_frame fd)
 
 let read_response fd : response option =
   Option.map

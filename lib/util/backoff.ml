@@ -1,0 +1,78 @@
+(* Seeded exponential backoff. See backoff.mli for the contract.
+
+   [delay_ms] is deliberately stateless: the jitter stream is re-seeded
+   from (policy seed, attempt) on every call, so concurrent users of
+   one policy value cannot perturb each other's delays — determinism
+   holds per call site, not per call order. *)
+
+type t = {
+  base_ms : int;
+  max_ms : int;
+  jitter : float;
+  max_retries : int;
+  seed : int;
+}
+
+let create ?(base_ms = 5) ?(max_ms = 1000) ?(jitter = 0.5)
+    ?(max_retries = 5) ~seed () =
+  if base_ms < 0 || max_ms < 0 then
+    invalid_arg "Backoff.create: negative delay";
+  if jitter < 0. || jitter > 1. then
+    invalid_arg "Backoff.create: jitter outside [0,1]";
+  { base_ms; max_ms; jitter; max_retries = max 0 max_retries; seed }
+
+let delay_ms p ~attempt =
+  if attempt < 0 then invalid_arg "Backoff.delay_ms: negative attempt";
+  if attempt >= p.max_retries then None
+  else begin
+    (* 2^attempt, saturating well below overflow *)
+    let exp = if attempt > 30 then 30 else attempt in
+    let raw = min p.max_ms (p.base_ms lsl exp) in
+    let jittered =
+      if p.jitter = 0. || raw = 0 then raw
+      else begin
+        let rng = Prng.create ~seed:(p.seed lxor ((attempt + 1) * 0x3779FB9)) in
+        let cut = int_of_float (p.jitter *. float_of_int raw) in
+        if cut = 0 then raw else raw - Prng.int rng (cut + 1)
+      end
+    in
+    Some jittered
+  end
+
+let sleep_ms ms = if ms > 0 then Unix.sleepf (float_of_int ms /. 1000.)
+
+exception Exhausted of { attempts : int; last : exn }
+
+let () =
+  Printexc.register_printer (function
+    | Exhausted { attempts; last } ->
+      Some
+        (Printf.sprintf "Backoff.Exhausted after %d attempts: %s" attempts
+           (Printexc.to_string last))
+    | _ -> None)
+
+let retry ?(sleep = sleep_ms) ?(retryable = fun _ -> true) p f =
+  let rec go attempt =
+    try f () with
+    | e when retryable e -> (
+      match delay_ms p ~attempt with
+      | Some d ->
+        sleep d;
+        go (attempt + 1)
+      | None -> raise (Exhausted { attempts = attempt + 1; last = e }))
+  in
+  go 0
+
+let retry_result ?(sleep = sleep_ms) ?(retryable = fun _ -> true) p f =
+  let rec go attempt =
+    match f () with
+    | Ok _ as ok -> ok
+    | Error e as err when retryable e -> (
+      match delay_ms p ~attempt with
+      | Some d ->
+        sleep d;
+        go (attempt + 1)
+      | None -> err)
+    | Error _ as err -> err
+  in
+  go 0

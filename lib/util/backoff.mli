@@ -1,0 +1,54 @@
+(** Seeded exponential backoff with deterministic jitter — the one
+    retry policy of the service layer (cluster worker respawns,
+    diskcache lock contention, client reconnects).
+
+    A policy is pure data; the delay for attempt [k] is a pure
+    function of (policy, k): the jitter is drawn from a splitmix64
+    stream derived from the policy seed and the attempt index, never
+    from global state — so a chaos run that retries is as replayable
+    as one that does not. Delays grow as [base_ms * 2^k], capped at
+    [max_ms], with up to [jitter] (a fraction of the capped delay)
+    subtracted. *)
+
+type t = {
+  base_ms : int;     (** first delay, milliseconds *)
+  max_ms : int;      (** delay cap *)
+  jitter : float;    (** fraction of the delay randomized away, [0,1] *)
+  max_retries : int; (** attempts after the first try; 0 = never retry *)
+  seed : int;        (** jitter stream seed *)
+}
+
+(** Defaults: [base_ms = 5], [max_ms = 1000], [jitter = 0.5],
+    [max_retries = 5]. *)
+val create :
+  ?base_ms:int -> ?max_ms:int -> ?jitter:float -> ?max_retries:int ->
+  seed:int -> unit -> t
+
+(** [delay_ms p ~attempt] is the delay to sleep after failure number
+    [attempt] (0-based), or [None] when the retry budget is spent.
+    Pure: the same (policy, attempt) always yields the same delay. *)
+val delay_ms : t -> attempt:int -> int option
+
+(** [Unix.sleepf] in milliseconds; the default [sleep] of the
+    combinators below (tests inject a recorder instead). *)
+val sleep_ms : int -> unit
+
+(** Give-up witness: every delay was consumed and the last attempt
+    still failed. [attempts] counts tries made (so [max_retries + 1]). *)
+exception Exhausted of { attempts : int; last : exn }
+
+(** [retry p f] runs [f ()] and, when it raises an exception accepted
+    by [retryable] (default: everything), sleeps the attempt's delay
+    and tries again — at most [max_retries] more times.
+    @raise Exhausted when the budget is spent (carrying the last
+    exception); non-retryable exceptions propagate immediately. *)
+val retry :
+  ?sleep:(int -> unit) -> ?retryable:(exn -> bool) -> t ->
+  (unit -> 'a) -> 'a
+
+(** Result-typed twin of [retry]: retries [Error] values accepted by
+    [retryable] (default: everything) and returns the last [Error]
+    when the budget is spent — the typed give-up path. *)
+val retry_result :
+  ?sleep:(int -> unit) -> ?retryable:('e -> bool) -> t ->
+  (unit -> ('a, 'e) result) -> ('a, 'e) result

@@ -14,6 +14,9 @@
 
 let env_var = "LCL_WORKERS"
 let kill_env_var = "LCL_CLUSTER_KILL_RANK"
+let stall_env_var = "LCL_CLUSTER_STALL_RANK"
+let stall_ms_env_var = "LCL_CLUSTER_STALL_MS"
+let timeout_env_var = "LCL_CLUSTER_TIMEOUT_MS"
 
 (* Unlike [Parallel.default_domains], the env value is NOT capped at
    the core count: worker processes share no runtime, so
@@ -77,10 +80,92 @@ let kill_rank () =
   | None -> None
   | Some s -> int_of_string_opt (String.trim s)
 
-(* What came back over a worker's socket. [Died] covers both EOF
-   before the answer and a torn frame: either way the child is gone
-   and the range must be recomputed. *)
+let stall_rank () =
+  match Sys.getenv_opt stall_env_var with
+  | None -> None
+  | Some s -> int_of_string_opt (String.trim s)
+
+(* How long a stalled chaos worker sleeps before computing: long
+   enough that any sane per-worker timeout reaps it first. *)
+let stall_seconds () =
+  match Sys.getenv_opt stall_ms_env_var with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some ms when ms >= 0 -> float_of_int ms /. 1000.
+    | _ -> 600.)
+  | None -> 600.
+
+(* Per-worker drain timeout when [map_ranges ?timeout_s] is omitted:
+   a process-global default (the serve daemon sets it once at startup
+   so every nested cluster call inherits it), seeded from
+   [$LCL_CLUSTER_TIMEOUT_MS]. [None] = wait forever (the seed
+   behaviour). *)
+let default_timeout_s : float option ref =
+  ref
+    (match Sys.getenv_opt timeout_env_var with
+    | None -> None
+    | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some ms when ms > 0 -> Some (float_of_int ms /. 1000.)
+      | _ -> None))
+
+let set_default_timeout t = default_timeout_s := t
+let default_timeout () = !default_timeout_s
+
+(* Process-global count of ranges recovered in-process after their
+   worker died or was reaped on timeout — the serve engine samples it
+   around a computation to tag answers that took the degraded path. *)
+let recoveries_total = ref 0
+let recoveries () = !recoveries_total
+
+let m_deaths = Obs.Metrics.counter "cluster.worker.deaths"
+let m_timeouts = Obs.Metrics.counter "cluster.worker.timeouts"
+let m_recovered = Obs.Metrics.counter "cluster.recovered"
+
+(* What came back over a worker's socket. [Died] covers EOF before the
+   answer, a torn frame, and a reaped stall alike: in every case the
+   child is gone and the range must be recomputed. *)
 type 'a answer = Answered of ('a, string) result | Died
+
+type drained = Frame of string | Eof | Timed_out
+
+(* Read one answer frame, optionally bounded by a wall deadline. The
+   bounded path goes through the incremental decoder over a
+   non-blocking fd so a worker stalled MID-frame is caught too — a
+   blocking [read_frame] would wedge on it forever. *)
+let drain_answer rd ~deadline =
+  match deadline with
+  | None -> (
+    match Framing.read_frame rd with
+    | Some payload -> Frame payload
+    | None -> Eof
+    | exception Framing.Corrupt _ -> Eof)
+  | Some dl -> (
+    Unix.set_nonblock rd;
+    let dec = Framing.decoder () in
+    let scratch = Bytes.create 65536 in
+    let rec loop () =
+      match Framing.next dec with
+      | Some payload -> Frame payload
+      | None ->
+        let now = Unix.gettimeofday () in
+        if now >= dl then Timed_out
+        else begin
+          (match Unix.select [ rd ] [] [] (min 0.1 (dl -. now)) with
+          | [], _, _ -> ()
+          | _ -> (
+            match Unix.read rd scratch 0 (Bytes.length scratch) with
+            | 0 -> raise Exit
+            | k -> Framing.feed dec (Bytes.sub_string scratch 0 k) ~pos:0 ~len:k
+            | exception
+                Unix.Unix_error
+                  ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+              ())
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+          loop ()
+        end
+    in
+    try loop () with Exit -> Eof | Framing.Corrupt _ -> Eof)
 
 let reap pid =
   let rec go () =
@@ -96,6 +181,9 @@ let reap pid =
 let run_child ~rank ~lo ~hi wr f =
   (match kill_rank () with
   | Some r when r = rank -> Unix.kill (Unix.getpid ()) Sys.sigkill
+  | _ -> ());
+  (match stall_rank () with
+  | Some r when r = rank -> Unix.sleepf (stall_seconds ())
   | _ -> ());
   let result = try Ok (f lo hi) with e -> Error (Printexc.to_string e) in
   (try
@@ -114,8 +202,12 @@ let run_child ~rank ~lo ~hi wr f =
      handlers (test reporters, output flushing) on copied state *)
   Unix._exit 0
 
-let map_ranges ?workers ?recover ~n f =
+let map_ranges ?workers ?timeout_s ?on_recover ?recover ~n f =
   let w = min (resolve workers) (max 1 n) in
+  let timeout_s =
+    match timeout_s with Some _ as t -> t | None -> !default_timeout_s
+  in
+  let on_recover = Option.value on_recover ~default:(fun _ -> ()) in
   let recover = Option.value recover ~default:f in
   let in_process which =
     Array.init (max 1 w) (fun b ->
@@ -147,15 +239,27 @@ let map_ranges ?workers ?recover ~n f =
     let children = Array.init w spawn in
     (* Drain in rank order: later workers block in [write] until their
        turn, which is harmless — their compute is already done — and
-       it keeps peak parent-side buffering at one frame. *)
+       it keeps peak parent-side buffering at one frame. Each rank's
+       drain is bounded by [timeout_s] (measured from when its turn
+       starts — all ranks compute concurrently, so a healthy later
+       rank has typically already answered); a rank that exceeds it is
+       SIGKILLed and recomputed like any dead worker. *)
     let answers =
       Array.map
         (fun (pid, rd) ->
+          let deadline =
+            Option.map (fun s -> Unix.gettimeofday () +. s) timeout_s
+          in
           let a =
-            match Framing.read_frame rd with
-            | Some payload -> Answered (Marshal.from_string payload 0)
-            | None -> Died
-            | exception Framing.Corrupt _ -> Died
+            match drain_answer rd ~deadline with
+            | Frame payload -> Answered (Marshal.from_string payload 0)
+            | Eof ->
+              Obs.Metrics.incr m_deaths;
+              Died
+            | Timed_out ->
+              Obs.Metrics.incr m_timeouts;
+              (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+              Died
           in
           Unix.close rd;
           reap pid;
@@ -178,6 +282,9 @@ let map_ranges ?workers ?recover ~n f =
         | Answered (Ok v) -> v
         | Answered (Error _) -> assert false
         | Died ->
+          incr recoveries_total;
+          Obs.Metrics.incr m_recovered;
+          on_recover rank;
           let lo, hi = block_bounds ~n ~workers:w rank in
           recover lo hi)
       answers

@@ -23,6 +23,30 @@ val env_var : string
     the parent's recovery path. *)
 val kill_env_var : string
 
+(** Chaos hook: when [$LCL_CLUSTER_STALL_RANK] is set to rank [r], the
+    rank-[r] worker sleeps [$LCL_CLUSTER_STALL_MS] (default 600 000)
+    before computing — long enough that a per-worker timeout reaps it,
+    exercising the SIGKILL + recompute path. *)
+val stall_env_var : string
+
+val stall_ms_env_var : string
+
+(** Seeds {!default_timeout} at startup (milliseconds; unset or
+    unparsable = no timeout). *)
+val timeout_env_var : string
+
+(** Per-worker drain timeout used when [map_ranges ?timeout_s] is
+    omitted. The serve daemon sets it once at startup so every nested
+    cluster call inherits the budget without signature plumbing. *)
+val set_default_timeout : float option -> unit
+
+val default_timeout : unit -> float option
+
+(** Ranges recovered in-process after their worker died or timed out,
+    since process start. Sample before/after a computation to learn
+    whether it took the degraded path. *)
+val recoveries : unit -> int
+
 (** [LCL_WORKERS], else 1. Values below 1 or unparsable fall back
     to 1. Unlike [Parallel.default_domains] the value is not capped at
     the core count — worker processes share no runtime, so
@@ -61,9 +85,19 @@ exception
     (e.g. resetting inherited observability state) that must not run
     in the parent. When forking is unavailable (see [can_fork]) every
     range is evaluated in-process via [recover], in rank order — same
-    result, one process. *)
+    result, one process.
+
+    [timeout_s] (default {!default_timeout}) bounds each rank's drain:
+    a worker that has not delivered its frame within the budget —
+    measured from when its rank's turn to drain starts — is SIGKILLed
+    and its range recovered in-process, exactly like a worker that
+    died on its own. The bounded drain catches mid-frame stalls too
+    (non-blocking decode under [select]). [on_recover] fires with the
+    rank for every recovered range. *)
 val map_ranges :
   ?workers:int ->
+  ?timeout_s:float ->
+  ?on_recover:(int -> unit) ->
   ?recover:(int -> int -> 'a) ->
   n:int ->
   (int -> int -> 'a) ->

@@ -14,13 +14,17 @@ type t = {
   fd : Unix.file_descr;
   tbl : (string, string) Hashtbl.t;
   mutable read_off : int;  (* file bytes parsed into [tbl] *)
+  lock_timeout_ms : int;
+  lock_backoff : Backoff.t;
 }
 
 exception Corrupt of string
+exception Busy of string
 
 let () =
   Printexc.register_printer (function
     | Corrupt msg -> Some (Printf.sprintf "Diskcache.Corrupt: %s" msg)
+    | Busy msg -> Some (Printf.sprintf "Diskcache.Busy: %s" msg)
     | _ -> None)
 
 let path t = t.dc_path
@@ -31,11 +35,45 @@ let rec restart f = try f () with
 
 let seek fd off = ignore (Unix.lseek fd off Unix.SEEK_SET)
 
+let m_lock_waits = Obs.Metrics.counter "diskcache.lock.waits"
+let m_lock_busy = Obs.Metrics.counter "diskcache.lock.busy"
+
 (* Exclusive whole-file lock: lockf addresses the section from the
-   current position, so seek to 0 and lock "to infinity". *)
+   current position, so seek to 0 and lock "to infinity". The wait is
+   bounded: non-blocking [F_TLOCK] attempts separated by seeded
+   backoff sleeps, giving up with [Busy] once [lock_timeout_ms] has
+   elapsed — a wedged peer process must never wedge this one. *)
+let acquire_lock t =
+  let deadline =
+    Unix.gettimeofday () +. (float_of_int t.lock_timeout_ms /. 1000.)
+  in
+  let rec attempt k =
+    seek t.fd 0;
+    match restart (fun () -> Unix.lockf t.fd Unix.F_TLOCK 0) with
+    | () -> ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EACCES), _, _) ->
+      Obs.Metrics.incr m_lock_waits;
+      let now = Unix.gettimeofday () in
+      if now >= deadline then begin
+        Obs.Metrics.incr m_lock_busy;
+        raise
+          (Busy
+             (Printf.sprintf "%s: lock held elsewhere for > %d ms" t.dc_path
+                t.lock_timeout_ms))
+      end;
+      let pause =
+        match Backoff.delay_ms t.lock_backoff ~attempt:(min k 20) with
+        | Some d -> d
+        | None -> t.lock_backoff.Backoff.max_ms
+      in
+      let remaining_ms = int_of_float ((deadline -. now) *. 1000.) in
+      Backoff.sleep_ms (max 1 (min pause remaining_ms));
+      attempt (k + 1)
+  in
+  attempt 0
+
 let with_lock t f =
-  seek t.fd 0;
-  restart (fun () -> Unix.lockf t.fd Unix.F_LOCK 0);
+  acquire_lock t;
   Fun.protect f ~finally:(fun () ->
       seek t.fd 0;
       Unix.lockf t.fd Unix.F_ULOCK 0)
@@ -98,9 +136,23 @@ let sync_locked t =
     t.read_off <- t.read_off + absorb_records t tail
   end
 
-let open_ dc_path =
+let default_lock_timeout_ms = 5_000
+
+let open_ ?(lock_timeout_ms = default_lock_timeout_ms) ?(lock_seed = 0x10C4)
+    dc_path =
   let fd = Unix.openfile dc_path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
-  let t = { dc_path; fd; tbl = Hashtbl.create 64; read_off = 0 } in
+  let t =
+    {
+      dc_path;
+      fd;
+      tbl = Hashtbl.create 64;
+      read_off = 0;
+      lock_timeout_ms = max 0 lock_timeout_ms;
+      lock_backoff =
+        Backoff.create ~base_ms:2 ~max_ms:50 ~jitter:0.5
+          ~max_retries:max_int ~seed:lock_seed ();
+    }
+  in
   with_lock t (fun () ->
       let size = file_size t in
       if size = 0 then begin
@@ -137,11 +189,19 @@ let write_all t b =
     sent := !sent + k
   done
 
+(* Chaos hook: called with the key before every locked append; raising
+   simulates a full disk (the caller sees the write fail exactly where
+   a real ENOSPC would surface). Never set outside tests and the
+   chaos-soak harness. *)
+let write_hook : (string -> unit) option ref = ref None
+let set_write_hook h = write_hook := h
+
 let add t key value =
   if not (Hashtbl.mem t.tbl key) then
     with_lock t (fun () ->
         sync_locked t;
         if not (Hashtbl.mem t.tbl key) then begin
+          (match !write_hook with Some h -> h key | None -> ());
           (* drop any torn tail a killed writer left behind, then
              append at the committed offset *)
           if file_size t > t.read_off then Unix.ftruncate t.fd t.read_off;
@@ -152,5 +212,36 @@ let add t key value =
           Hashtbl.add t.tbl key value
         end)
 
+(* Pull in foreign appends now — the daemon uses this as a corruption
+   probe after a chaos fault garbles the file. *)
+let sync t = with_lock t (fun () -> sync_locked t)
+
 let flush t = Unix.fsync t.fd
 let close t = Unix.close t.fd
+
+(* -- quarantine --------------------------------------------------------- *)
+
+(* Move a corrupt cache file aside (first free numbered suffix) so a
+   fresh cache can be rebuilt at the original path. The bad bytes are
+   preserved for postmortems instead of poisoning every reopen. *)
+let quarantine dc_path =
+  let rec free k =
+    let cand =
+      if k = 0 then dc_path ^ ".quarantined"
+      else Printf.sprintf "%s.quarantined.%d" dc_path k
+    in
+    if Sys.file_exists cand then free (k + 1) else cand
+  in
+  let dest = free 0 in
+  Unix.rename dc_path dest;
+  dest
+
+let m_quarantined = Obs.Metrics.counter "diskcache.quarantined"
+
+let open_resilient ?lock_timeout_ms ?lock_seed dc_path =
+  match open_ ?lock_timeout_ms ?lock_seed dc_path with
+  | t -> (t, None)
+  | exception Corrupt _ ->
+    let dest = quarantine dc_path in
+    Obs.Metrics.incr m_quarantined;
+    (open_ ?lock_timeout_ms ?lock_seed dc_path, Some dest)

@@ -13,15 +13,40 @@
     processes appended since — so concurrent clients converge on one
     record per key. Readers that miss in memory re-scan the tail under
     the same lock. A torn trailing record (a writer killed mid-append)
-    is ignored and overwritten by the next locked append. *)
+    is ignored and overwritten by the next locked append.
+
+    The lock wait is bounded: acquisition is non-blocking [F_TLOCK]
+    attempts under seeded [Util.Backoff], and once [lock_timeout_ms]
+    elapses the operation raises the typed [Busy] — a peer process
+    wedged while holding the lock cannot wedge this one. *)
 
 type t
 
 exception Corrupt of string
 
-(** Open or create. @raise Corrupt if the file exists but does not
-    start with the magic line. *)
-val open_ : string -> t
+(** The file lock stayed held elsewhere for the whole bounded wait. *)
+exception Busy of string
+
+(** Default [lock_timeout_ms] (5000). *)
+val default_lock_timeout_ms : int
+
+(** Open or create. [lock_timeout_ms] bounds every future lock wait on
+    this handle; [lock_seed] seeds the backoff jitter stream.
+    @raise Corrupt if the file exists but does not start with the
+    magic line. @raise Busy if the opening scan cannot take the lock
+    in time. *)
+val open_ : ?lock_timeout_ms:int -> ?lock_seed:int -> string -> t
+
+(** [open_resilient path] is [open_ path], except a [Corrupt] file is
+    quarantined (renamed aside via {!quarantine}) and a fresh cache is
+    rebuilt at [path]; returns the quarantine destination when that
+    happened. *)
+val open_resilient :
+  ?lock_timeout_ms:int -> ?lock_seed:int -> string -> t * string option
+
+(** Move a corrupt cache file to the first free
+    [<path>.quarantined[.N]] name and return it. *)
+val quarantine : string -> string
 
 val path : t -> string
 
@@ -29,12 +54,24 @@ val path : t -> string
 val length : t -> int
 
 (** [find t key] — in-memory lookup first; on a miss, re-reads records
-    appended by other processes before answering. *)
+    appended by other processes before answering.
+    @raise Busy when the bounded lock wait expires on the re-read. *)
 val find : t -> string -> string option
 
 (** [add t key value] — no-op if [key] is already bound (here or in
-    another process); otherwise appends under the exclusive lock. *)
+    another process); otherwise appends under the exclusive lock.
+    @raise Busy when the bounded lock wait expires. *)
 val add : t -> string -> string -> unit
+
+(** Absorb records other processes appended since the last sync — also
+    the daemon's corruption probe (@raise Corrupt, @raise Busy). *)
+val sync : t -> unit
+
+(** Chaos hook: when set, the callback runs (with the key) before
+    every locked append; raising from it makes [add] fail exactly
+    where a real full-disk write would. [None] restores normal
+    writes. *)
+val set_write_hook : (string -> unit) option -> unit
 
 (** Force appended records to stable storage ([fsync]). *)
 val flush : t -> unit

@@ -304,7 +304,8 @@ let test_serve_cache_hit_no_invocation () =
             ( Serve.Engine.answer_cached ~cache req,
               Serve.Engine.answer_cached ~cache req ))
       in
-      check bool "cold answer ok" true (match r1 with Ok _ -> true | _ -> false);
+      check bool "cold answer ok" true
+        (match r1 with Serve.Protocol.Answer _ -> true | _ -> false);
       check bool "warm answer byte-identical" true (r1 = r2);
       (* the second identical request is a cache hit: zero additional
          engine invocations *)
@@ -319,13 +320,13 @@ let test_serve_batch_dedup () =
       let rs, _, metrics =
         Helpers.with_trace (fun () ->
             Serve.Engine.answer_batch ~cache
-              [ c; Serve.Protocol.Ping; c; c ])
+              [ (c, None); (Serve.Protocol.Ping, None); (c, None); (c, None) ])
       in
       (match rs with
       | [ (a, Serve.Engine.Miss); (p, Serve.Engine.Uncacheable);
           (b, Serve.Engine.Hit); (d, Serve.Engine.Hit) ] ->
         check bool "batch duplicates share one answer" true (a = b && b = d);
-        check bool "ping answered" true (p = Ok "pong")
+        check bool "ping answered" true (p = Serve.Protocol.Answer "pong")
       | _ -> fail "unexpected batch shape");
       (* three classify requests, one computation *)
       Helpers.assert_counter metrics "serve.computed" 2 (* classify + ping *))
@@ -347,8 +348,8 @@ let test_serve_error_not_cached () =
   with_cache (fun cache ->
       let bad = Serve.Protocol.Simulate { algo = "no-such"; n = 8; seed = 1 } in
       (match Serve.Engine.answer_cached ~cache bad with
-      | Error _ -> ()
-      | Ok _ -> fail "expected an error");
+      | Serve.Protocol.Failed { code = "F400"; _ } -> ()
+      | _ -> fail "expected a typed F400 failure");
       check int "errors never persisted" 0 (Util.Diskcache.length cache))
 
 (* -- serve: daemon end-to-end -------------------------------------------- *)
@@ -386,7 +387,7 @@ let test_serve_daemon_roundtrip () =
       (* one connection, both requests in flight before any answer:
          they land in one dispatch cycle and compute once *)
       (match Serve.Daemon.request_batch ~socket_path:sock [ classify; classify ] with
-      | [ Ok a; Ok b ] ->
+      | [ Serve.Protocol.Answer a; Serve.Protocol.Answer b ] ->
         check bool "batched duplicates agree" true (a = b);
         check bool "verdict present" true
           (String.length a > 22
@@ -395,14 +396,14 @@ let test_serve_daemon_roundtrip () =
         fail
           (Printf.sprintf "batch failed: %s"
              (String.concat "; "
-                (List.map (function Ok _ -> "ok" | Error m -> m) rs))))
+                (List.map Serve.Protocol.response_to_string rs))))
       [@ocamlformat "disable"];
       (* a later repeat is answered from the persistent cache *)
       (match Serve.Daemon.request ~socket_path:sock classify with
-      | Ok _ -> ()
-      | Error m -> fail m);
+      | Serve.Protocol.Answer _ -> ()
+      | r -> fail (Serve.Protocol.response_to_string r));
       (match Serve.Daemon.request ~socket_path:sock Serve.Protocol.Stats with
-      | Ok text ->
+      | Serve.Protocol.Answer text ->
         check bool "stats reports the cache hit" true
           (let has needle =
              let rec go i =
@@ -412,14 +413,358 @@ let test_serve_daemon_roundtrip () =
              go 0
            in
            has "\"cache_hits\":2" && has "\"cache_misses\":1")
-      | Error m -> fail m);
+      | r -> fail (Serve.Protocol.response_to_string r));
       (match Serve.Daemon.request ~socket_path:sock Serve.Protocol.Shutdown with
-      | Ok _ -> ()
-      | Error m -> fail m);
+      | Serve.Protocol.Answer _ -> ()
+      | r -> fail (Serve.Protocol.response_to_string r));
       (match Unix.waitpid [] daemon with
       | _, Unix.WEXITED 0 -> ()
       | _, _ -> fail "daemon did not exit cleanly"
       | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()))
+
+(* -- backoff -------------------------------------------------------------- *)
+
+let test_backoff_deterministic () =
+  let mk seed =
+    Util.Backoff.create ~base_ms:10 ~max_ms:200 ~jitter:0.5 ~max_retries:6
+      ~seed ()
+  in
+  let delays pol = List.init 6 (fun a -> Util.Backoff.delay_ms pol ~attempt:a) in
+  check bool "same seed, same delays" true (delays (mk 42) = delays (mk 42));
+  check bool "different seed, different jitter" true
+    (delays (mk 42) <> delays (mk 43));
+  List.iter
+    (function
+      | Some ms ->
+        (* raw halves at most under jitter 0.5, caps at max_ms *)
+        check bool "delay within bounds" true (ms >= 5 && ms <= 200)
+      | None -> fail "budget unexpectedly exhausted")
+    (delays (mk 42));
+  check bool "budget exhausted" true
+    (Util.Backoff.delay_ms (mk 42) ~attempt:6 = None)
+
+let test_backoff_retry () =
+  let p = Util.Backoff.create ~base_ms:1 ~max_ms:2 ~max_retries:5 ~seed:7 () in
+  let calls = ref 0 in
+  let v =
+    Util.Backoff.retry ~sleep:(fun _ -> ()) p (fun () ->
+        incr calls;
+        if !calls < 3 then failwith "flaky" else 99)
+  in
+  check int "succeeded on third attempt" 99 v;
+  check int "three calls" 3 !calls;
+  let calls = ref 0 in
+  check bool "exhaustion is typed" true
+    (match
+       Util.Backoff.retry ~sleep:(fun _ -> ()) p (fun () ->
+           incr calls;
+           failwith "always")
+     with
+    | _ -> false
+    | exception Util.Backoff.Exhausted { attempts; _ } ->
+      attempts = 6 && !calls = 6)
+
+(* -- cluster: stalled shard ------------------------------------------------ *)
+
+let test_map_ranges_stall_recovery () =
+  check_fork_available ();
+  (* rank 1 sleeps far past the drain timeout: the parent must reap it
+     and recompute the range in-process, bit-identically *)
+  Unix.putenv Util.Cluster.stall_env_var "1";
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv Util.Cluster.stall_env_var "")
+    (fun () ->
+      let recovered = ref [] in
+      let before = Util.Cluster.recoveries () in
+      let r =
+        Util.Cluster.map_ranges ~workers:3 ~timeout_s:0.3
+          ~on_recover:(fun rank -> recovered := rank :: !recovered)
+          ~n:30
+          (fun lo hi -> hi * 100 + lo)
+      in
+      check bool "stalled rank reaped and recomputed bit-identically" true
+        (r
+        = Array.init 3 (fun b ->
+              let lo, hi = Util.Cluster.block_bounds ~n:30 ~workers:3 b in
+              hi * 100 + lo));
+      check (list int) "exactly rank 1 recovered" [ 1 ] !recovered;
+      check bool "recovery counted" true (Util.Cluster.recoveries () > before))
+
+(* -- diskcache: bounded lock + quarantine ---------------------------------- *)
+
+let test_diskcache_busy_contention () =
+  check_fork_available ();
+  let path = tmp_path "lcl-dc-busy" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let c = Util.Diskcache.open_ ~lock_timeout_ms:150 path in
+      (* a second process grabs the file lock and sits on it *)
+      let locker =
+        match Unix.fork () with
+        | 0 ->
+          (try
+             let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+             ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+             Unix.lockf fd Unix.F_LOCK 0;
+             ignore (Unix.select [] [] [] 1.0)
+           with _ -> ());
+          Unix._exit 0
+        | pid -> pid
+      in
+      ignore (Unix.select [] [] [] 0.25);
+      check bool "bounded wait raises Busy" true
+        (match Util.Diskcache.add c "k" "v" with
+        | () -> false
+        | exception Util.Diskcache.Busy _ -> true);
+      (try ignore (Unix.waitpid [] locker)
+       with Unix.Unix_error (Unix.ECHILD, _, _) -> ());
+      (* lock released: the same operation now goes through *)
+      Util.Diskcache.add c "k" "v";
+      check (option string) "recovered after Busy" (Some "v")
+        (Util.Diskcache.find c "k");
+      Util.Diskcache.close c)
+
+let test_diskcache_quarantine () =
+  let path = tmp_path "lcl-dc-quar" in
+  let dests = ref [] in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        (path :: !dests))
+    (fun () ->
+      Out_channel.with_open_bin path (fun oc ->
+          output_string oc "garbage, not a cache file\n");
+      let c, quarantined = Util.Diskcache.open_resilient path in
+      (match quarantined with
+      | Some dest ->
+        dests := [ dest ];
+        check bool "bad bytes preserved for postmortems" true
+          (Sys.file_exists dest)
+      | None -> fail "expected the corrupt file to be quarantined");
+      Util.Diskcache.add c "k" "v";
+      check (option string) "fresh cache usable" (Some "v")
+        (Util.Diskcache.find c "k");
+      Util.Diskcache.close c;
+      let c2, q2 = Util.Diskcache.open_resilient path in
+      check bool "no quarantine on clean reopen" true (q2 = None);
+      check (option string) "fresh cache persisted" (Some "v")
+        (Util.Diskcache.find c2 "k");
+      Util.Diskcache.close c2)
+
+(* -- service plans --------------------------------------------------------- *)
+
+let test_service_plan_roundtrip () =
+  let spec =
+    Fault.Service.spec ~kill:0.2 ~stall:0.1 ~torn:0.1 ~drop:0.1
+      ~cache_corrupt:0.05 ~disk_full:0.05 ~ranks:4 ()
+  in
+  let p1 = Fault.Service.generate ~seed:11 ~requests:50 spec in
+  let p2 = Fault.Service.generate ~seed:11 ~requests:50 spec in
+  check bool "generation is deterministic" true (p1 = p2);
+  check bool "some events drawn" true (not (Fault.Service.is_empty p1));
+  (match Fault.Service.of_string (Fault.Service.to_string p1) with
+  | Ok p -> check bool "JSON round-trip" true (p = p1)
+  | Error e -> fail (Fault.Error.to_string e));
+  (* torn wins over drop on one ordinal: the client can only vanish
+     one way *)
+  let conflicted =
+    Fault.Service.make
+      [| (3, Fault.Service.Torn_frame); (3, Fault.Service.Drop_connection) |]
+  in
+  check bool "torn/drop conflict resolved" true
+    (Fault.Service.at conflicted 3 = [ Fault.Service.Torn_frame ]);
+  check bool "empty ordinal" true (Fault.Service.at conflicted 0 = []);
+  check bool "counts listed per class" true
+    (List.length (Fault.Service.counts p1) = 6)
+
+(* -- serve: robustness ----------------------------------------------------- *)
+
+let test_serve_deadline_engine () =
+  with_cache (fun cache ->
+      (* a zero budget is already expired when its turn comes *)
+      (match
+         Serve.Engine.answer_batch ~cache [ (Serve.Protocol.Ping, Some 0) ]
+       with
+      | [ (Serve.Protocol.Deadline_exceeded { budget_ms = 0 }, _) ] -> ()
+      | _ -> fail "expected Deadline_exceeded");
+      (* an ample budget answers normally *)
+      match
+        Serve.Engine.answer_batch ~cache [ (Serve.Protocol.Ping, Some 60_000) ]
+      with
+      | [ (Serve.Protocol.Answer "pong", _) ] -> ()
+      | _ -> fail "expected a pong within budget")
+
+let test_serve_degraded_engine () =
+  check_fork_available ();
+  let req = Serve.Protocol.Simulate { algo = "cv-coloring"; n = 60; seed = 3 } in
+  let clean =
+    match Serve.Engine.answer ~workers:3 req with
+    | Serve.Protocol.Answer text -> text
+    | r -> fail (Serve.Protocol.response_to_string r)
+  in
+  Unix.putenv Util.Cluster.kill_env_var "1";
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv Util.Cluster.kill_env_var "")
+    (fun () ->
+      match Serve.Engine.answer ~workers:3 req with
+      | Serve.Protocol.Degraded { text; reason } ->
+        check string "degraded text is byte-identical" clean text;
+        check bool "reason mentions recovery" true
+          (String.length reason > 0)
+      | r -> fail (Serve.Protocol.response_to_string r))
+
+let with_daemon ?workers ?config f =
+  check_fork_available ();
+  let sock = tmp_path "lcl-dmn-sock" in
+  let cachef = tmp_path "lcl-dmn-dc" in
+  let cleanup () =
+    List.iter
+      (fun p -> try Sys.remove p with Sys_error _ -> ())
+      [ sock; cachef ]
+  in
+  Fun.protect ~finally:cleanup (fun () ->
+      let daemon =
+        match Unix.fork () with
+        | 0 ->
+          (try
+             ignore
+               (Serve.Daemon.serve ~socket_path:sock ~cache_path:cachef
+                  ?workers ?config ~poll_interval:0.02 ())
+           with _ -> Unix._exit 1);
+          Unix._exit 0
+        | pid -> pid
+      in
+      let rec await tries =
+        if Sys.file_exists sock then ()
+        else if tries = 0 then fail "daemon socket never appeared"
+        else begin
+          ignore (Unix.select [] [] [] 0.02);
+          await (tries - 1)
+        end
+      in
+      await 250;
+      Fun.protect
+        ~finally:(fun () ->
+          ignore
+            (Serve.Daemon.request ~recv_timeout_s:10. ~socket_path:sock
+               Serve.Protocol.Shutdown);
+          try ignore (Unix.waitpid [] daemon)
+          with Unix.Unix_error (Unix.ECHILD, _, _) -> ())
+        (fun () -> f sock))
+
+let contains text needle =
+  let rec go i =
+    i + String.length needle <= String.length text
+    && (String.sub text i (String.length needle) = needle || go (i + 1))
+  in
+  go 0
+
+(* Regression: a client killed mid-frame must cost only its own
+   connection — the select loop keeps serving everyone else. *)
+let test_daemon_mid_frame_disconnect () =
+  with_daemon (fun sock ->
+      let enc =
+        Serve.Protocol.encode_request (Serve.Protocol.Classify
+          { problem = "3-coloring" })
+      in
+      (* half a header, then vanish; then a full frame, then vanish
+         before reading the answer *)
+      List.iter
+        (fun cut ->
+          let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          Unix.connect fd (Unix.ADDR_UNIX sock);
+          ignore (Unix.write_substring fd enc 0 cut);
+          Unix.close fd;
+          ignore (Unix.select [] [] [] 0.05))
+        [ 2; String.length enc ];
+      (* the daemon is still alive and still answers *)
+      match
+        Serve.Daemon.request ~recv_timeout_s:10. ~socket_path:sock
+          Serve.Protocol.Ping
+      with
+      | Serve.Protocol.Answer "pong" -> ()
+      | r -> fail (Serve.Protocol.response_to_string r))
+
+let test_daemon_deadline_and_health () =
+  with_daemon (fun sock ->
+      (match
+         Serve.Daemon.request ~budget_ms:0 ~recv_timeout_s:10.
+           ~socket_path:sock Serve.Protocol.Ping
+       with
+      | Serve.Protocol.Deadline_exceeded { budget_ms = 0 } -> ()
+      | r -> fail (Serve.Protocol.response_to_string r));
+      match
+        Serve.Daemon.request ~recv_timeout_s:10. ~socket_path:sock
+          Serve.Protocol.Health
+      with
+      | Serve.Protocol.Answer t ->
+        check bool "health JSON" true (contains t "\"serve\":\"health\"");
+        check bool "health reports workers" true (contains t "\"workers\":")
+      | r -> fail (Serve.Protocol.response_to_string r))
+
+let test_daemon_admission_shed () =
+  let config =
+    { Serve.Daemon.default_config with Serve.Daemon.max_pending = 2 }
+  in
+  with_daemon ~config (fun sock ->
+      let rs =
+        Serve.Daemon.request_batch ~recv_timeout_s:10. ~socket_path:sock
+          (List.init 6 (fun _ -> Serve.Protocol.Ping))
+      in
+      let answered =
+        List.length
+          (List.filter
+             (function Serve.Protocol.Answer "pong" -> true | _ -> false)
+             rs)
+      in
+      let shed =
+        List.length
+          (List.filter
+             (function Serve.Protocol.Overloaded _ -> true | _ -> false)
+             rs)
+      in
+      check int "every request answered, typed" 6 (answered + shed);
+      check bool "admitted up to the cap per cycle" true (answered >= 2);
+      check bool "the overflow shed" true (shed >= 2))
+
+let test_daemon_chaos_degraded () =
+  (* daemon-side chaos: ordinal 0 loses worker rank 1; the answer
+     degrades but its text matches the healthy warm replay *)
+  let config =
+    {
+      Serve.Daemon.default_config with
+      Serve.Daemon.chaos =
+        Fault.Service.make [| (0, Fault.Service.Kill_worker 1) |];
+    }
+  in
+  with_daemon ~workers:3 ~config (fun sock ->
+      let req =
+        Serve.Protocol.Simulate { algo = "cv-coloring"; n = 60; seed = 5 }
+      in
+      let cold =
+        match
+          Serve.Daemon.request ~recv_timeout_s:10. ~socket_path:sock req
+        with
+        | Serve.Protocol.Degraded { text; _ } -> text
+        | r -> fail (Serve.Protocol.response_to_string r)
+      in
+      match Serve.Daemon.request ~recv_timeout_s:10. ~socket_path:sock req with
+      | Serve.Protocol.Answer warm ->
+        check string "degraded text cached and byte-identical" cold warm
+      | r -> fail (Serve.Protocol.response_to_string r))
+
+let test_client_retry_give_up () =
+  let retry =
+    Util.Backoff.create ~base_ms:1 ~max_ms:2 ~max_retries:2 ~seed:3 ()
+  in
+  match
+    Serve.Daemon.request ~retry
+      ~socket_path:(tmp_path "lcl-no-such-socket") Serve.Protocol.Ping
+  with
+  | Serve.Protocol.Failed { code = "F401"; _ } -> ()
+  | r -> fail (Serve.Protocol.response_to_string r)
 
 (* -- runner and probe under the worker matrix ----------------------------- *)
 
@@ -600,14 +945,24 @@ let suites =
         test_case "rank-ordered ranges" `Quick test_map_ranges_basic;
         test_case "worker error" `Quick test_map_ranges_worker_error;
         test_case "kill recovery" `Quick test_map_ranges_kill_recovery;
+        test_case "stall recovery" `Quick test_map_ranges_stall_recovery;
         test_case "env default" `Quick test_map_ranges_env_default;
+      ] );
+    ( "cluster.backoff",
+      [
+        test_case "deterministic delays" `Quick test_backoff_deterministic;
+        test_case "retry and exhaustion" `Quick test_backoff_retry;
       ] );
     ( "cluster.diskcache",
       [
         test_case "persistence" `Quick test_diskcache_persistence;
         test_case "torn tail" `Quick test_diskcache_torn_tail;
         test_case "forked writers" `Quick test_diskcache_forked_writers;
+        test_case "bounded lock wait" `Quick test_diskcache_busy_contention;
+        test_case "quarantine" `Quick test_diskcache_quarantine;
       ] );
+    ( "cluster.service-plan",
+      [ test_case "generate + roundtrip" `Quick test_service_plan_roundtrip ] );
     ( "cluster.obs",
       [
         test_case "metrics absorb" `Quick test_metrics_absorb;
@@ -622,6 +977,15 @@ let suites =
           test_serve_fingerprint_canonical;
         test_case "errors not cached" `Quick test_serve_error_not_cached;
         test_case "daemon roundtrip" `Quick test_serve_daemon_roundtrip;
+        test_case "deadline in engine" `Quick test_serve_deadline_engine;
+        test_case "degraded engine answer" `Quick test_serve_degraded_engine;
+        test_case "mid-frame disconnect" `Quick
+          test_daemon_mid_frame_disconnect;
+        test_case "daemon deadline + health" `Quick
+          test_daemon_deadline_and_health;
+        test_case "admission shed" `Quick test_daemon_admission_shed;
+        test_case "chaos-degraded then warm" `Quick test_daemon_chaos_degraded;
+        test_case "client retry give-up" `Quick test_client_retry_give_up;
       ] );
     ( "cluster.runner",
       [

@@ -272,9 +272,9 @@ let test_serve_classify_static () =
   let req = Serve.Protocol.Classify { problem = "3-coloring" } in
   let r, _, metrics = Helpers.with_trace (fun () -> Serve.Engine.answer req) in
   (match r with
-  | Ok text -> check string "serve = classifier JSON"
-      (golden_3coloring_json ^ "\n") text
-  | Error m -> Alcotest.fail m);
+  | Serve.Protocol.Answer text ->
+    check string "serve = classifier JSON" (golden_3coloring_json ^ "\n") text
+  | r -> Alcotest.fail (Serve.Protocol.response_to_string r));
   Helpers.assert_counter metrics "landscape.classify" 1;
   Helpers.assert_counter metrics "landscape.replay" 0;
   Helpers.assert_counter metrics "runner.runs" 0;
