@@ -1515,12 +1515,257 @@ let chaos_soak_cmd =
       $ torn_arg $ drop_arg $ cache_corrupt_arg $ disk_full_arg $ workers_arg
       $ max_pending_arg $ cluster_timeout_arg $ counters_arg $ const ())
 
+(* -- fuzz ---------------------------------------------------------------- *)
+
+(* Differential fuzzing: seeded random (problem, graph) cases, each
+   executed through every engine configuration by [Fuzz.Oracle], with
+   byte-identical observables demanded across all of them. Divergent
+   cases are minimized by [Fuzz.Shrink] and emitted as replayable
+   [Fuzz.Repro] files.
+
+   The report printed on stdout is STABLE: a pure function of (seed,
+   cases), with no wall times and every leg pinned to explicit
+   domain/worker counts — identical across repeated runs and across
+   LCL_DOMAINS/LCL_WORKERS settings. That is what the fuzz CI job
+   diffs. [--budget-s] can truncate the case list early; the two runs
+   being diffed must then use the same effective case count (CI runs
+   without a budget). *)
+let fuzz_cmd =
+  let seed_arg =
+    Arg.(value & opt int 0xF022 & info [ "seed" ] ~doc:"Fuzz seed.")
+  in
+  let cases_arg =
+    Arg.(
+      value & opt int 50
+      & info [ "cases" ] ~doc:"Number of (problem, graph) cases to run.")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "budget-s" ]
+          ~doc:
+            "Wall-clock budget in seconds; 0 = unlimited. Exhausting it \
+             stops cleanly after the current case (noted on stderr, never \
+             in the stable report).")
+  in
+  let no_serve_arg =
+    Arg.(
+      value & flag
+      & info [ "no-serve" ]
+          ~doc:"Skip the forked-daemon leg (matrix legs only).")
+  in
+  let inject_break_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "inject-break" ]
+          ~doc:
+            "Test-only divergence hook: perturb the named configuration's \
+             labeling after it computes, so every case diverges and the \
+             shrink/repro/replay machinery is exercised end to end.")
+  in
+  let repro_dir_arg =
+    Arg.(
+      value & opt string "fuzz-repros"
+      & info [ "repro-dir" ]
+          ~doc:"Directory minimized repro files are written to.")
+  in
+  let replay_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "replay" ]
+          ~doc:
+            "Replay a repro file instead of fuzzing: exit 1 if its \
+             divergence reproduces, 0 if it no longer does, 2 if the file \
+             is malformed.")
+  in
+  let case_seed seed index = seed + (1_000_003 * index) in
+  let replay_run path =
+    match Fuzz.Repro.load ~path with
+    | Error m ->
+      Fmt.epr "fuzz: bad repro %s: %s@." path m;
+      exit 2
+    | Ok r -> (
+      match Fuzz.Repro.replay r with
+      | Error m ->
+        Fmt.epr "fuzz: bad repro %s: %s@." path m;
+        exit 2
+      | Ok true ->
+        Printf.printf
+          "{\"fuzz\":\"replay\",\"repro\":%S,\"configs\":[\"%s\",\"%s\"],\
+           \"reproduces\":true}\n"
+          (Filename.basename path) r.Fuzz.Repro.config_a r.Fuzz.Repro.config_b;
+        exit 1
+      | Ok false ->
+        Printf.printf
+          "{\"fuzz\":\"replay\",\"repro\":%S,\"configs\":[\"%s\",\"%s\"],\
+           \"reproduces\":false}\n"
+          (Filename.basename path) r.Fuzz.Repro.config_a r.Fuzz.Repro.config_b)
+  in
+  let with_daemon no_serve f =
+    if no_serve then f None
+    else begin
+      let pid = Unix.getpid () in
+      let tmp = Filename.get_temp_dir_name () in
+      let sock = Filename.concat tmp (Printf.sprintf "lcl-fuzz-%d.sock" pid) in
+      let cachef =
+        Filename.concat tmp (Printf.sprintf "lcl-fuzz-%d.cache" pid)
+      in
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ sock; cachef ];
+      let daemon =
+        match Unix.fork () with
+        | 0 ->
+          (try
+             ignore
+               (Serve.Daemon.serve ~socket_path:sock ~cache_path:cachef
+                  ~workers:1 ~poll_interval:0.02 ())
+           with _ -> Unix._exit 1);
+          Unix._exit 0
+        | p -> p
+      in
+      let rec await tries =
+        if Sys.file_exists sock then ()
+        else if tries = 0 then begin
+          Fmt.epr "fuzz: serve daemon never came up@.";
+          exit 2
+        end
+        else begin
+          ignore (Unix.select [] [] [] 0.02);
+          await (tries - 1)
+        end
+      in
+      await 250;
+      Fun.protect
+        ~finally:(fun () ->
+          ignore
+            (Serve.Daemon.request ~recv_timeout_s:30. ~socket_path:sock
+               Serve.Protocol.Shutdown);
+          (try ignore (Unix.waitpid [] daemon)
+           with Unix.Unix_error (Unix.ECHILD, _, _) -> ());
+          List.iter
+            (fun p -> try Sys.remove p with Sys_error _ -> ())
+            [ sock; cachef ])
+        (fun () -> f (Some sock))
+    end
+  in
+  let max_repros = 5 in
+  let run seed cases budget_s no_serve inject_break repro_dir replay () =
+    if Sys.unix then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    match replay with
+    | Some path -> replay_run path
+    | None ->
+      (match inject_break with
+      | Some c when not (List.mem c Fuzz.Oracle.configs) ->
+        Fmt.epr "fuzz: --inject-break %s is not one of %s@." c
+          (String.concat ", " Fuzz.Oracle.configs);
+        exit 2
+      | _ -> ());
+      with_daemon no_serve (fun serve ->
+          let started = Unix.gettimeofday () in
+          let digest_buf = Buffer.create 4096 in
+          let divergent = ref 0 in
+          let repros = ref [] in
+          let ran = ref 0 in
+          (try
+             for index = 0 to cases - 1 do
+               if budget_s > 0. && Unix.gettimeofday () -. started > budget_s
+               then begin
+                 Fmt.epr "fuzz: budget exhausted after %d cases@." !ran;
+                 raise Exit
+               end;
+               let case = Fuzz.Gen.case ~seed ~index in
+               let ids_seed = case_seed seed index in
+               let result =
+                 Fuzz.Oracle.run_case ~seed:ids_seed ?serve
+                   ?break_config:inject_break ~case_index:index
+                   case.Fuzz.Gen.problem case.Fuzz.Gen.spec
+               in
+               let line = Fuzz.Oracle.result_to_json result in
+               print_endline line;
+               Buffer.add_string digest_buf line;
+               Buffer.add_char digest_buf '\n';
+               if result.Fuzz.Oracle.divergences <> [] then begin
+                 incr divergent;
+                 (* minimize and persist the first matrix-leg divergence
+                    (serve-leg divergences are reported but have no
+                    two-config replay) *)
+                 match
+                   List.find_opt
+                     (fun d ->
+                       List.mem d.Fuzz.Oracle.config_a Fuzz.Oracle.configs
+                       && List.mem d.Fuzz.Oracle.config_b Fuzz.Oracle.configs)
+                     result.Fuzz.Oracle.divergences
+                 with
+                 | Some d when List.length !repros < max_repros ->
+                   let m =
+                     Fuzz.Shrink.minimize ~seed:ids_seed
+                       ?break_config:inject_break
+                       ~config_a:d.Fuzz.Oracle.config_a
+                       ~config_b:d.Fuzz.Oracle.config_b case.Fuzz.Gen.problem
+                       case.Fuzz.Gen.spec
+                   in
+                   (try Unix.mkdir repro_dir 0o755
+                    with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+                   let path =
+                     Filename.concat repro_dir
+                       (Printf.sprintf "case-%d.lclfuzz" index)
+                   in
+                   Fuzz.Repro.save ~path
+                     {
+                       Fuzz.Repro.seed = ids_seed;
+                       case_index = index;
+                       spec = m.Fuzz.Shrink.spec;
+                       config_a = d.Fuzz.Oracle.config_a;
+                       config_b = d.Fuzz.Oracle.config_b;
+                       break_config = inject_break;
+                       source = Lcl.Parse.to_string m.Fuzz.Shrink.problem;
+                     };
+                   repros := path :: !repros;
+                   Fmt.epr
+                     "fuzz: case %d diverged (%s vs %s); minimized repro \
+                      (%d steps) -> %s@."
+                     index d.Fuzz.Oracle.config_a d.Fuzz.Oracle.config_b
+                     m.Fuzz.Shrink.steps path
+                 | _ -> ()
+               end;
+               incr ran
+             done
+           with Exit -> ());
+          Printf.printf
+            "{\"fuzz\":\"report\",\"seed\":%d,\"cases\":%d,\"divergent\":%d,\
+             \"configs\":[%s],\"serve\":%b,\"digest\":\"%s\"}\n"
+            seed !ran !divergent
+            (String.concat ","
+               (List.map (Printf.sprintf "\"%s\"") Fuzz.Oracle.configs))
+            (serve <> None)
+            (Digest.to_hex (Digest.string (Buffer.contents digest_buf)));
+          if !divergent > 0 then begin
+            Fmt.epr "fuzz FAILED: %d/%d cases divergent, %d repro(s) in %s@."
+              !divergent !ran (List.length !repros) repro_dir;
+            exit 1
+          end)
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: run seeded random (problem, graph) cases \
+          through every engine configuration — sequential, multi-domain, \
+          multi-process, memoized re-run, resilient under the empty plan, \
+          and a forked serve daemon — and demand byte-identical labelings, \
+          violations and classifications; divergences are minimized into \
+          replayable repro files and the run exits non-zero")
+    Term.(
+      const run $ seed_arg $ cases_arg $ budget_arg $ no_serve_arg
+      $ inject_break_arg $ repro_dir_arg $ replay_arg $ const ())
+
 let main =
   Cmd.group
     (Cmd.info "lcl_tool" ~version:"1.0"
        ~doc:"LCL landscape toolkit (PODC 2022 reproduction)")
     [ show_cmd; zoo_cmd; classify_cmd; gap_cmd; eliminate_cmd; simulate_cmd;
       volume_cmd; lint_cmd; sanitize_cmd; faultsim_cmd; bench_runner_cmd;
-      substrate_smoke_cmd; trace_cmd; serve_cmd; client_cmd; chaos_soak_cmd ]
+      substrate_smoke_cmd; trace_cmd; serve_cmd; client_cmd; chaos_soak_cmd;
+      fuzz_cmd ]
 
 let () = exit (Cmd.eval main)

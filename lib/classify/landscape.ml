@@ -218,8 +218,14 @@ let regular_elimination q =
               (Util.Multiset.distinct c))
           (Lcl.Problem.node_configs q ~degree:delta))
   in
+  (* [x] entering iteration [h] is E_{h-1}: the labels a parent may
+     expose toward a height-(h-1) subtree. A root (degree delta-1)
+     whose legs cannot all sit in E_{h-1} makes the height-[h] tree
+     unsolvable — [h], not [h]+1: the replay witness brute-forces the
+     claimed height, and overstating it by one points at a tree that
+     may well be solvable. *)
   let rec go h x =
-    if not (root_ok x) then Some (h + 1)
+    if not (root_ok x) then Some h
     else if h > (2 * k) + 2 then None
     else go (h + 1) (step x)
   in

@@ -1,0 +1,14 @@
+(* Facade of the [fuzz] library — the differential fuzzing harness:
+   seeded generation of random LCL problems and host graphs ([Gen]),
+   the oracle matrix that runs one case through every engine
+   configuration and demands byte-identical observables ([Oracle]),
+   divergence-preserving minimization ([Shrink]) and self-contained
+   replayable repro files ([Repro]).
+
+   The CLI entry point is [lcl_tool fuzz]; the bounded in-tree suite
+   is [test/test_fuzz.ml]. *)
+
+module Gen = Gen
+module Oracle = Oracle
+module Shrink = Shrink
+module Repro = Repro

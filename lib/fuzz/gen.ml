@@ -1,0 +1,222 @@
+(* Seeded problem/graph generation. See gen.mli. *)
+
+(* The raw problem draw. This must keep the exact stream consumption
+   order of the historical test/helpers.ml generator: QCheck repro
+   seeds printed by old failures stay meaningful, and the 200-problem
+   classify corpus is keyed by these draws. *)
+let raw_problem rng ~k ~delta =
+  let labels = List.init k Fun.id in
+  let pick_nonempty configs =
+    let picked = List.filter (fun _ -> Util.Prng.bool rng) configs in
+    if picked = [] then
+      [ List.nth configs (Util.Prng.int rng (List.length configs)) ]
+    else picked
+  in
+  let node_cfg =
+    Array.init delta (fun dm1 ->
+        pick_nonempty (Util.Multiset.enumerate ~univ:labels ~k:(dm1 + 1)))
+  in
+  let edge_cfg = pick_nonempty (Util.Multiset.enumerate ~univ:labels ~k:2) in
+  let sigma_out = Lcl.Alphabet.of_names (List.init k (Printf.sprintf "l%d")) in
+  Lcl.Problem.make_input_free ~name:"random" ~delta ~sigma_out ~node_cfg
+    ~edge_cfg
+
+(* Prune screening: a problem whose normal form keeps no output label
+   is unsolvable on any graph with an edge — cheap to detect, and
+   uninteresting for a determinism oracle (every engine labels it
+   all-violations). Redraw a bounded number of times. *)
+let random_problem ?(attempts = 16) rng ~k ~delta =
+  let rec go left =
+    let p = raw_problem rng ~k ~delta in
+    if left <= 0 then p
+    else
+      let pruned = Lcl.Problem.prune p in
+      if Lcl.Alphabet.size (Lcl.Problem.sigma_out pruned) = 0 then
+        go (left - 1)
+      else p
+  in
+  go attempts
+
+(* -- graph specs --------------------------------------------------------- *)
+
+type graph_spec =
+  | Path of int
+  | Cycle of int
+  | Oriented_cycle of int
+  | Torus of int
+  | Tree of { n : int; delta : int; gseed : int }
+  | Complete_tree of { arity : int; n : int }
+  | Caterpillar of { spine : int; legs : int }
+  | Regular of { degree : int; n : int; gseed : int }
+
+let spec_delta = function
+  | Path _ | Cycle _ | Oriented_cycle _ | Torus _ -> 2
+  | Tree { delta; _ } -> delta
+  | Complete_tree { arity; _ } -> arity + 1
+  | Caterpillar { legs; _ } -> legs + 2
+  | Regular { degree; _ } -> degree
+
+let spec_n = function
+  | Path n | Cycle n | Oriented_cycle n | Torus n -> n
+  | Tree { n; _ } | Complete_tree { n; _ } | Regular { n; _ } -> n
+  | Caterpillar { spine; legs } -> spine * (legs + 1)
+
+let spec_to_string = function
+  | Path n -> Printf.sprintf "path %d" n
+  | Cycle n -> Printf.sprintf "cycle %d" n
+  | Oriented_cycle n -> Printf.sprintf "oriented-cycle %d" n
+  | Torus n -> Printf.sprintf "torus %d" n
+  | Tree { n; delta; gseed } -> Printf.sprintf "tree %d %d %d" n delta gseed
+  | Complete_tree { arity; n } -> Printf.sprintf "complete-tree %d %d" arity n
+  | Caterpillar { spine; legs } ->
+    Printf.sprintf "caterpillar %d %d" spine legs
+  | Regular { degree; n; gseed } ->
+    Printf.sprintf "regular %d %d %d" degree n gseed
+
+let spec_of_string s =
+  match String.split_on_char ' ' (String.trim s) with
+  | [ "path"; n ] -> (try Ok (Path (int_of_string n)) with _ -> Error s)
+  | [ "cycle"; n ] -> (try Ok (Cycle (int_of_string n)) with _ -> Error s)
+  | [ "oriented-cycle"; n ] ->
+    (try Ok (Oriented_cycle (int_of_string n)) with _ -> Error s)
+  | [ "torus"; n ] -> (try Ok (Torus (int_of_string n)) with _ -> Error s)
+  | [ "tree"; n; d; g ] -> (
+    try
+      Ok
+        (Tree
+           {
+             n = int_of_string n;
+             delta = int_of_string d;
+             gseed = int_of_string g;
+           })
+    with _ -> Error s)
+  | [ "complete-tree"; a; n ] -> (
+    try Ok (Complete_tree { arity = int_of_string a; n = int_of_string n })
+    with _ -> Error s)
+  | [ "caterpillar"; sp; l ] -> (
+    try Ok (Caterpillar { spine = int_of_string sp; legs = int_of_string l })
+    with _ -> Error s)
+  | [ "regular"; d; n; g ] -> (
+    try
+      Ok
+        (Regular
+           {
+             degree = int_of_string d;
+             n = int_of_string n;
+             gseed = int_of_string g;
+           })
+    with _ -> Error s)
+  | _ -> Error (Printf.sprintf "unknown graph spec %S" s)
+
+(* Random regular graph, pairing model: n*degree stubs, a seeded
+   perfect matching of them, rejecting self-loops and parallel edges
+   by re-shuffling. Small n and bounded retries keep this instant; on
+   persistent failure (tiny odd cases) fall back to a cycle, which is
+   2-regular and always legal for the callers' delta. *)
+let random_regular ~degree ~n ~gseed =
+  let rng = Util.Prng.create ~seed:gseed in
+  let stubs = Array.init (n * degree) (fun i -> i / degree) in
+  let rec attempt tries =
+    if tries = 0 then None
+    else begin
+      Util.Prng.shuffle rng stubs;
+      let edges = ref [] in
+      let seen = Hashtbl.create (n * degree) in
+      let ok = ref true in
+      let i = ref 0 in
+      while !ok && !i < Array.length stubs do
+        let u = stubs.(!i) and v = stubs.(!i + 1) in
+        let key = (min u v, max u v) in
+        if u = v || Hashtbl.mem seen key then ok := false
+        else begin
+          Hashtbl.add seen key ();
+          edges := key :: !edges
+        end;
+        i := !i + 2
+      done;
+      if !ok then Some !edges else attempt (tries - 1)
+    end
+  in
+  match attempt 64 with
+  | Some edges -> Graph.of_edges ~n ~delta:degree (List.rev edges)
+  | None -> Graph.Builder.cycle (max 3 n)
+
+let spec_to_graph = function
+  | Path n -> Graph.Builder.path n
+  | Cycle n -> Graph.Builder.cycle n
+  | Oriented_cycle n -> Graph.Builder.oriented_cycle n
+  | Torus n -> Grid.Torus.graph (Grid.Torus.make [| n |])
+  | Tree { n; delta; gseed } ->
+    Graph.Builder.random_tree (Util.Prng.create ~seed:gseed) ~delta n
+  | Complete_tree { arity; n } -> Graph.Builder.complete_tree ~arity n
+  | Caterpillar { spine; legs } -> Graph.Builder.caterpillar ~spine ~legs
+  | Regular { degree; n; gseed } -> random_regular ~degree ~n ~gseed
+
+let spec_halve spec =
+  let half n floor_ = if n / 2 >= floor_ then Some (n / 2) else None in
+  match spec with
+  | Path n -> Option.map (fun n -> Path n) (half n 2)
+  | Cycle n -> Option.map (fun n -> Cycle n) (half n 3)
+  | Oriented_cycle n -> Option.map (fun n -> Oriented_cycle n) (half n 3)
+  | Torus n -> Option.map (fun n -> Torus n) (half n 3)
+  | Tree { n; delta; gseed } ->
+    Option.map (fun n -> Tree { n; delta; gseed }) (half n 2)
+  | Complete_tree { arity; n } ->
+    Option.map (fun n -> Complete_tree { arity; n }) (half n 2)
+  | Caterpillar { spine; legs } ->
+    Option.map (fun spine -> Caterpillar { spine; legs }) (half spine 2)
+  | Regular { degree; n; gseed } ->
+    (* keep n * degree even and n > degree so the pairing model can
+       succeed *)
+    let n' = n / 2 in
+    let n' = if n' * degree mod 2 = 1 then n' + 1 else n' in
+    if n' < n && n' > degree then Some (Regular { degree; n = n'; gseed })
+    else None
+
+let random_spec rng ~delta ~max_n =
+  let size lo = lo + Util.Prng.int rng (max 1 (max_n - lo + 1)) in
+  let gseed () = Util.Prng.bits rng in
+  let families =
+    if delta >= 3 then
+      [
+        (fun () -> Path (size 4));
+        (fun () -> Cycle (size 4));
+        (fun () -> Oriented_cycle (size 4));
+        (fun () -> Torus (size 4));
+        (fun () -> Tree { n = size 4; delta; gseed = gseed () });
+        (fun () -> Complete_tree { arity = delta - 1; n = size 4 });
+        (fun () -> Caterpillar { spine = 2 + Util.Prng.int rng 6; legs = 1 });
+        (fun () ->
+          let n = size (delta + 2) in
+          let n = if n * delta mod 2 = 1 then n + 1 else n in
+          Regular { degree = delta; n; gseed = gseed () });
+      ]
+    else
+      [
+        (fun () -> Path (size 4));
+        (fun () -> Cycle (size 4));
+        (fun () -> Oriented_cycle (size 4));
+        (fun () -> Torus (size 4));
+        (fun () -> Tree { n = size 4; delta = 2; gseed = gseed () });
+      ]
+  in
+  (List.nth families (Util.Prng.int rng (List.length families))) ()
+
+(* -- cases ---------------------------------------------------------------- *)
+
+type case = {
+  index : int;
+  problem : Lcl.Problem.t;
+  source : string;
+  spec : graph_spec;
+}
+
+let case ~seed ~index =
+  (* one independent stream per (seed, index): fixed odd multiplier
+     decorrelates consecutive indices under splitmix *)
+  let rng = Util.Prng.create ~seed:(seed + (0x9E3779B1 * (index + 1))) in
+  let delta = 2 + Util.Prng.int rng 2 in
+  let k = 2 + Util.Prng.int rng 3 in
+  let problem = random_problem rng ~k ~delta in
+  let spec = random_spec rng ~delta ~max_n:24 in
+  { index; problem; source = Lcl.Parse.to_string problem; spec }

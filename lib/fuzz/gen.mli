@@ -1,0 +1,78 @@
+(** Seeded generation of random LCL problems and host graphs for the
+    differential fuzz harness.
+
+    Everything here is a pure function of its [Util.Prng.t] stream (or
+    of an explicit seed), so a fuzz case is replayable from [(seed,
+    index)] alone and a repro file never needs to embed a graph — only
+    its {!graph_spec}. *)
+
+(** {1 Problems} *)
+
+(** One random input-free problem: [k] output labels, degree bound
+    [delta]; every constraint set is a random nonempty subset of the
+    possible configurations. This is the raw draw, with no screening —
+    the distribution [test/helpers.ml] has always used. *)
+val raw_problem : Util.Prng.t -> k:int -> delta:int -> Lcl.Problem.t
+
+(** [random_problem rng ~k ~delta] draws with a bias toward
+    solvable-but-nontrivial problems: a candidate whose normal-form
+    prune ([Lcl.Problem.prune]) removes every output label — a quick
+    certificate that no labeling can satisfy all three constraint
+    families at once — is redrawn, up to a bounded number of attempts
+    (the last candidate is kept regardless, so the function is total
+    and still deterministic in the stream). *)
+val random_problem : ?attempts:int -> Util.Prng.t -> k:int -> delta:int ->
+  Lcl.Problem.t
+
+(** {1 Graphs}
+
+    A graph spec is plain data: the family plus the parameters that
+    rebuild it bit-identically ([spec_to_graph] is deterministic, and
+    randomized families embed their own seed). *)
+
+type graph_spec =
+  | Path of int
+  | Cycle of int
+  | Oriented_cycle of int
+  | Torus of int  (** 1-dimensional torus: a cycle with dimension tags *)
+  | Tree of { n : int; delta : int; gseed : int }
+  | Complete_tree of { arity : int; n : int }
+  | Caterpillar of { spine : int; legs : int }
+  | Regular of { degree : int; n : int; gseed : int }
+      (** random [degree]-regular multigraph-free graph via the pairing
+          model with seeded rejection *)
+
+(** Max degree any node of the built graph can have. *)
+val spec_delta : graph_spec -> int
+
+val spec_n : graph_spec -> int
+
+(** ["cycle 12"], ["tree 16 3 991"], … — the repro-file encoding. *)
+val spec_to_string : graph_spec -> string
+
+val spec_of_string : string -> (graph_spec, string) result
+
+(** Build the graph. Deterministic. *)
+val spec_to_graph : graph_spec -> Graph.t
+
+(** Halve the spec's size (for the shrinker), respecting each family's
+    minimum; [None] when already minimal. *)
+val spec_halve : graph_spec -> graph_spec option
+
+(** Draw a spec whose max degree is at most [delta], with [spec_n] in
+    [[4, max_n]] (families with structural minima may exceed 4). *)
+val random_spec : Util.Prng.t -> delta:int -> max_n:int -> graph_spec
+
+(** {1 Cases} *)
+
+type case = {
+  index : int;
+  problem : Lcl.Problem.t;
+  source : string;  (** [Lcl.Parse.to_string problem] *)
+  spec : graph_spec;
+}
+
+(** The [index]-th case of a fuzz run: a screened random problem
+    (delta 2 or 3, 2–4 labels) paired with a compatible graph spec.
+    Pure in [(seed, index)]. *)
+val case : seed:int -> index:int -> case

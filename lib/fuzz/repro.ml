@@ -1,0 +1,114 @@
+(* The LCLFUZZ1 repro file format. See repro.mli. *)
+
+type t = {
+  seed : int;
+  case_index : int;
+  spec : Gen.graph_spec;
+  config_a : string;
+  config_b : string;
+  break_config : string option;
+  source : string;
+}
+
+let magic = "LCLFUZZ1"
+
+let to_string r =
+  String.concat "\n"
+    ([
+       magic;
+       Printf.sprintf "seed %d" r.seed;
+       Printf.sprintf "case %d" r.case_index;
+       "graph " ^ Gen.spec_to_string r.spec;
+       Printf.sprintf "configs %s %s" r.config_a r.config_b;
+     ]
+    @ (match r.break_config with
+      | Some c -> [ "break " ^ c ]
+      | None -> [])
+    @ [ "problem"; r.source ])
+
+let of_string text =
+  let ( let* ) = Result.bind in
+  match String.index_opt text '\n' with
+  | None -> Error "empty repro file"
+  | Some _ ->
+    let lines = String.split_on_char '\n' text in
+    let* () =
+      match lines with
+      | m :: _ when String.trim m = magic -> Ok ()
+      | _ -> Error (Printf.sprintf "repro file does not start with %s" magic)
+    in
+    (* header lines until "problem"; the rest is the source verbatim *)
+    let rec split_header acc = function
+      | [] -> Error "repro file has no problem section"
+      | l :: rest when String.trim l = "problem" ->
+        Ok (List.rev acc, String.concat "\n" rest)
+      | l :: rest -> split_header (l :: acc) rest
+    in
+    let* header, source = split_header [] (List.tl lines) in
+    let field name =
+      List.find_map
+        (fun l ->
+          let l = String.trim l in
+          let prefix = name ^ " " in
+          if String.length l > String.length prefix
+             && String.sub l 0 (String.length prefix) = prefix
+          then
+            Some
+              (String.sub l (String.length prefix)
+                 (String.length l - String.length prefix))
+          else None)
+        header
+    in
+    let int_field name =
+      match field name with
+      | None -> Error (Printf.sprintf "repro file lacks a %S line" name)
+      | Some v -> (
+        match int_of_string_opt (String.trim v) with
+        | Some i -> Ok i
+        | None -> Error (Printf.sprintf "repro %s is not an integer: %S" name v)
+        )
+    in
+    let* seed = int_field "seed" in
+    let* case_index = int_field "case" in
+    let* spec =
+      match field "graph" with
+      | None -> Error "repro file lacks a \"graph\" line"
+      | Some s -> Gen.spec_of_string s
+    in
+    let* config_a, config_b =
+      match field "configs" with
+      | Some v -> (
+        match String.split_on_char ' ' (String.trim v) with
+        | [ a; b ] -> Ok (a, b)
+        | _ -> Error (Printf.sprintf "repro configs line is malformed: %S" v))
+      | None -> Error "repro file lacks a \"configs\" line"
+    in
+    let break_config = field "break" in
+    Ok { seed; case_index; spec; config_a; config_b; break_config; source }
+
+let save ~path r =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string r);
+      output_char oc '\n')
+
+let load ~path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | text -> of_string text
+  | exception Sys_error m -> Error m
+
+let replay r =
+  let known c = List.mem c Oracle.configs in
+  if not (known r.config_a && known r.config_b) then
+    Error
+      (Printf.sprintf "unknown config pair %s/%s" r.config_a r.config_b)
+  else
+    match Lcl.Parse.of_string r.source with
+    | exception Lcl.Parse.Parse_error { message; line } ->
+      Error (Lcl.Parse.error_to_string ~message ~line)
+    | problem ->
+      Ok
+        (Oracle.diverges ~seed:r.seed ?break_config:r.break_config
+           ~config_a:r.config_a ~config_b:r.config_b problem r.spec)

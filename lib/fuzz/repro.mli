@@ -1,0 +1,43 @@
+(** Self-contained repro files for divergent fuzz cases.
+
+    A repro carries everything needed to re-execute the failing
+    comparison on any machine: the (minimized) problem source, the
+    graph spec, the identifier seed, and the pair of configuration
+    names that disagreed — plus the test-only break hook when the
+    divergence was injected, so replaying an injected repro fails the
+    same way. The format ([LCLFUZZ1]) is line-oriented text:
+
+    {v
+    LCLFUZZ1
+    seed 61474
+    case 17
+    graph tree 12 3 991
+    configs seq workers3
+    break workers3        <- optional
+    problem
+    <Lcl.Parse source, rest of file>
+    v} *)
+
+type t = {
+  seed : int;          (** identifier seed shared by every leg *)
+  case_index : int;    (** index in the originating run, for the log *)
+  spec : Gen.graph_spec;
+  config_a : string;
+  config_b : string;
+  break_config : string option;
+  source : string;     (** [Lcl.Parse] problem text *)
+}
+
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+
+val save : path:string -> t -> unit
+
+val load : path:string -> (t, string) result
+
+(** Re-execute the repro's comparison. [Ok true] — the divergence
+    reproduces (the replay exits non-zero); [Ok false] — it does not;
+    [Error _] — the repro is malformed (unparsable problem, unknown
+    config name). *)
+val replay : t -> (bool, string) result

@@ -1,0 +1,78 @@
+(* Greedy divergence-preserving minimization. See shrink.mli. *)
+
+type t = { problem : Lcl.Problem.t; spec : Gen.graph_spec; steps : int }
+
+let drop_nth l n = List.filteri (fun i _ -> i <> n) l
+
+(* Candidate problems with one output label removed. *)
+let label_moves p =
+  let labels = Lcl.Alphabet.all (Lcl.Problem.sigma_out p) in
+  if List.length labels <= 1 then []
+  else
+    List.map
+      (fun l () ->
+        match Lcl.Problem.restrict p (List.filter (fun x -> x <> l) labels) with
+        | q -> Some q
+        | exception Invalid_argument _ -> None)
+      labels
+
+(* Candidate problems with one constraint clause removed. Only the
+   input-free rebuild is needed: every generated problem is
+   input-free, and the repro format only carries such problems. *)
+let clause_moves p =
+  let delta = Lcl.Problem.delta p in
+  let rows =
+    Array.init delta (fun dm1 -> Lcl.Problem.node_configs p ~degree:(dm1 + 1))
+  in
+  let edge = Lcl.Problem.edge_configs p in
+  let rebuild ~node_cfg ~edge_cfg () =
+    match
+      Lcl.Problem.make_input_free ~name:(Lcl.Problem.name p) ~delta
+        ~sigma_out:(Lcl.Problem.sigma_out p) ~node_cfg ~edge_cfg
+    with
+    | q -> Some q
+    | exception Invalid_argument _ -> None
+  in
+  let node_drops =
+    List.concat
+      (List.init delta (fun r ->
+           List.init
+             (List.length rows.(r))
+             (fun i ->
+               let node_cfg =
+                 Array.mapi
+                   (fun r' row -> if r' = r then drop_nth row i else row)
+                   rows
+               in
+               rebuild ~node_cfg ~edge_cfg:edge)))
+  in
+  let edge_drops =
+    List.init (List.length edge) (fun i ->
+        rebuild ~node_cfg:rows ~edge_cfg:(drop_nth edge i))
+  in
+  node_drops @ edge_drops
+
+let minimize ?seed ?break_config ?(max_steps = 64) ~config_a ~config_b problem
+    spec =
+  let still p s =
+    Oracle.diverges ?seed ?break_config ~config_a ~config_b p s
+  in
+  let rec loop p s steps =
+    if steps >= max_steps then { problem = p; spec = s; steps }
+    else
+      let moves =
+        (match Gen.spec_halve s with
+        | Some s' -> [ (fun () -> if still p s' then Some (p, s') else None) ]
+        | None -> [])
+        @ List.map
+            (fun mk () ->
+              match mk () with
+              | Some p' when still p' s -> Some (p', s)
+              | _ -> None)
+            (label_moves p @ clause_moves p)
+      in
+      match List.find_map (fun m -> m ()) moves with
+      | Some (p', s') -> loop p' s' (steps + 1)
+      | None -> { problem = p; spec = s; steps }
+  in
+  loop problem spec 0

@@ -1,0 +1,36 @@
+(** Minimization of divergent fuzz cases.
+
+    Greedy delta-debugging over three move families, re-checking after
+    every candidate that the two configurations still disagree
+    ({!Oracle.diverges}):
+
+    - halve the graph spec ({!Gen.spec_halve});
+    - drop one output label ([Lcl.Problem.restrict]);
+    - drop one node or edge configuration clause (rebuild via
+      [Lcl.Problem.make_input_free] — the shrinker assumes input-free
+      problems, which every generated case is).
+
+    Moves are tried biggest-win-first and the loop runs to a fixed
+    point (bounded by [max_steps]), so the result is 1-minimal with
+    respect to these moves: no single remaining halving, label or
+    clause can be removed without losing the divergence. *)
+
+type t = {
+  problem : Lcl.Problem.t;
+  spec : Gen.graph_spec;
+  steps : int;  (** accepted shrink moves *)
+}
+
+(** [minimize ~config_a ~config_b p spec] assumes the pair already
+    diverges on [(p, spec)] (the result is just [(p, spec)] with 0
+    steps otherwise). [break_config] is threaded through to the
+    re-checks so injected divergences shrink like real ones. *)
+val minimize :
+  ?seed:int ->
+  ?break_config:string ->
+  ?max_steps:int ->
+  config_a:string ->
+  config_b:string ->
+  Lcl.Problem.t ->
+  Gen.graph_spec ->
+  t

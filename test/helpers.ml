@@ -5,25 +5,24 @@ let rng_of_seed seed = Util.Prng.create ~seed
 
 (** Random input-free problem with [k] output labels and degree bound
     [delta]; every constraint set is a random nonempty subset of the
-    possible configurations. *)
-let random_problem rng ~k ~delta =
-  let labels = List.init k Fun.id in
-  let pick_nonempty configs =
-    let picked = List.filter (fun _ -> Util.Prng.bool rng) configs in
-    if picked = [] then
-      [ List.nth configs (Util.Prng.int rng (List.length configs)) ]
-    else picked
-  in
-  let node_cfg =
-    Array.init delta (fun dm1 ->
-        pick_nonempty (Util.Multiset.enumerate ~univ:labels ~k:(dm1 + 1)))
-  in
-  let edge_cfg = pick_nonempty (Util.Multiset.enumerate ~univ:labels ~k:2) in
-  let sigma_out =
-    Lcl.Alphabet.of_names (List.init k (Printf.sprintf "l%d"))
-  in
-  Lcl.Problem.make_input_free ~name:"random" ~delta ~sigma_out ~node_cfg
-    ~edge_cfg
+    possible configurations. The implementation lives in
+    [Fuzz.Gen.raw_problem] now (same draw order, so historical QCheck
+    repro seeds keep their meaning). *)
+let random_problem rng ~k ~delta = Fuzz.Gen.raw_problem rng ~k ~delta
+
+(** Run [f] with environment variable [name] set to [value], restoring
+    the previous value afterwards — on exception too. OCaml has no
+    unsetenv, so a previously-absent variable is restored as [""],
+    which every LCL_* reader (LCL_DOMAINS, LCL_WORKERS, LCL_OBS, the
+    cluster chaos hooks) treats as unset. Use this instead of bare
+    [Unix.putenv]: a leaked setting silently changes the worker/domain
+    counts of every later test in the binary. *)
+let with_env name value f =
+  let old = Sys.getenv_opt name in
+  Unix.putenv name value;
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv name (Option.value old ~default:""))
+    f
 
 (** Seed arbitrary for property tests that build their own randomized
     structures (printing the seed keeps failures reproducible). *)

@@ -107,6 +107,90 @@ let prop_framing_torn_chunks =
       in
       all = payloads && pend_all = 0 && is_prefix prefix payloads)
 
+(* Truncation at every byte offset of a fixed small stream: the
+   decoded payloads are exactly the frames that fit, and [pending] is
+   nonzero iff the cut fell mid-frame. *)
+let test_framing_truncation_every_offset () =
+  let payloads = [ "a"; "bcd"; ""; "efghijkl" ] in
+  let stream = String.concat "" (List.map Util.Framing.encode payloads) in
+  check bool "fixture fits the 64-byte sweep" true (String.length stream <= 64);
+  (* cumulative end offset of each frame *)
+  let ends =
+    List.rev
+      (List.fold_left
+         (fun acc p ->
+           let prev = match acc with e :: _ -> e | [] -> 0 in
+           (prev + Util.Framing.header_bytes + String.length p) :: acc)
+         [] payloads)
+  in
+  for stop = 0 to String.length stream do
+    let d = Util.Framing.decoder () in
+    Util.Framing.feed d stream ~pos:0 ~len:stop;
+    let rec drain acc =
+      match Util.Framing.next d with
+      | Some p -> drain (p :: acc)
+      | None -> List.rev acc
+    in
+    let got = drain [] in
+    let expected =
+      List.filteri (fun i _ -> List.nth ends i <= stop) payloads
+    in
+    check (list string) (Printf.sprintf "payloads at offset %d" stop) expected
+      got;
+    let at_boundary = stop = 0 || List.mem stop ends in
+    check bool
+      (Printf.sprintf "pending at offset %d" stop)
+      (not at_boundary)
+      (Util.Framing.pending d > 0)
+  done
+
+(* Duplicated tails: a well-formed stream followed by a copy of its
+   own suffix (cut anywhere, so usually mid-frame). The clean prefix
+   must decode intact; the duplicated bytes may decode as garbage
+   frames or raise [Corrupt] — anything but another exception or a
+   corrupted prefix. *)
+let prop_framing_duplicated_tail =
+  QCheck.Test.make ~name:"decoder survives duplicated tails" ~count:200
+    Helpers.seed_arb (fun seed ->
+      let rng = Util.Prng.create ~seed in
+      let payloads =
+        List.init
+          (1 + Util.Prng.int rng 6)
+          (fun _ ->
+            String.init
+              (Util.Prng.int rng 64)
+              (fun _ -> Char.chr (Util.Prng.int rng 256)))
+      in
+      let stream = String.concat "" (List.map Util.Framing.encode payloads) in
+      let d = Util.Framing.decoder () in
+      let got = ref [] in
+      let rec drain () =
+        match Util.Framing.next d with
+        | Some p ->
+          got := p :: !got;
+          drain ()
+        | None -> ()
+      in
+      let feed_chunked s =
+        let pos = ref 0 in
+        while !pos < String.length s do
+          let len = min (1 + Util.Prng.int rng 13) (String.length s - !pos) in
+          Util.Framing.feed d s ~pos:!pos ~len;
+          pos := !pos + len;
+          drain ()
+        done
+      in
+      feed_chunked stream;
+      let clean = List.rev !got in
+      let off = Util.Prng.int rng (String.length stream + 1) in
+      let tail = String.sub stream off (String.length stream - off) in
+      let tail_ok =
+        match feed_chunked tail with
+        | () -> true
+        | exception Util.Framing.Corrupt _ -> true
+      in
+      clean = payloads && tail_ok)
+
 (* -- map_ranges ---------------------------------------------------------- *)
 
 let test_map_ranges_basic () =
@@ -137,10 +221,7 @@ let test_map_ranges_worker_error () =
 
 let test_map_ranges_kill_recovery () =
   check_fork_available ();
-  Unix.putenv Util.Cluster.kill_env_var "1";
-  Fun.protect
-    ~finally:(fun () -> Unix.putenv Util.Cluster.kill_env_var "")
-    (fun () ->
+  Helpers.with_env Util.Cluster.kill_env_var "1" (fun () ->
       let r =
         Util.Cluster.map_ranges ~workers:3 ~n:30 (fun lo hi -> hi * 100 + lo)
       in
@@ -150,10 +231,8 @@ let test_map_ranges_kill_recovery () =
              hi * 100 + lo)))
 
 let test_map_ranges_env_default () =
-  Unix.putenv Util.Cluster.env_var "3";
-  Fun.protect
-    ~finally:(fun () -> Unix.putenv Util.Cluster.env_var "")
-    (fun () -> check int "env worker count" 3 (Util.Cluster.default_workers ()));
+  Helpers.with_env Util.Cluster.env_var "3" (fun () ->
+      check int "env worker count" 3 (Util.Cluster.default_workers ()));
   check int "unset means 1" 1 (Util.Cluster.default_workers ())
 
 (* -- disk cache ---------------------------------------------------------- *)
@@ -470,10 +549,7 @@ let test_map_ranges_stall_recovery () =
   check_fork_available ();
   (* rank 1 sleeps far past the drain timeout: the parent must reap it
      and recompute the range in-process, bit-identically *)
-  Unix.putenv Util.Cluster.stall_env_var "1";
-  Fun.protect
-    ~finally:(fun () -> Unix.putenv Util.Cluster.stall_env_var "")
-    (fun () ->
+  Helpers.with_env Util.Cluster.stall_env_var "1" (fun () ->
       let recovered = ref [] in
       let before = Util.Cluster.recoveries () in
       let r =
@@ -604,10 +680,7 @@ let test_serve_degraded_engine () =
     | Serve.Protocol.Answer text -> text
     | r -> fail (Serve.Protocol.response_to_string r)
   in
-  Unix.putenv Util.Cluster.kill_env_var "1";
-  Fun.protect
-    ~finally:(fun () -> Unix.putenv Util.Cluster.kill_env_var "")
-    (fun () ->
+  Helpers.with_env Util.Cluster.kill_env_var "1" (fun () ->
       match Serve.Engine.answer ~workers:3 req with
       | Serve.Protocol.Degraded { text; reason } ->
         check string "degraded text is byte-identical" clean text;
@@ -897,10 +970,7 @@ let test_resilient_matrix () =
     [ 2; 4 ];
   (* chaos: kill rank 1 mid-run; the parent recomputes that shard and
      the merged statuses do not change *)
-  Unix.putenv Util.Cluster.kill_env_var "1";
-  Fun.protect
-    ~finally:(fun () -> Unix.putenv Util.Cluster.kill_env_var "")
-    (fun () ->
+  Helpers.with_env Util.Cluster.kill_env_var "1" (fun () ->
       let o = run 4 in
       check bool "statuses survive a killed worker" true
         (o.Local.Runner.report.Local.Runner.statuses
@@ -936,10 +1006,13 @@ let suites =
       [
         test_case "encode header" `Quick test_framing_encode_header;
         test_case "oversized header" `Quick test_framing_oversized_header;
+        test_case "truncation at every offset" `Quick
+          test_framing_truncation_every_offset;
         test_case "fd roundtrip" `Quick test_framing_fd_roundtrip;
         test_case "EOF mid-frame" `Quick test_framing_eof_mid_frame;
       ] );
-    Helpers.qsuite "cluster.framing-prop" [ prop_framing_torn_chunks ];
+    Helpers.qsuite "cluster.framing-prop"
+      [ prop_framing_torn_chunks; prop_framing_duplicated_tail ];
     ( "cluster.map",
       [
         test_case "rank-ordered ranges" `Quick test_map_ranges_basic;

@@ -1,11 +1,16 @@
 (* Entry point: aggregate all suites into one alcotest run. *)
 
 let () =
-  (* Test_cluster must run first: its suites fork worker processes,
-     and the OCaml 5 runtime permanently refuses [fork] once any
-     in-process domain has been spawned (which later suites do). *)
+  (* Test_fuzz and Test_cluster must run first: their suites fork
+     worker processes (and serve daemons), and the OCaml 5 runtime
+     permanently refuses [fork] once any in-process domain has been
+     spawned. Test_fuzz runs before Test_cluster because the latter's
+     final runner test deliberately spawns in-parent domains to
+     exercise the fork-unavailable fallback — poisoning fork for
+     everything after it. *)
   Alcotest.run "lcl-landscape"
-    (Test_cluster.suites @ Test_util.suites @ Test_graph.suites @ Test_lcl.suites @ Test_re.suites
+    (Test_fuzz.suites @ Test_cluster.suites @ Test_util.suites
+   @ Test_graph.suites @ Test_lcl.suites @ Test_re.suites
    @ Test_local.suites @ Test_volume.suites @ Test_grid.suites
    @ Test_classify.suites @ Test_general.suites @ Test_analysis.suites
    @ Test_landscape.suites @ Test_fault.suites @ Test_obs.suites

@@ -156,19 +156,14 @@ let test_parallel_exception () =
              if i = 3 then raise (Boom 3) else i)))
 
 let test_parallel_env_default () =
-  let restore =
-    let old = Sys.getenv_opt Util.Parallel.env_var in
-    fun () -> Unix.putenv Util.Parallel.env_var (Option.value old ~default:"")
-  in
-  Fun.protect ~finally:restore (fun () ->
-      Unix.putenv Util.Parallel.env_var "64";
+  Helpers.with_env Util.Parallel.env_var "64" (fun () ->
       check int "env default capped at core count"
         (min 64 (Util.Parallel.recommended ()))
-        (Util.Parallel.default_domains ());
-      Unix.putenv Util.Parallel.env_var "garbage";
+        (Util.Parallel.default_domains ()));
+  Helpers.with_env Util.Parallel.env_var "garbage" (fun () ->
       check int "unparsable env falls back to 1" 1
-        (Util.Parallel.default_domains ());
-      Unix.putenv Util.Parallel.env_var "";
+        (Util.Parallel.default_domains ()));
+  Helpers.with_env Util.Parallel.env_var "" (fun () ->
       check int "empty env falls back to 1" 1
         (Util.Parallel.default_domains ()))
 
